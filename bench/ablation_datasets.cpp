@@ -1,0 +1,107 @@
+// Ablation for the paper's Section 6 future work: "the comparison between
+// the Poisson and negative binomial priors should be made with more data
+// sets". Runs the prior comparison (model1, observation at 100% of each
+// series plus a 50%-longer virtual window) on:
+//   * sys1      — the paper's dataset (reconstructed),
+//   * ntds      — the public NTDS data grouped into ten-day periods,
+//   * synth-m1  — synthetic data generated from model1 detection
+//                 probabilities with known N0 = 150,
+//   * synth-m4  — synthetic data from model4 with known N0 = 200.
+// For the synthetic series the true residual count is known exactly, so the
+// table reports it alongside each prior's posterior mean/sd.
+#include <cstdio>
+#include <vector>
+
+#include "core/detection_models.hpp"
+#include "core/experiment.hpp"
+#include "data/datasets.hpp"
+#include "data/generator.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct Case {
+  srm::data::BugCountData data;
+  std::int64_t true_total;  ///< bugs that would eventually be detected
+};
+
+}  // namespace
+
+int main() {
+  using namespace srm;
+
+  std::vector<Case> cases;
+  cases.push_back({data::sys1_grouped(), data::kSys1TotalBugs});
+  cases.push_back({data::ntds_grouped(), data::ntds_grouped().total()});
+
+  {
+    random::Rng rng(424242);
+    const auto model =
+        core::make_detection_model(core::DetectionModelKind::kPadgettSpurrier);
+    const std::vector<double> zeta{0.95, 0.03};
+    cases.push_back({data::simulate_detection_process(
+                         150, 80,
+                         [&](std::size_t day) {
+                           return model->probability(day, zeta);
+                         },
+                         rng, "synth-m1"),
+                     150});
+  }
+  {
+    random::Rng rng(171717);
+    const auto model =
+        core::make_detection_model(core::DetectionModelKind::kWeibull);
+    const std::vector<double> zeta{0.97, 0.6};
+    cases.push_back({data::simulate_detection_process(
+                         200, 80,
+                         [&](std::size_t day) {
+                           return model->probability(day, zeta);
+                         },
+                         rng, "synth-m4"),
+                     200});
+  }
+
+  std::printf("Prior comparison across datasets (model1, Padgett-Spurrier)\n\n");
+  support::Table t;
+  t.set_header({"dataset", "day", "actual", "Poisson mean", "Poisson sd",
+                "NegBin mean", "NegBin sd", "WAIC P", "WAIC NB"});
+  for (const auto& c : cases) {
+    core::ExperimentSpec spec;
+    spec.model = core::DetectionModelKind::kPadgettSpurrier;
+    spec.eventual_total = c.true_total;
+    spec.gibbs.chain_count = 2;
+    spec.gibbs.burn_in = 400;
+    spec.gibbs.iterations = 2000;
+    const std::size_t full = c.data.days();
+    spec.observation_days = {full, full + full / 2};
+
+    spec.prior = core::PriorKind::kPoisson;
+    const auto poisson = core::run_experiment(c.data, spec);
+    spec.prior = core::PriorKind::kNegativeBinomial;
+    const auto negbin = core::run_experiment(c.data, spec);
+
+    for (std::size_t d = 0; d < poisson.size(); ++d) {
+      const auto& p = poisson[d];
+      const auto& nb = negbin[d];
+      t.add_row({c.data.name(), std::to_string(p.observation_day),
+                 std::to_string(p.actual_residual),
+                 support::format_double(p.posterior.summary.mean, 2),
+                 support::format_double(p.posterior.summary.sd, 2),
+                 support::format_double(nb.posterior.summary.mean, 2),
+                 support::format_double(nb.posterior.summary.sd, 2),
+                 support::format_double(p.waic.waic, 2),
+                 support::format_double(nb.waic.waic, 2)});
+    }
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nReading: both priors bracket the true residual on every dataset\n"
+      "and their WAICs are near-identical (the Okamura-Dohi equivalence).\n"
+      "Which prior has the tighter posterior is regime-dependent: with the\n"
+      "fixed upper limits used here (lambda_max = 2000, alpha_max = 100)\n"
+      "the negative binomial prior is effectively more informative at\n"
+      "well-fitting observation points, while Table V's pattern (Poisson\n"
+      "tighter, NB exploding) appears for mis-specified models and larger\n"
+      "lambda-scales — see EXPERIMENTS.md for the discussion.\n");
+  return 0;
+}

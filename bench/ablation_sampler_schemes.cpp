@@ -1,0 +1,70 @@
+// Ablation of a design choice called out in DESIGN.md: the collapsed Gibbs
+// blocking (marginalize the residual count — and for the Poisson prior also
+// lambda0 — out of the other conditionals) versus the vanilla scheme that
+// mirrors the paper's Eqs (14)-(22) / JAGS. Both target the same posterior;
+// the collapsed scheme should show dramatically higher effective sample
+// sizes per retained draw at equal cost.
+#include <chrono>
+#include <cstdio>
+
+#include "core/bayes_srm.hpp"
+#include "data/datasets.hpp"
+#include "diagnostics/ess.hpp"
+#include "diagnostics/gelman_rubin.hpp"
+#include "mcmc/gibbs.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace srm;
+  const auto data = data::sys1_grouped();
+
+  mcmc::GibbsOptions gibbs;
+  gibbs.chain_count = 2;
+  gibbs.burn_in = 500;
+  gibbs.iterations = 3000;
+
+  support::Table t;
+  t.set_header({"prior", "scheme", "time ms", "mean", "ESS(residual)",
+                "PSRF(residual)", "ESS/ms"});
+  for (const auto prior :
+       {core::PriorKind::kPoisson, core::PriorKind::kNegativeBinomial}) {
+    for (const auto scheme :
+         {core::SamplerScheme::kCollapsed, core::SamplerScheme::kVanilla}) {
+      core::HyperPriorConfig config;
+      config.scheme = scheme;
+      core::BayesianSrm model(prior,
+                              core::DetectionModelKind::kPadgettSpurrier,
+                              data, config);
+      const auto start = std::chrono::steady_clock::now();
+      const auto run = mcmc::run_gibbs(model, gibbs);
+      const auto elapsed =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      const auto residual = run.pooled("residual");
+      const double ess = diagnostics::effective_sample_size(residual);
+      const double psrf =
+          diagnostics::gelman_rubin(run, run.parameter_index("residual"))
+              .psrf;
+      double mean = 0.0;
+      for (const double v : residual) mean += v;
+      mean /= static_cast<double>(residual.size());
+      t.add_row({core::to_string(prior),
+                 scheme == core::SamplerScheme::kCollapsed ? "collapsed"
+                                                           : "vanilla",
+                 support::format_double(elapsed, 1),
+                 support::format_double(mean, 2),
+                 support::format_double(ess, 0),
+                 support::format_double(psrf, 3),
+                 support::format_double(ess / elapsed, 2)});
+    }
+  }
+  std::printf(
+      "Collapsed vs vanilla Gibbs blocking (model1, full 96-day data)\n\n%s",
+      t.render().c_str());
+  std::printf(
+      "\nBoth schemes estimate the same posterior mean (they share the\n"
+      "invariant distribution); the collapsed scheme buys its ESS with the\n"
+      "closed-form marginalizations derived in DESIGN.md.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Frequentist baseline: profile maximum likelihood for the same five
+// detection models, scored by AIC/BIC — the criteria the paper notes are
+// unavailable for its Bayesian estimators. Run on the full 96-day data and
+// on the 48-day prefix. Expected shape: the AIC ranking mirrors the WAIC
+// ranking of Table I (model1 best, model3 worst).
+#include <cstdio>
+
+#include "data/datasets.hpp"
+#include "mle/mle_fit.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace srm;
+  const auto base = data::sys1_grouped();
+  for (const std::size_t day : {std::size_t{48}, std::size_t{96}}) {
+    const auto observed = base.truncated(day);
+    const auto fits = mle::fit_all_models(observed);
+    std::printf("== MLE baseline at %zu days (s=%lld) ==\n", day,
+                static_cast<long long>(observed.total()));
+    support::Table t;
+    t.set_header({"model", "logL", "AIC", "BIC", "N-hat", "residual-hat",
+                  "zeta"});
+    for (const auto& fit : fits) {
+      std::string zeta;
+      for (const double z : fit.zeta) {
+        if (!zeta.empty()) zeta += ", ";
+        zeta += support::format_double(z, 4);
+      }
+      const bool diverged = fit.diverged(observed);
+      t.add_row({core::to_string(fit.model),
+                 support::format_double(fit.log_likelihood, 3),
+                 support::format_double(fit.aic, 3),
+                 support::format_double(fit.bic, 3),
+                 diverged ? "unbounded" : std::to_string(fit.initial_bugs),
+                 diverged ? "unbounded"
+                          : std::to_string(fit.residual(observed)),
+                 zeta});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf(
+        "('unbounded' = no finite MLE of N: the likelihood ridge p -> 0,\n"
+        " N -> infinity — the binomial model degenerating to its Poisson\n"
+        " limit; AIC remains valid for ranking because the ridge supremum\n"
+        " of the likelihood is attained in the limit.)\n\n");
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Fig. 1 of the paper: the software bug count data — 136 bugs found during
+// 96 testing days in a real-time command and control system (Musa 1979,
+// System 1; reconstructed series, see DESIGN.md §3).
+#include <iostream>
+
+#include "data/datasets.hpp"
+#include "report/tables.hpp"
+
+int main() {
+  const auto data = srm::data::sys1_grouped();
+  std::cout << "=== Figure 1: dataset ===\n\n"
+            << srm::report::render_dataset_figure(data);
+  std::cout << "\nObservation points (days): ";
+  for (const auto day : srm::data::kSys1ObservationPoints) {
+    std::cout << day << ' ';
+  }
+  std::cout << "\n";
+  return 0;
+}

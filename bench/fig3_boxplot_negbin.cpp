@@ -1,0 +1,19 @@
+// Fig. 3 of the paper: box plots of the posterior distributions of the
+// residual bug count under the negative binomial prior. Expected shape: the
+// boxes are wider than the Poisson prior's (heavier tails); with growing
+// observation points the posteriors approach the degenerate distribution
+// at the origin.
+#include <iostream>
+
+#include "data/datasets.hpp"
+#include "report/sweep.hpp"
+#include "report/tables.hpp"
+
+int main() {
+  const auto data = srm::data::sys1_grouped();
+  const auto options = srm::report::paper_sweep_options();
+  const auto sweep = srm::report::run_sweep(data, options);
+  std::cout << srm::report::render_boxplot_figure(
+      sweep, srm::core::PriorKind::kNegativeBinomial);
+  return 0;
+}

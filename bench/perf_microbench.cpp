@@ -1,0 +1,101 @@
+// Performance microbenchmarks (google-benchmark): variate samplers, slice
+// sampler, one full Gibbs scan per SRM, WAIC evaluation, and the MLE
+// baseline fit. These quantify the cost model cited in DESIGN.md §5.
+#include <benchmark/benchmark.h>
+
+#include "core/bayes_srm.hpp"
+#include "core/waic.hpp"
+#include "data/datasets.hpp"
+#include "mcmc/slice.hpp"
+#include "mle/mle_fit.hpp"
+#include "random/samplers.hpp"
+
+namespace {
+
+using srm::core::BayesianSrm;
+using srm::core::DetectionModelKind;
+using srm::core::PriorKind;
+
+void BM_SamplePoisson(benchmark::State& state) {
+  srm::random::Rng rng(1);
+  const double mean = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(srm::random::sample_poisson(rng, mean));
+  }
+}
+BENCHMARK(BM_SamplePoisson)->Arg(5)->Arg(100)->Arg(5000);
+
+void BM_SampleGamma(benchmark::State& state) {
+  srm::random::Rng rng(2);
+  const double shape = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(srm::random::sample_gamma(rng, shape, 1.0));
+  }
+}
+BENCHMARK(BM_SampleGamma)->Arg(1)->Arg(100);
+
+void BM_SampleTruncatedGamma(benchmark::State& state) {
+  srm::random::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        srm::random::sample_truncated_gamma(rng, 137.0, 1.0, 2000.0));
+  }
+}
+BENCHMARK(BM_SampleTruncatedGamma);
+
+void BM_SliceSampler(benchmark::State& state) {
+  srm::random::Rng rng(4);
+  const auto log_density = [](double x) { return -0.5 * x * x; };
+  srm::mcmc::SliceOptions options;
+  options.lower = -50.0;
+  options.upper = 50.0;
+  double x = 0.1;
+  for (auto _ : state) {
+    x = srm::mcmc::slice_sample(rng, x, log_density, options);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_SliceSampler);
+
+void BM_GibbsScan(benchmark::State& state) {
+  const auto prior = static_cast<PriorKind>(state.range(0));
+  const auto model = static_cast<DetectionModelKind>(state.range(1));
+  BayesianSrm srm(prior, model, srm::data::sys1_grouped());
+  srm::random::Rng rng(5);
+  auto s = srm.initial_state(rng);
+  for (auto _ : state) {
+    srm.update(s, rng);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_GibbsScan)
+    ->ArgsProduct({{0, 1}, {0, 1, 2, 3, 4}})
+    ->ArgNames({"prior", "model"});
+
+void BM_Waic(benchmark::State& state) {
+  BayesianSrm srm(PriorKind::kPoisson, DetectionModelKind::kPadgettSpurrier,
+                  srm::data::sys1_grouped());
+  srm::mcmc::GibbsOptions options;
+  options.chain_count = 1;
+  options.burn_in = 100;
+  options.iterations = 500;
+  options.parallel_chains = false;
+  const auto run = srm::mcmc::run_gibbs(srm, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(srm::core::compute_waic(srm, run));
+  }
+}
+BENCHMARK(BM_Waic);
+
+void BM_MleFit(benchmark::State& state) {
+  const auto data = srm::data::sys1_grouped();
+  const auto kind = static_cast<DetectionModelKind>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(srm::mle::fit_mle(data, kind));
+  }
+}
+BENCHMARK(BM_MleFit)->DenseRange(0, 4)->ArgNames({"model"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,17 @@
+// TABLE III of the paper: posterior medians of the residual number of
+// software bugs. The paper observes that the Poisson and negative binomial
+// priors give nearly identical medians.
+#include <iostream>
+
+#include "data/datasets.hpp"
+#include "report/sweep.hpp"
+#include "report/tables.hpp"
+
+int main() {
+  const auto data = srm::data::sys1_grouped();
+  const auto options = srm::report::paper_sweep_options();
+  const auto sweep = srm::report::run_sweep(data, options);
+  std::cout << srm::report::render_posterior_table(
+      sweep, srm::report::PosteriorStatistic::kMedian);
+  return 0;
+}

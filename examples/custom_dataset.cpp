@@ -1,0 +1,60 @@
+// Bring-your-own-data workflow: write a bug-count series to CSV, load it
+// back with BugCountData::from_csv_file, and analyze it with the analytic
+// conjugate machinery (no MCMC needed when you are willing to fix the
+// detection probabilities). Everything is self-contained — the example
+// creates its own CSV in the system temp directory.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/conjugate.hpp"
+#include "data/bug_count_data.hpp"
+#include "stats/negative_binomial.hpp"
+#include "stats/poisson.hpp"
+#include "support/csv.hpp"
+
+int main() {
+  using namespace srm;
+
+  // 1. A small grouped bug-count log (e.g. 12 weekly totals from your
+  //    tracker), written as "day,count" CSV.
+  const std::vector<std::int64_t> counts{5, 8, 6, 4, 4, 3, 2, 2, 1, 1, 0, 1};
+  const auto path =
+      (std::filesystem::temp_directory_path() / "bugs_example.csv").string();
+  support::CsvRows rows{{"day", "count"}};
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    rows.push_back({std::to_string(i + 1), std::to_string(counts[i])});
+  }
+  support::write_csv_file(path, rows);
+
+  // 2. Load it back.
+  const auto data = data::BugCountData::from_csv_file(path, "weekly-bugs");
+  std::printf("loaded %s: %lld bugs over %zu periods\n", path.c_str(),
+              static_cast<long long>(data.total()), data.days());
+
+  // 3. Suppose each remaining bug is caught with probability 0.12 per week
+  //    (homogeneous testing, model0 with mu = 0.12). With the detection
+  //    probabilities fixed, both priors give closed-form posteriors.
+  const std::vector<double> probabilities(data.days(), 0.12);
+
+  const auto poisson_posterior =
+      core::poisson_residual_posterior(60.0, data, probabilities);
+  std::printf("\nPoisson prior (lambda0 = 60):\n");
+  std::printf("  residual ~ Poisson(%.3f); mean %.2f, 95%% CI [%lld, %lld]\n",
+              poisson_posterior.mean(), poisson_posterior.mean(),
+              static_cast<long long>(poisson_posterior.quantile(0.025)),
+              static_cast<long long>(poisson_posterior.quantile(0.975)));
+
+  const auto negbin_posterior = core::negative_binomial_residual_posterior(
+      5.0, 0.1, data, probabilities);
+  std::printf("\nnegative binomial prior (alpha0 = 5, beta0 = 0.1):\n");
+  std::printf("  residual ~ NB(%.2f, %.4f); mean %.2f, 95%% CI [%lld, %lld]\n",
+              negbin_posterior.alpha(), negbin_posterior.beta(),
+              negbin_posterior.mean(),
+              static_cast<long long>(negbin_posterior.quantile(0.025)),
+              static_cast<long long>(negbin_posterior.quantile(0.975)));
+
+  std::filesystem::remove(path);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: fit one Bayesian SRM to the paper's dataset and print the
+// posterior of the residual bug count.
+//
+//   $ ./quickstart
+//
+// Walks through the full pipeline: load data -> choose prior + detection
+// model -> run the Gibbs sampler -> summarize the residual-bug posterior ->
+// check convergence -> score the fit with WAIC.
+#include <cstdio>
+
+#include "core/bayes_srm.hpp"
+#include "core/experiment.hpp"
+#include "data/datasets.hpp"
+
+int main() {
+  using namespace srm;
+
+  // 1. The dataset of the paper's Fig. 1: 136 bugs over 96 testing days.
+  const auto dataset = data::sys1_grouped();
+  std::printf("dataset: %s, %lld bugs over %zu days\n",
+              dataset.name().c_str(),
+              static_cast<long long>(dataset.total()), dataset.days());
+
+  // 2. Experiment: Poisson prior (NHPP-based SRM) with the Padgett-Spurrier
+  //    detection probability (model1) — the paper's winning combination —
+  //    observed at the end of real testing (96 days).
+  core::ExperimentSpec spec;
+  spec.prior = core::PriorKind::kPoisson;
+  spec.model = core::DetectionModelKind::kPadgettSpurrier;
+  spec.eventual_total = data::kSys1TotalBugs;
+  spec.gibbs.chain_count = 2;
+  spec.gibbs.burn_in = 500;
+  spec.gibbs.iterations = 2000;
+
+  const auto result = core::run_observation(dataset, spec, 96);
+
+  // 3. Posterior of the residual number of bugs.
+  const auto& s = result.posterior.summary;
+  std::printf("\nresidual bugs at day %zu (detected so far: %lld)\n",
+              result.observation_day,
+              static_cast<long long>(result.detected_so_far));
+  std::printf("  mean   %.3f\n", s.mean);
+  std::printf("  median %lld\n", static_cast<long long>(s.median));
+  std::printf("  mode   %lld\n", static_cast<long long>(s.mode));
+  std::printf("  sd     %.3f\n", s.sd);
+
+  // 4. Convergence diagnostics (PSRF < 1.1, |Geweke Z| < 1.96).
+  std::printf("\nconvergence:\n");
+  for (const auto& diag : result.diagnostics) {
+    std::printf("  %-8s PSRF %.3f  Geweke Z %+.3f  ESS %.0f\n",
+                diag.name.c_str(), diag.psrf, diag.geweke_z, diag.ess);
+  }
+
+  // 5. Goodness of fit.
+  std::printf("\nWAIC %.3f (learning loss %.3f, functional variance %.3f)\n",
+              result.waic.waic, result.waic.learning_loss,
+              result.waic.functional_variance);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Virtual testing (paper Section 5.1): after the software ships at day 96,
+// hypothesize that no further bug is ever observed and watch the posterior
+// of the residual bug count collapse toward zero as zero-count days
+// accumulate. Compares the Poisson and negative binomial priors side by
+// side — the paper's central experiment, for one detection model.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "data/datasets.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace srm;
+  const auto data = data::sys1_grouped();
+
+  core::ExperimentSpec spec;
+  spec.model = core::DetectionModelKind::kPadgettSpurrier;
+  spec.eventual_total = data::kSys1TotalBugs;
+  spec.gibbs.chain_count = 2;
+  spec.gibbs.burn_in = 500;
+  spec.gibbs.iterations = 2500;
+  spec.observation_days.assign(std::begin(data::kSys1ObservationPoints),
+                               std::end(data::kSys1ObservationPoints));
+
+  spec.prior = core::PriorKind::kPoisson;
+  const auto poisson = core::run_experiment(data, spec);
+  spec.prior = core::PriorKind::kNegativeBinomial;
+  const auto negbin = core::run_experiment(data, spec);
+
+  std::printf("Residual-bug posterior under virtual testing (model1)\n");
+  std::printf("(real testing ends at day 96 with %lld bugs found; later\n",
+              static_cast<long long>(data::kSys1TotalBugs));
+  std::printf(" observation days append zero-count days)\n\n");
+
+  support::Table t;
+  t.set_header({"day", "actual", "P mean", "P median", "P sd", "NB mean",
+                "NB median", "NB sd"});
+  for (std::size_t d = 0; d < poisson.size(); ++d) {
+    const auto& p = poisson[d];
+    const auto& nb = negbin[d];
+    t.add_row({std::to_string(p.observation_day),
+               std::to_string(p.actual_residual),
+               support::format_double(p.posterior.summary.mean, 2),
+               std::to_string(p.posterior.summary.median),
+               support::format_double(p.posterior.summary.sd, 2),
+               support::format_double(nb.posterior.summary.mean, 2),
+               std::to_string(nb.posterior.summary.median),
+               support::format_double(nb.posterior.summary.sd, 2)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nReading: as zero-count days accumulate the posterior mass moves\n"
+      "to the origin, and the Poisson prior (NHPP-based SRM) keeps the\n"
+      "smaller standard deviation — the paper's conclusion.\n");
+  return 0;
+}

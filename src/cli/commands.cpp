@@ -1,0 +1,348 @@
+#include "cli/commands.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "core/loo.hpp"
+#include "core/release_policy.hpp"
+#include "core/predictive.hpp"
+#include "data/datasets.hpp"
+#include "data/generator.hpp"
+#include "mle/mle_fit.hpp"
+#include "nhpp/nhpp_fit.hpp"
+#include "support/csv.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace srm::cli {
+
+namespace {
+
+data::BugCountData load_dataset(const Args& args) {
+  const std::string source = args.require_string("csv");
+  data::BugCountData data = [&] {
+    if (source == "sys1") return data::sys1_grouped();
+    if (source == "ntds") return data::ntds_grouped();
+    return data::BugCountData::from_csv_file(source);
+  }();
+  // --days truncates inside the series and zero-pads (virtual testing)
+  // beyond it.
+  const auto days = args.get_int("days", 0);
+  if (days > 0) {
+    if (static_cast<std::size_t>(days) <= data.days()) {
+      data = data.truncated(static_cast<std::size_t>(days));
+    } else {
+      data = data.with_virtual_testing(static_cast<std::size_t>(days));
+    }
+  }
+  return data;
+}
+
+core::PriorKind parse_prior(const Args& args) {
+  const std::string prior = args.get_string("prior", "poisson");
+  if (prior == "poisson") return core::PriorKind::kPoisson;
+  if (prior == "negbin") return core::PriorKind::kNegativeBinomial;
+  throw InvalidArgument("unknown --prior '" + prior +
+                        "' (use poisson|negbin)");
+}
+
+core::DetectionModelKind parse_model(const Args& args,
+                                     const std::string& fallback = "model1") {
+  const std::string name = args.get_string("model", fallback);
+  for (const auto kind : core::all_detection_model_kinds()) {
+    if (core::to_string(kind) == name) return kind;
+  }
+  for (const auto kind : core::extended_detection_model_kinds()) {
+    if (core::to_string(kind) == name) return kind;
+  }
+  throw InvalidArgument("unknown --model '" + name + "' (use model0..model6)");
+}
+
+mcmc::GibbsOptions parse_gibbs(const Args& args) {
+  mcmc::GibbsOptions gibbs;
+  gibbs.chain_count =
+      static_cast<std::size_t>(args.get_int("chains", 2));
+  gibbs.burn_in = static_cast<std::size_t>(args.get_int("burn-in", 500));
+  gibbs.iterations =
+      static_cast<std::size_t>(args.get_int("iterations", 2500));
+  gibbs.seed = static_cast<std::uint64_t>(args.get_int("seed", 20240624));
+  return gibbs;
+}
+
+core::HyperPriorConfig parse_config(const Args& args) {
+  core::HyperPriorConfig config;
+  config.lambda_max = args.get_double("lambda-max", config.lambda_max);
+  config.alpha_max = args.get_double("alpha-max", config.alpha_max);
+  config.limits.theta_max =
+      args.get_double("theta-max", config.limits.theta_max);
+  config.jeffreys_lambda0 = args.has("jeffreys");
+  return config;
+}
+
+void reject_unused(const Args& args) {
+  const auto unused = args.unused();
+  if (!unused.empty()) {
+    throw InvalidArgument("unknown flag --" + unused.front());
+  }
+}
+
+}  // namespace
+
+int run_fit(const Args& args, std::ostream& out) {
+  const auto data = load_dataset(args);
+  core::ExperimentSpec spec;
+  spec.prior = parse_prior(args);
+  spec.model = parse_model(args);
+  spec.config = parse_config(args);
+  spec.gibbs = parse_gibbs(args);
+  spec.eventual_total = data.total();
+  reject_unused(args);
+
+  const auto result = core::run_observation(data, spec, data.days());
+  out << "dataset: " << data.name() << " (" << data.total() << " bugs / "
+      << data.days() << " days)\n";
+  out << "model: " << core::to_string(spec.prior) << " prior, "
+      << core::to_string(spec.model) << "\n\n";
+  const auto& s = result.posterior.summary;
+  out << "residual bug posterior:\n";
+  out << "  mean   " << support::format_double(s.mean, 3) << '\n';
+  out << "  median " << s.median << '\n';
+  out << "  mode   " << s.mode << '\n';
+  out << "  sd     " << support::format_double(s.sd, 3) << '\n';
+  out << "\nWAIC " << support::format_double(result.waic.waic, 3) << "\n\n";
+  support::Table t;
+  t.set_header({"parameter", "mean", "PSRF", "Geweke Z", "ESS"});
+  for (const auto& diag : result.diagnostics) {
+    t.add_row({diag.name, support::format_double(diag.posterior_mean, 4),
+               support::format_double(diag.psrf, 3),
+               support::format_double(diag.geweke_z, 3),
+               support::format_double(diag.ess, 0)});
+  }
+  out << t.render();
+  return 0;
+}
+
+int run_select(const Args& args, std::ostream& out) {
+  const auto data = load_dataset(args);
+  const auto gibbs = parse_gibbs(args);
+  const auto config = parse_config(args);
+  reject_unused(args);
+
+  struct Row {
+    std::string prior;
+    std::string model;
+    double waic;
+    double looic;
+    double residual_mean;
+  };
+  std::vector<Row> rows;
+  for (const auto prior :
+       {core::PriorKind::kPoisson, core::PriorKind::kNegativeBinomial}) {
+    for (const auto kind : core::all_detection_model_kinds()) {
+      core::BayesianSrm model(prior, kind, data, config);
+      const auto run = mcmc::run_gibbs(model, gibbs);
+      const auto waic = core::compute_waic(model, run);
+      const auto loo = core::compute_psis_loo(model, run);
+      const auto posterior = core::summarize_residual_posterior(run);
+      rows.push_back({core::to_string(prior), core::to_string(kind),
+                      waic.waic, loo.looic, posterior.summary.mean});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.waic < b.waic; });
+  support::Table t("model ranking (by WAIC; smaller is better)");
+  t.set_header({"rank", "prior", "model", "WAIC", "looic", "residual mean"});
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    t.add_row({std::to_string(r + 1), rows[r].prior, rows[r].model,
+               support::format_double(rows[r].waic, 3),
+               support::format_double(rows[r].looic, 3),
+               support::format_double(rows[r].residual_mean, 2)});
+  }
+  out << t.render();
+  return 0;
+}
+
+int run_predict(const Args& args, std::ostream& out) {
+  const auto data = load_dataset(args);
+  const auto fit_days =
+      static_cast<std::size_t>(args.get_int("fit-days", 0));
+  SRM_EXPECTS(fit_days >= 1 && fit_days < data.days(),
+              "--fit-days must be a strict prefix of the series");
+  const auto prior = parse_prior(args);
+  const auto model = parse_model(args);
+  const auto config = parse_config(args);
+  const auto gibbs = parse_gibbs(args);
+  reject_unused(args);
+
+  const auto summary = core::fit_and_score_holdout(data, fit_days, prior,
+                                                   model, config, gibbs);
+  out << "fit on days 1.." << fit_days << ", scored on days "
+      << (fit_days + 1) << ".." << data.days() << "\n";
+  out << "log predictive score "
+      << support::format_double(summary.log_score, 3) << '\n';
+  out << "E[count on day " << (fit_days + 1) << "] "
+      << support::format_double(summary.mean_next_count, 3) << '\n';
+  out << "E[cumulative at day " << data.days() << "] "
+      << support::format_double(summary.predicted_cumulative.back(), 1)
+      << " (actual " << data.total() << ")\n";
+  return 0;
+}
+
+int run_mle(const Args& args, std::ostream& out) {
+  const auto data = load_dataset(args);
+  reject_unused(args);
+  out << "dataset: " << data.name() << " (" << data.total() << " bugs / "
+      << data.days() << " days)\n";
+  const auto fits = mle::fit_all_models(data);
+  support::Table t("discrete profile MLE (sorted by AIC)");
+  t.set_header({"model", "logL", "AIC", "BIC", "N-hat", "residual"});
+  for (const auto& fit : fits) {
+    const bool diverged = fit.diverged(data);
+    t.add_row({core::to_string(fit.model),
+               support::format_double(fit.log_likelihood, 3),
+               support::format_double(fit.aic, 3),
+               support::format_double(fit.bic, 3),
+               diverged ? "unbounded" : std::to_string(fit.initial_bugs),
+               diverged ? "unbounded" : std::to_string(fit.residual(data))});
+  }
+  out << t.render();
+  return 0;
+}
+
+int run_nhpp(const Args& args, std::ostream& out) {
+  const auto data = load_dataset(args);
+  reject_unused(args);
+  out << "dataset: " << data.name() << " (" << data.total() << " bugs / "
+      << data.days() << " days)\n";
+  const auto fits = nhpp::fit_all_nhpp_models(data);
+  support::Table t("continuous NHPP MLE (sorted by AIC)");
+  t.set_header({"model", "logL", "AIC", "a-hat", "residual", "R(1 day)"});
+  for (const auto& fit : fits) {
+    const double residual = fit.expected_residual(data);
+    t.add_row({nhpp::to_string(fit.model),
+               support::format_double(fit.log_likelihood, 3),
+               support::format_double(fit.aic, 3),
+               support::format_double(fit.a, 2),
+               std::isinf(residual) ? "inf"
+                                    : support::format_double(residual, 2),
+               support::format_double(fit.reliability_after(data, 1.0), 4)});
+  }
+  out << t.render();
+  return 0;
+}
+
+int run_simulate(const Args& args, std::ostream& out) {
+  const auto bugs = args.get_int("bugs", 100);
+  const auto days = static_cast<std::size_t>(args.get_int("days", 50));
+  const auto kind = parse_model(args, "model0");
+  const auto detector = core::make_detection_model(kind);
+
+  std::vector<double> zeta;
+  core::DetectionModelLimits limits;
+  for (const auto& support : detector->parameter_supports(limits)) {
+    SRM_EXPECTS(args.has(support.name),
+                "simulate with " + core::to_string(kind) + " requires --" +
+                    support.name);
+    zeta.push_back(args.get_double(support.name, 0.0));
+  }
+  random::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const std::string out_path = args.get_string("out", "");
+  reject_unused(args);
+
+  const auto data = data::simulate_detection_process(
+      bugs, days,
+      [&](std::size_t day) { return detector->probability(day, zeta); }, rng,
+      "simulated");
+  out << "simulated " << data.total() << " of " << bugs << " bugs over "
+      << days << " days (" << core::to_string(kind) << ")\n";
+  support::CsvRows rows{{"day", "count"}};
+  for (std::size_t day = 1; day <= days; ++day) {
+    rows.push_back(
+        {std::to_string(day), std::to_string(data.count_on_day(day))});
+  }
+  if (out_path.empty()) {
+    std::ostringstream csv;
+    support::write_csv(csv, rows);
+    out << csv.str();
+  } else {
+    support::write_csv_file(out_path, rows);
+    out << "written to " << out_path << '\n';
+  }
+  return 0;
+}
+
+int run_release(const Args& args, std::ostream& out) {
+  const auto data = load_dataset(args);
+  const auto prior = parse_prior(args);
+  const auto kind = parse_model(args);
+  const auto config = parse_config(args);
+  const auto gibbs = parse_gibbs(args);
+  core::ReleaseCosts costs;
+  costs.cost_per_testing_day = args.get_double("day-cost", 1.0);
+  costs.cost_per_residual_bug = args.get_double("bug-cost", 50.0);
+  const auto horizon =
+      static_cast<std::size_t>(args.get_int("horizon", 60));
+  reject_unused(args);
+
+  core::BayesianSrm model(prior, kind, data, config);
+  const auto run = mcmc::run_gibbs(model, gibbs);
+  const auto posterior = core::summarize_residual_posterior(run);
+  const auto [lo, hi] = posterior.credible_interval(0.95);
+  out << "residual bugs today (day " << data.days() << "): mean "
+      << support::format_double(posterior.summary.mean, 2) << ", 95% CI ["
+      << lo << ", " << hi << "]\n";
+
+  const auto plan = core::plan_release(model, run, horizon, costs);
+  support::Table t("release schedule");
+  t.set_header({"day", "E[residual]", "E[cost]"});
+  for (const auto& decision : plan.schedule) {
+    t.add_row({std::to_string(decision.day),
+               support::format_double(decision.expected_residual, 2),
+               support::format_double(decision.expected_cost, 2)});
+  }
+  out << t.render();
+  out << "optimal release: day " << plan.best.day << " (expected cost "
+      << support::format_double(plan.best.expected_cost, 2) << ")\n";
+  return 0;
+}
+
+std::string usage() {
+  return
+      "usage: srm_cli <command> [--flags]\n"
+      "commands:\n"
+      "  fit       fit one Bayesian SRM and print the residual-bug posterior\n"
+      "  select    rank all prior/model combinations by WAIC and PSIS-LOO\n"
+      "  predict   fit on a prefix and score the held-out future counts\n"
+      "  mle       discrete profile maximum likelihood baseline (AIC/BIC)\n"
+      "  nhpp      continuous-time NHPP maximum likelihood baseline\n"
+      "  simulate  generate bug-count data from a detection model\n"
+      "  release   cost-optimal release day from the residual posterior\n"
+      "common flags: --csv FILE|sys1|ntds, --days N, --prior poisson|negbin,\n"
+      "  --model model0..model4, --chains, --burn-in, --iterations, --seed,\n"
+      "  --lambda-max, --alpha-max, --theta-max, --jeffreys\n";
+}
+
+int dispatch(const std::string& command,
+             const std::vector<std::string>& flags, std::ostream& out,
+             std::ostream& err) {
+  try {
+    const auto args = Args::parse(flags);
+    if (command == "fit") return run_fit(args, out);
+    if (command == "select") return run_select(args, out);
+    if (command == "predict") return run_predict(args, out);
+    if (command == "mle") return run_mle(args, out);
+    if (command == "nhpp") return run_nhpp(args, out);
+    if (command == "simulate") return run_simulate(args, out);
+    if (command == "release") return run_release(args, out);
+    err << "unknown command '" << command << "'\n" << usage();
+    return 1;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << '\n';
+    return 2;
+  }
+}
+
+}  // namespace srm::cli

@@ -1,0 +1,21 @@
+// srm_cli — command-line front end for the bayes-srm library.
+// See cli/commands.hpp for the subcommand reference.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << srm::cli::usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "--help" || command == "help") {
+    std::cout << srm::cli::usage();
+    return 0;
+  }
+  std::vector<std::string> flags(argv + 2, argv + argc);
+  return srm::cli::dispatch(command, flags, std::cout, std::cerr);
+}

@@ -1,0 +1,54 @@
+#include "core/conjugate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/likelihood.hpp"
+#include "support/error.hpp"
+
+namespace srm::core {
+
+stats::Poisson poisson_residual_posterior(
+    double lambda0, const data::BugCountData& data,
+    std::span<const double> probabilities) {
+  SRM_EXPECTS(probabilities.size() == data.days(),
+              "need exactly one probability per observed day");
+  return poisson_residual_posterior(lambda0, data,
+                                    survival_product(probabilities));
+}
+
+stats::Poisson poisson_residual_posterior(double lambda0,
+                                          const data::BugCountData&,
+                                          double survival) {
+  SRM_EXPECTS(lambda0 > 0.0, "Poisson prior requires lambda0 > 0");
+  SRM_EXPECTS(survival >= 0.0 && survival <= 1.0,
+              "survival product must lie in [0, 1]");
+  return stats::Poisson(lambda0 * survival);  // Eq (10)
+}
+
+stats::NegativeBinomial negative_binomial_residual_posterior(
+    double alpha0, double beta0, const data::BugCountData& data,
+    std::span<const double> probabilities) {
+  SRM_EXPECTS(probabilities.size() == data.days(),
+              "need exactly one probability per observed day");
+  return negative_binomial_residual_posterior(
+      alpha0, beta0, data, survival_product(probabilities));
+}
+
+stats::NegativeBinomial negative_binomial_residual_posterior(
+    double alpha0, double beta0, const data::BugCountData& data,
+    double survival) {
+  SRM_EXPECTS(alpha0 > 0.0, "negative binomial prior requires alpha0 > 0");
+  SRM_EXPECTS(beta0 > 0.0 && beta0 < 1.0,
+              "negative binomial prior requires beta0 in (0, 1)");
+  SRM_EXPECTS(survival >= 0.0 && survival <= 1.0,
+              "survival product must lie in [0, 1]");
+  const double alpha_k = alpha0 + static_cast<double>(data.total());  // Eq (12)
+  // 1 - beta_k = (1 - beta0) * prod q_i; clamp away from the open-interval
+  // endpoints that extreme survival products could otherwise reach.
+  const double beta_k =
+      std::clamp(1.0 - (1.0 - beta0) * survival, 1e-300, 1.0 - 1e-16);
+  return stats::NegativeBinomial(alpha_k, beta_k);
+}
+
+}  // namespace srm::core

@@ -1,0 +1,48 @@
+// Analytic posteriors of the residual bug count R = N - s_k for known
+// detection probabilities — the paper's Propositions 1 and 2.
+//
+// Proposition 1 (Rallis-Lansdowne): with the Poisson(lambda_0) prior on N,
+//   R | x, p ~ Poisson(lambda_k),   lambda_k = lambda_0 * prod_i q_i.
+//
+// Proposition 2 (heterogeneous extension of Chun): with the
+// NegativeBinomial(alpha_0, beta_0) prior on N (pmf
+// C(n+alpha_0-1, n) beta_0^{alpha_0} (1-beta_0)^n),
+//   R | x, p ~ NegativeBinomial(alpha_k, beta_k),
+//   alpha_k = alpha_0 + s_k,   1 - beta_k = (1 - beta_0) * prod_i q_i.
+//
+// Note the paper prints Eq (13) as beta_k = beta_0 prod q_i, which matches
+// the opposite ("failure-probability") parametrization; the form above is
+// the standard-parametrization equivalent and is verified against a
+// brute-force prior*likelihood computation in tests/core/conjugate_test.cpp.
+#pragma once
+
+#include <span>
+
+#include "data/bug_count_data.hpp"
+#include "stats/negative_binomial.hpp"
+#include "stats/poisson.hpp"
+
+namespace srm::core {
+
+/// Proposition 1. `probabilities` are p_1..p_k for the observed days.
+stats::Poisson poisson_residual_posterior(
+    double lambda0, const data::BugCountData& data,
+    std::span<const double> probabilities);
+
+/// Overload taking the precomputed survival product Q = prod q_i in [0, 1]
+/// (from a numerically stable log-domain computation).
+stats::Poisson poisson_residual_posterior(double lambda0,
+                                          const data::BugCountData& data,
+                                          double survival);
+
+/// Proposition 2 (corrected parametrization — see header comment).
+stats::NegativeBinomial negative_binomial_residual_posterior(
+    double alpha0, double beta0, const data::BugCountData& data,
+    std::span<const double> probabilities);
+
+/// Overload taking the precomputed survival product Q.
+stats::NegativeBinomial negative_binomial_residual_posterior(
+    double alpha0, double beta0, const data::BugCountData& data,
+    double survival);
+
+}  // namespace srm::core

@@ -1,0 +1,295 @@
+#include "core/detection_models.hpp"
+
+#include <array>
+#include <limits>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace srm::core {
+
+namespace {
+
+void check_zeta(const DetectionModel& model, std::span<const double> zeta) {
+  SRM_EXPECTS(zeta.size() == model.parameter_count(),
+              "zeta size must match the detection model's parameter count");
+}
+
+class ConstantModel final : public DetectionModel {
+ public:
+  DetectionModelKind kind() const override {
+    return DetectionModelKind::kConstant;
+  }
+  std::string name() const override { return "model0"; }
+  std::size_t parameter_count() const override { return 1; }
+  std::vector<ParameterSupport> parameter_supports(
+      const DetectionModelLimits&) const override {
+    return {{"mu", 0.0, 1.0}};
+  }
+  double probability(std::size_t day,
+                     std::span<const double> zeta) const override {
+    check_zeta(*this, zeta);
+    SRM_EXPECTS(day >= 1, "day must be >= 1");
+    return zeta[0];  // Eq (3)
+  }
+};
+
+class PadgettSpurrierModel final : public DetectionModel {
+ public:
+  DetectionModelKind kind() const override {
+    return DetectionModelKind::kPadgettSpurrier;
+  }
+  std::string name() const override { return "model1"; }
+  std::size_t parameter_count() const override { return 2; }
+  std::vector<ParameterSupport> parameter_supports(
+      const DetectionModelLimits& limits) const override {
+    return {{"mu", 0.0, 1.0}, {"theta", 0.0, limits.theta_max}};
+  }
+  double probability(std::size_t day,
+                     std::span<const double> zeta) const override {
+    check_zeta(*this, zeta);
+    SRM_EXPECTS(day >= 1, "day must be >= 1");
+    const double mu = zeta[0];
+    const double theta = zeta[1];
+    return 1.0 - mu / (theta * static_cast<double>(day) + 1.0);  // Eq (4)
+  }
+  double log_survival(std::size_t day,
+                      std::span<const double> zeta) const override {
+    check_zeta(*this, zeta);
+    SRM_EXPECTS(day >= 1, "day must be >= 1");
+    // q_i = mu / (theta i + 1) exactly.
+    return std::log(zeta[0]) -
+           std::log(zeta[1] * static_cast<double>(day) + 1.0);
+  }
+};
+
+class LogLogisticModel final : public DetectionModel {
+ public:
+  DetectionModelKind kind() const override {
+    return DetectionModelKind::kLogLogistic;
+  }
+  std::string name() const override { return "model2"; }
+  std::size_t parameter_count() const override { return 2; }
+  std::vector<ParameterSupport> parameter_supports(
+      const DetectionModelLimits& limits) const override {
+    return {{"mu", 0.0, 1.0}, {"gamma", -limits.gamma_bound,
+                               limits.gamma_bound}};
+  }
+  double probability(std::size_t day,
+                     std::span<const double> zeta) const override {
+    check_zeta(*this, zeta);
+    SRM_EXPECTS(day >= 1, "day must be >= 1");
+    const double mu = zeta[0];
+    const double gamma = zeta[1];
+    const double exponent = std::log(static_cast<double>(day)) - gamma + 1.0;
+    return (1.0 - mu) / (std::pow(mu, exponent) + 1.0);  // Eq (5)
+  }
+  double log_survival(std::size_t day,
+                      std::span<const double> zeta) const override {
+    check_zeta(*this, zeta);
+    SRM_EXPECTS(day >= 1, "day must be >= 1");
+    const double mu = zeta[0];
+    const double exponent =
+        std::log(static_cast<double>(day)) - zeta[1] + 1.0;
+    // q = (mu^e + mu) / (mu^e + 1); for mu^e overflowing, q -> 1.
+    const double t = std::pow(mu, exponent);
+    if (!std::isfinite(t)) return 0.0;
+    return std::log(t + mu) - std::log1p(t);
+  }
+};
+
+class ParetoModel final : public DetectionModel {
+ public:
+  DetectionModelKind kind() const override {
+    return DetectionModelKind::kPareto;
+  }
+  std::string name() const override { return "model3"; }
+  std::size_t parameter_count() const override { return 1; }
+  std::vector<ParameterSupport> parameter_supports(
+      const DetectionModelLimits&) const override {
+    return {{"mu", 0.0, 1.0}};
+  }
+  double probability(std::size_t day,
+                     std::span<const double> zeta) const override {
+    check_zeta(*this, zeta);
+    SRM_EXPECTS(day >= 1, "day must be >= 1");
+    const double mu = zeta[0];
+    const double d = static_cast<double>(day);
+    const double exponent = std::log(d + 2.0) / (d + 1.0);
+    return 1.0 - std::pow(mu, exponent);  // Eq (6)
+  }
+  double log_survival(std::size_t day,
+                      std::span<const double> zeta) const override {
+    check_zeta(*this, zeta);
+    SRM_EXPECTS(day >= 1, "day must be >= 1");
+    const double d = static_cast<double>(day);
+    return std::log(d + 2.0) / (d + 1.0) * std::log(zeta[0]);
+  }
+};
+
+class WeibullModel final : public DetectionModel {
+ public:
+  DetectionModelKind kind() const override {
+    return DetectionModelKind::kWeibull;
+  }
+  std::string name() const override { return "model4"; }
+  std::size_t parameter_count() const override { return 2; }
+  std::vector<ParameterSupport> parameter_supports(
+      const DetectionModelLimits&) const override {
+    return {{"mu", 0.0, 1.0}, {"omega", 0.0, 1.0}};
+  }
+  double probability(std::size_t day,
+                     std::span<const double> zeta) const override {
+    check_zeta(*this, zeta);
+    SRM_EXPECTS(day >= 1, "day must be >= 1");
+    const double mu = zeta[0];
+    const double omega = zeta[1];
+    const double d = static_cast<double>(day);
+    const double exponent = std::pow(d, omega) - std::pow(d - 1.0, omega);
+    return 1.0 - std::pow(mu, exponent);  // Eq (7)
+  }
+  double log_survival(std::size_t day,
+                      std::span<const double> zeta) const override {
+    check_zeta(*this, zeta);
+    SRM_EXPECTS(day >= 1, "day must be >= 1");
+    const double d = static_cast<double>(day);
+    const double exponent =
+        std::pow(d, zeta[1]) - std::pow(d - 1.0, zeta[1]);
+    return exponent * std::log(zeta[0]);
+  }
+};
+
+class RayleighModel final : public DetectionModel {
+ public:
+  DetectionModelKind kind() const override {
+    return DetectionModelKind::kRayleigh;
+  }
+  std::string name() const override { return "model5"; }
+  std::size_t parameter_count() const override { return 1; }
+  std::vector<ParameterSupport> parameter_supports(
+      const DetectionModelLimits&) const override {
+    return {{"mu", 0.0, 1.0}};
+  }
+  double probability(std::size_t day,
+                     std::span<const double> zeta) const override {
+    check_zeta(*this, zeta);
+    SRM_EXPECTS(day >= 1, "day must be >= 1");
+    // i^2 - (i-1)^2 = 2i - 1: the discrete Weibull of Eq (7) at shape 2,
+    // i.e. a linearly increasing hazard exponent.
+    const double exponent = 2.0 * static_cast<double>(day) - 1.0;
+    return 1.0 - std::pow(zeta[0], exponent);
+  }
+  double log_survival(std::size_t day,
+                      std::span<const double> zeta) const override {
+    check_zeta(*this, zeta);
+    SRM_EXPECTS(day >= 1, "day must be >= 1");
+    return (2.0 * static_cast<double>(day) - 1.0) * std::log(zeta[0]);
+  }
+};
+
+class LearningCurveModel final : public DetectionModel {
+ public:
+  DetectionModelKind kind() const override {
+    return DetectionModelKind::kLearningCurve;
+  }
+  std::string name() const override { return "model6"; }
+  std::size_t parameter_count() const override { return 2; }
+  std::vector<ParameterSupport> parameter_supports(
+      const DetectionModelLimits& limits) const override {
+    return {{"mu", 0.0, 1.0}, {"theta", 0.0, limits.theta_max}};
+  }
+  double probability(std::size_t day,
+                     std::span<const double> zeta) const override {
+    check_zeta(*this, zeta);
+    SRM_EXPECTS(day >= 1, "day must be >= 1");
+    const double mu = zeta[0];
+    const double theta_i = zeta[1] * static_cast<double>(day);
+    // Detection skill ramps from ~0 on day 1 toward the asymptote mu —
+    // the "testers learn the system" mirror image of model1 (which starts
+    // at 1 - mu and saturates at 1).
+    return mu * theta_i / (theta_i + 1.0);
+  }
+  double log_survival(std::size_t day,
+                      std::span<const double> zeta) const override {
+    check_zeta(*this, zeta);
+    SRM_EXPECTS(day >= 1, "day must be >= 1");
+    const double theta_i = zeta[1] * static_cast<double>(day);
+    // q = (theta i (1 - mu) + 1) / (theta i + 1) exactly.
+    return std::log(theta_i * (1.0 - zeta[0]) + 1.0) - std::log1p(theta_i);
+  }
+};
+
+constexpr std::array<DetectionModelKind, 5> kAllKinds = {
+    DetectionModelKind::kConstant,        DetectionModelKind::kPadgettSpurrier,
+    DetectionModelKind::kLogLogistic,     DetectionModelKind::kPareto,
+    DetectionModelKind::kWeibull,
+};
+
+constexpr std::array<DetectionModelKind, 2> kExtendedKinds = {
+    DetectionModelKind::kRayleigh,
+    DetectionModelKind::kLearningCurve,
+};
+
+}  // namespace
+
+std::span<const DetectionModelKind> all_detection_model_kinds() {
+  return kAllKinds;
+}
+
+std::span<const DetectionModelKind> extended_detection_model_kinds() {
+  return kExtendedKinds;
+}
+
+std::string to_string(DetectionModelKind kind) {
+  return "model" + std::to_string(static_cast<int>(kind));
+}
+
+double DetectionModel::log_survival(std::size_t day,
+                                    std::span<const double> zeta) const {
+  const double p = probability(day, zeta);
+  if (p >= 1.0) return -std::numeric_limits<double>::infinity();
+  return std::log1p(-p);
+}
+
+std::vector<double> DetectionModel::log_survivals(
+    std::size_t days, std::span<const double> zeta) const {
+  std::vector<double> log_q;
+  log_q.reserve(days);
+  for (std::size_t day = 1; day <= days; ++day) {
+    log_q.push_back(log_survival(day, zeta));
+  }
+  return log_q;
+}
+
+std::vector<double> DetectionModel::probabilities(
+    std::size_t days, std::span<const double> zeta) const {
+  std::vector<double> p;
+  p.reserve(days);
+  for (std::size_t day = 1; day <= days; ++day) {
+    p.push_back(probability(day, zeta));
+  }
+  return p;
+}
+
+std::unique_ptr<DetectionModel> make_detection_model(
+    DetectionModelKind kind) {
+  switch (kind) {
+    case DetectionModelKind::kConstant:
+      return std::make_unique<ConstantModel>();
+    case DetectionModelKind::kPadgettSpurrier:
+      return std::make_unique<PadgettSpurrierModel>();
+    case DetectionModelKind::kLogLogistic:
+      return std::make_unique<LogLogisticModel>();
+    case DetectionModelKind::kPareto:
+      return std::make_unique<ParetoModel>();
+    case DetectionModelKind::kWeibull:
+      return std::make_unique<WeibullModel>();
+    case DetectionModelKind::kRayleigh:
+      return std::make_unique<RayleighModel>();
+    case DetectionModelKind::kLearningCurve:
+      return std::make_unique<LearningCurveModel>();
+  }
+  throw InvalidArgument("unknown DetectionModelKind");
+}
+
+}  // namespace srm::core

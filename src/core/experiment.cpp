@@ -1,0 +1,68 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+#include "diagnostics/ess.hpp"
+#include "diagnostics/gelman_rubin.hpp"
+#include "diagnostics/geweke.hpp"
+#include "stats/summary.hpp"
+#include "support/error.hpp"
+
+namespace srm::core {
+
+data::BugCountData dataset_at_observation(const data::BugCountData& base,
+                                          std::size_t observation_day) {
+  SRM_EXPECTS(observation_day >= 1, "observation day must be >= 1");
+  if (observation_day <= base.days()) {
+    return base.truncated(observation_day);
+  }
+  return base.with_virtual_testing(observation_day);
+}
+
+ObservationResult run_observation(const data::BugCountData& base,
+                                  const ExperimentSpec& spec,
+                                  std::size_t observation_day) {
+  const auto observed = dataset_at_observation(base, observation_day);
+
+  BayesianSrm model(spec.prior, spec.model, observed, spec.config);
+  const auto run = mcmc::run_gibbs(model, spec.gibbs);
+
+  ObservationResult result;
+  result.observation_day = observation_day;
+  result.detected_so_far = observed.total();
+  result.actual_residual = spec.eventual_total - observed.total();
+  result.waic = compute_waic(model, run);
+  result.posterior = summarize_residual_posterior(run);
+
+  const auto& names = run.parameter_names();
+  for (std::size_t p = 0; p < names.size(); ++p) {
+    ParameterDiagnostics diag;
+    diag.name = names[p];
+    const auto pooled = run.pooled(p);
+    diag.posterior_mean = stats::mean(pooled);
+    diag.ess = diagnostics::effective_sample_size(pooled);
+    if (run.chain_count() >= 2) {
+      diag.psrf = diagnostics::gelman_rubin(run, p).psrf;
+    } else {
+      diag.psrf = 1.0;  // single chain: PSRF undefined, report neutral
+    }
+    const auto chain0 = run.chain(0).parameter(p);
+    diag.geweke_z = diagnostics::geweke(chain0).z;
+    result.diagnostics.push_back(std::move(diag));
+  }
+  return result;
+}
+
+std::vector<ObservationResult> run_experiment(const data::BugCountData& base,
+                                              const ExperimentSpec& spec) {
+  SRM_EXPECTS(!spec.observation_days.empty(),
+              "experiment needs at least one observation day");
+  std::vector<ObservationResult> results;
+  results.reserve(spec.observation_days.size());
+  for (const std::size_t day : spec.observation_days) {
+    results.push_back(run_observation(base, spec, day));
+  }
+  return results;
+}
+
+}  // namespace srm::core

@@ -1,0 +1,70 @@
+#include "core/model_averaging.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace srm::core {
+
+AveragedPosterior average_models(
+    const std::vector<AveragingCandidate>& candidates) {
+  SRM_EXPECTS(!candidates.empty(), "average_models requires candidates");
+  const std::size_t data_points = candidates.front().waic.data_points;
+  for (const auto& c : candidates) {
+    SRM_EXPECTS(c.waic.data_points == data_points,
+                "candidates must be fitted on the same data window");
+    SRM_EXPECTS(!c.posterior.samples.empty(),
+                "candidate '" + c.label + "' has no posterior samples");
+  }
+
+  // Akaike-type weights on the deviance-scale WAIC.
+  double best = candidates.front().waic.waic;
+  for (const auto& c : candidates) best = std::min(best, c.waic.waic);
+  AveragedPosterior result;
+  double total = 0.0;
+  for (const auto& c : candidates) {
+    const double w = std::exp(-0.5 * (c.waic.waic - best));
+    result.weights.push_back({c.label, w});
+    total += w;
+  }
+  for (auto& w : result.weights) w.weight /= total;
+
+  // Deterministic stratified mixture: allocate a draw budget proportional
+  // to each weight (largest-remainder rounding), then take evenly spaced
+  // draws from each candidate's pooled samples.
+  const std::size_t budget = std::max<std::size_t>(
+      candidates.front().posterior.samples.size(), 1000);
+  std::vector<std::size_t> allocation(candidates.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::size_t allocated = 0;
+  for (std::size_t m = 0; m < candidates.size(); ++m) {
+    const double exact = result.weights[m].weight *
+                         static_cast<double>(budget);
+    allocation[m] = static_cast<std::size_t>(std::floor(exact));
+    allocated += allocation[m];
+    remainders.push_back({exact - std::floor(exact), m});
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (std::size_t i = 0; allocated < budget && i < remainders.size();
+       ++i, ++allocated) {
+    ++allocation[remainders[i].second];
+  }
+
+  result.samples.reserve(budget);
+  for (std::size_t m = 0; m < candidates.size(); ++m) {
+    const auto& samples = candidates[m].posterior.samples;
+    const std::size_t take = allocation[m];
+    for (std::size_t j = 0; j < take; ++j) {
+      // Evenly spaced strided subsample of the candidate's draws.
+      const std::size_t index =
+          (j * samples.size() + samples.size() / 2) / std::max<std::size_t>(take, 1);
+      result.samples.push_back(samples[std::min(index, samples.size() - 1)]);
+    }
+  }
+  SRM_ENSURES(!result.samples.empty(), "mixture must contain samples");
+  result.summary = stats::summarize_integers(result.samples);
+  return result;
+}
+
+}  // namespace srm::core

@@ -1,0 +1,48 @@
+// Pseudo-Bayesian model averaging over a set of fitted SRMs.
+//
+// Instead of committing to the single WAIC winner (the paper's Section 5
+// procedure), combine the candidate models' residual-bug posteriors with
+// Akaike-type weights
+//   w_m ∝ exp(-(WAIC_m - min_m WAIC) / 2),
+// the "pseudo-BMA" rule of Yao-Vehtari-Simpson-Gelman (2018) applied to
+// the deviance-scale WAIC. The averaged posterior is the w-mixture of the
+// per-model posterior samples; when one model dominates (as model1 does on
+// SYS1) the average reproduces the selection result, and when models are
+// close it hedges between them instead of flip-flopping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/posterior.hpp"
+#include "core/waic.hpp"
+
+namespace srm::core {
+
+struct AveragingCandidate {
+  std::string label;             ///< e.g. "poisson/model1"
+  WaicResult waic;
+  ResidualPosterior posterior;
+};
+
+struct ModelWeight {
+  std::string label;
+  double weight = 0.0;
+};
+
+struct AveragedPosterior {
+  std::vector<ModelWeight> weights;   ///< same order as the candidates
+  stats::IntegerSampleSummary summary; ///< of the weighted mixture
+  /// Mixture draws (each candidate's samples resampled in proportion to
+  /// its weight, deterministically by largest remainders).
+  std::vector<std::int64_t> samples;
+};
+
+/// Computes pseudo-BMA weights from the candidates' WAICs and mixes their
+/// residual posteriors. Candidates must be fits of the *same data window*
+/// (their WAICs must be comparable); at least one candidate is required.
+AveragedPosterior average_models(
+    const std::vector<AveragingCandidate>& candidates);
+
+}  // namespace srm::core

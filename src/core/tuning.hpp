@@ -1,0 +1,44 @@
+// Hyperparameter tuning by WAIC minimization (Section 5.1: "the
+// hyperparameters (upper limits of the uniform distributions) lambda_max,
+// theta_max, alpha_max are determined so as to minimize WAIC").
+//
+// The tuner evaluates a small grid of candidate upper limits at a reference
+// observation day and returns the configuration with the smallest WAIC.
+#pragma once
+
+#include <vector>
+
+#include "core/bayes_srm.hpp"
+#include "core/waic.hpp"
+#include "data/bug_count_data.hpp"
+#include "mcmc/gibbs.hpp"
+
+namespace srm::core {
+
+struct TuningGrid {
+  std::vector<double> lambda_max_candidates{500.0, 1000.0, 2000.0, 4000.0};
+  std::vector<double> alpha_max_candidates{10.0, 50.0, 100.0, 200.0};
+  std::vector<double> theta_max_candidates{1.0, 5.0, 10.0, 50.0};
+};
+
+struct TuningEntry {
+  HyperPriorConfig config;
+  WaicResult waic;
+};
+
+struct TuningResult {
+  HyperPriorConfig best_config;
+  WaicResult best_waic;
+  std::vector<TuningEntry> evaluated;  ///< full grid, in evaluation order
+};
+
+/// Grid-searches the upper limits relevant to (prior, model) and returns
+/// the WAIC-minimizing configuration. Limits irrelevant to the combination
+/// (e.g. theta_max for model0) keep their defaults from `base_config`.
+TuningResult tune_hyperparameters(const data::BugCountData& observed,
+                                  PriorKind prior, DetectionModelKind model,
+                                  const TuningGrid& grid,
+                                  const mcmc::GibbsOptions& gibbs,
+                                  HyperPriorConfig base_config = {});
+
+}  // namespace srm::core

@@ -1,0 +1,77 @@
+#include "core/waic.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace srm::core {
+
+WaicResult compute_waic(const BayesianSrm& model, const mcmc::McmcRun& run) {
+  const std::size_t k = model.data().days();
+  const std::size_t total_samples = run.total_samples();
+  SRM_EXPECTS(total_samples >= 2, "WAIC requires at least 2 posterior draws");
+  SRM_EXPECTS(run.parameter_names().size() == model.state_size(),
+              "McmcRun does not match the model's state layout");
+
+  // log p(x_i | omega_s) for every (day i, sample s). Built one sample at a
+  // time; per-day accumulators avoid materializing the k x S matrix twice.
+  std::vector<std::vector<double>> log_terms(
+      k, std::vector<double>{});
+  for (auto& v : log_terms) v.reserve(total_samples);
+
+  std::vector<double> state(model.state_size());
+  for (std::size_t c = 0; c < run.chain_count(); ++c) {
+    const auto& chain = run.chain(c);
+    for (std::size_t s = 0; s < chain.sample_count(); ++s) {
+      for (std::size_t p = 0; p < state.size(); ++p) {
+        state[p] = chain.parameter(p)[s];
+      }
+      const auto pointwise = model.pointwise_log_likelihood(state);
+      SRM_ASSERT(pointwise.size() == k, "pointwise term count mismatch");
+      for (std::size_t i = 0; i < k; ++i) {
+        log_terms[i].push_back(pointwise[i]);
+      }
+    }
+  }
+
+  const double log_s = std::log(static_cast<double>(total_samples));
+  double learning_loss = 0.0;
+  double functional_variance = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& terms = log_terms[i];
+    // T_k contribution: -log( (1/S) sum_s exp(log p) ).
+    learning_loss -= math::log_sum_exp(terms) - log_s;
+    // V_k contribution: sample variance of log p over s. A -inf draw (a
+    // sampled state that cannot produce x_i) would make the variance
+    // infinite; such states have posterior probability zero up to MCMC
+    // noise and are excluded, matching how loo/WAIC software treats them.
+    double mean = 0.0;
+    double m2 = 0.0;
+    std::size_t count = 0;
+    for (const double t : terms) {
+      if (!std::isfinite(t)) continue;
+      ++count;
+      const double delta = t - mean;
+      mean += delta / static_cast<double>(count);
+      m2 += delta * (t - mean);
+    }
+    if (count >= 2) {
+      functional_variance += m2 / static_cast<double>(count - 1);
+    }
+  }
+  learning_loss /= static_cast<double>(k);
+
+  WaicResult result;
+  result.learning_loss = learning_loss;
+  result.functional_variance = functional_variance;
+  result.waic_per_point =
+      learning_loss + functional_variance / static_cast<double>(k);  // Eq (23)
+  result.waic = 2.0 * static_cast<double>(k) * result.waic_per_point;
+  result.data_points = k;
+  result.samples = total_samples;
+  return result;
+}
+
+}  // namespace srm::core

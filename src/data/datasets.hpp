@@ -1,0 +1,45 @@
+// Embedded datasets.
+//
+// sys1_grouped() reconstructs the dataset of the paper's Fig. 1: 136 bugs
+// found over 96 testing days of a real-time command and control system
+// (Musa 1979, System 1). The per-day counts of the original report are not
+// redistributable, but the paper's Tables II-IV reveal the cumulative counts
+// at every observation point (the parenthesized deviations from 136):
+//
+//     s_48 = 42,  s_67 = 84,  s_86 = 132,  s_96 = 136.
+//
+// We therefore rebuild the daily series as the increments of a monotone
+// piecewise-linear cumulative curve through exactly those anchors (Bresenham
+// rounding keeps every day's count a non-negative integer and the anchor
+// sums exact). The Bayesian machinery consumes only the grouped counts, and
+// every table row of the paper is evaluated *at* an anchor, so the
+// likelihood is pinned where it matters; see DESIGN.md §3.
+#pragma once
+
+#include "data/bug_count_data.hpp"
+
+namespace srm::data {
+
+/// The 136-bug / 96-day series described above.
+BugCountData sys1_grouped();
+
+/// Observation points used throughout the paper's Section 5 (testing days;
+/// points beyond 96 are virtual-testing zero-count extensions).
+inline constexpr std::size_t kSys1ObservationPoints[] = {48,  67,  86,
+                                                         96,  106, 116,
+                                                         126, 136, 146};
+
+/// Number of bugs eventually detected — the paper's ground truth for the
+/// "actual" residual count at each observation point.
+inline constexpr std::int64_t kSys1TotalBugs = 136;
+
+/// The last real testing day; later days are virtual.
+inline constexpr std::size_t kSys1TestingDays = 96;
+
+/// NTDS data (Jelinski-Moranda 1972): 26 software failures of the Naval
+/// Tactical Data System during the production phase, grouped here into
+/// 25 ten-day testing periods from the published inter-failure times.
+/// Used by the multi-dataset ablation (paper Section 6 future work).
+BugCountData ntds_grouped();
+
+}  // namespace srm::data

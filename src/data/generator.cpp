@@ -1,0 +1,30 @@
+#include "data/generator.hpp"
+
+#include "random/samplers.hpp"
+#include "support/error.hpp"
+
+namespace srm::data {
+
+BugCountData simulate_detection_process(
+    std::int64_t initial_bugs, std::size_t days,
+    const DetectionProbabilityFn& detection_probability, random::Rng& rng,
+    const std::string& name) {
+  SRM_EXPECTS(initial_bugs >= 0,
+              "simulate_detection_process requires initial_bugs >= 0");
+  SRM_EXPECTS(days >= 1, "simulate_detection_process requires days >= 1");
+
+  std::vector<std::int64_t> counts;
+  counts.reserve(days);
+  std::int64_t remaining = initial_bugs;
+  for (std::size_t day = 1; day <= days; ++day) {
+    const double p = detection_probability(day);
+    SRM_EXPECTS(p >= 0.0 && p <= 1.0,
+                "detection probabilities must lie in [0, 1]");
+    const std::int64_t found = random::sample_binomial(rng, remaining, p);
+    counts.push_back(found);
+    remaining -= found;
+  }
+  return BugCountData(name, std::move(counts));
+}
+
+}  // namespace srm::data

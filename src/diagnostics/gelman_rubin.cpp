@@ -1,0 +1,67 @@
+#include "diagnostics/gelman_rubin.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/summary.hpp"
+#include "support/error.hpp"
+
+namespace srm::diagnostics {
+
+GelmanRubinResult gelman_rubin(
+    const std::vector<std::vector<double>>& chains) {
+  SRM_EXPECTS(chains.size() >= 2, "gelman_rubin requires >= 2 chains");
+  const std::size_t n = chains.front().size();
+  SRM_EXPECTS(n >= 2, "gelman_rubin requires >= 2 samples per chain");
+  for (const auto& chain : chains) {
+    SRM_EXPECTS(chain.size() == n, "gelman_rubin chains must be equal length");
+  }
+  const auto m = static_cast<double>(chains.size());
+  const auto nd = static_cast<double>(n);
+
+  // W = mean of within-chain sample variances; B/n = variance of the chain
+  // means (Eqs 27, 29).
+  double w = 0.0;
+  std::vector<double> chain_means;
+  chain_means.reserve(chains.size());
+  for (const auto& chain : chains) {
+    w += stats::sample_variance(chain);
+    chain_means.push_back(stats::mean(chain));
+  }
+  w /= m;
+
+  const double grand_mean = stats::mean(chain_means);
+  double b_over_n = 0.0;
+  for (const double cm : chain_means) {
+    b_over_n += (cm - grand_mean) * (cm - grand_mean);
+  }
+  b_over_n /= (m - 1.0);
+
+  GelmanRubinResult result;
+  result.within_chain_variance = w;
+  result.between_chain_variance = b_over_n;
+  result.pooled_variance = (nd - 1.0) / nd * w + b_over_n;  // Eq (28)
+  if (w <= 0.0) {
+    // All chains constant: identical constants have converged trivially;
+    // differing constants will never mix.
+    result.psrf = (b_over_n <= 0.0)
+                      ? 1.0
+                      : std::numeric_limits<double>::infinity();
+  } else {
+    result.psrf = std::sqrt(result.pooled_variance / w);  // Eq (26)
+  }
+  return result;
+}
+
+GelmanRubinResult gelman_rubin(const mcmc::McmcRun& run,
+                               std::size_t parameter_index) {
+  std::vector<std::vector<double>> chains;
+  chains.reserve(run.chain_count());
+  for (std::size_t c = 0; c < run.chain_count(); ++c) {
+    const auto view = run.chain(c).parameter(parameter_index);
+    chains.emplace_back(view.begin(), view.end());
+  }
+  return gelman_rubin(chains);
+}
+
+}  // namespace srm::diagnostics

@@ -1,0 +1,33 @@
+// Gelman-Rubin potential scale reduction factor (PSRF), Eqs (26)-(29) of the
+// paper: PSRF = sqrt(V_hat / W) with the within-chain variance W and the
+// pooled variance estimate V_hat = (n-1)/n W + B/n. PSRF < 1.1 is the
+// paper's convergence criterion.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mcmc/trace.hpp"
+
+namespace srm::diagnostics {
+
+struct GelmanRubinResult {
+  double psrf = 0.0;                 ///< sqrt(V_hat / W)
+  double within_chain_variance = 0.0;   ///< W
+  double between_chain_variance = 0.0;  ///< B / n
+  double pooled_variance = 0.0;         ///< V_hat
+};
+
+/// Computes the PSRF from >= 2 chains of equal length (>= 2 samples each).
+/// `chains[c]` is chain c's trace of one scalar parameter.
+GelmanRubinResult gelman_rubin(
+    const std::vector<std::vector<double>>& chains);
+
+/// Convenience overload pulling one parameter out of an McmcRun.
+GelmanRubinResult gelman_rubin(const mcmc::McmcRun& run,
+                               std::size_t parameter_index);
+
+/// The paper's convergence threshold.
+inline constexpr double kPsrfThreshold = 1.1;
+
+}  // namespace srm::diagnostics

@@ -1,0 +1,60 @@
+#include "mcmc/gibbs.hpp"
+
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace srm::mcmc {
+
+namespace {
+
+void run_one_chain(const GibbsModel& model, const GibbsOptions& options,
+                   random::Rng rng, ChainTrace& trace) {
+  std::vector<double> state = model.initial_state(rng);
+  for (std::size_t i = 0; i < options.burn_in; ++i) {
+    model.update(state, rng);
+  }
+  for (std::size_t i = 0; i < options.iterations; ++i) {
+    for (std::size_t t = 0; t < options.thin; ++t) {
+      model.update(state, rng);
+    }
+    trace.append(state);
+  }
+}
+
+}  // namespace
+
+McmcRun run_gibbs(const GibbsModel& model, const GibbsOptions& options) {
+  SRM_EXPECTS(options.chain_count >= 1, "run_gibbs requires >= 1 chain");
+  SRM_EXPECTS(options.iterations >= 1, "run_gibbs requires >= 1 iteration");
+  SRM_EXPECTS(options.thin >= 1, "run_gibbs requires thin >= 1");
+
+  McmcRun run(model.parameter_names(), options.chain_count);
+
+  // Derive one independent deterministic stream per chain up front, so the
+  // result is identical whether chains run serially or in parallel.
+  random::Rng master(options.seed);
+  std::vector<random::Rng> chain_rngs;
+  chain_rngs.reserve(options.chain_count);
+  for (std::size_t c = 0; c < options.chain_count; ++c) {
+    chain_rngs.push_back(master.split());
+  }
+
+  if (options.parallel_chains && options.chain_count > 1) {
+    std::vector<std::thread> workers;
+    workers.reserve(options.chain_count);
+    for (std::size_t c = 0; c < options.chain_count; ++c) {
+      workers.emplace_back([&, c] {
+        run_one_chain(model, options, chain_rngs[c], run.chain(c));
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  } else {
+    for (std::size_t c = 0; c < options.chain_count; ++c) {
+      run_one_chain(model, options, chain_rngs[c], run.chain(c));
+    }
+  }
+  return run;
+}
+
+}  // namespace srm::mcmc

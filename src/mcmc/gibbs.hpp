@@ -1,0 +1,46 @@
+// Generic multi-chain Gibbs driver — the in-library replacement for JAGS.
+//
+// A model exposes its parameter names, an over-dispersed initializer and a
+// full Gibbs scan; the driver owns burn-in, thinning, per-chain seeding and
+// (optionally) running the chains on separate threads. Everything is
+// deterministic given the master seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mcmc/trace.hpp"
+#include "random/rng.hpp"
+
+namespace srm::mcmc {
+
+/// Interface every Gibbs-sampled model implements.
+class GibbsModel {
+ public:
+  virtual ~GibbsModel() = default;
+
+  /// Names of the monitored parameters, in state-vector order.
+  [[nodiscard]] virtual std::vector<std::string> parameter_names() const = 0;
+
+  /// A valid, randomly over-dispersed starting state (one per chain, so
+  /// Gelman-Rubin diagnostics are meaningful).
+  [[nodiscard]] virtual std::vector<double> initial_state(
+      random::Rng& rng) const = 0;
+
+  /// One full Gibbs scan updating `state` in place.
+  virtual void update(std::vector<double>& state, random::Rng& rng) const = 0;
+};
+
+struct GibbsOptions {
+  std::size_t chain_count = 2;
+  std::size_t burn_in = 1000;    ///< discarded scans per chain
+  std::size_t iterations = 4000; ///< retained scans per chain (before thinning)
+  std::size_t thin = 1;          ///< keep every thin-th scan
+  std::uint64_t seed = 20240624; ///< master seed; chains derive substreams
+  bool parallel_chains = true;   ///< run chains on std::thread workers
+};
+
+/// Runs the sampler and returns all retained traces.
+McmcRun run_gibbs(const GibbsModel& model, const GibbsOptions& options);
+
+}  // namespace srm::mcmc

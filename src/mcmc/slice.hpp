@@ -1,0 +1,32 @@
+// Univariate slice sampler (Neal 2003) with stepping-out and shrinkage.
+//
+// This is the workhorse JAGS uses for bounded real-valued nodes without a
+// conjugate conditional; we use it for the detection-probability parameters
+// (mu, theta, gamma, omega) and the negative-binomial shape alpha_0, whose
+// full conditionals are log-concave-ish but nonstandard.
+#pragma once
+
+#include <functional>
+
+#include "random/rng.hpp"
+
+namespace srm::mcmc {
+
+struct SliceOptions {
+  double initial_width = 1.0;  ///< w: initial bracket width
+  int max_step_out = 50;       ///< m: cap on stepping-out expansions
+  double lower = -1e300;       ///< hard support bound (inclusive bracket clip)
+  double upper = 1e300;
+  int max_shrink = 200;        ///< safety cap on shrinkage iterations
+};
+
+/// One slice-sampling transition from `x0` targeting exp(log_density).
+///
+/// `log_density` may return -inf outside the support; `x0` must have finite
+/// density. The invariant distribution of the transition is exactly the
+/// target, so chaining calls yields a correct MCMC kernel.
+double slice_sample(random::Rng& rng, double x0,
+                    const std::function<double(double)>& log_density,
+                    const SliceOptions& options);
+
+}  // namespace srm::mcmc

@@ -1,0 +1,59 @@
+// Storage for MCMC output: named parameter traces per chain, plus pooled
+// views. The convergence diagnostics and the WAIC computation both consume
+// this type.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace srm::mcmc {
+
+/// Samples of every monitored parameter for one chain.
+/// Layout: samples_[parameter_index][iteration].
+class ChainTrace {
+ public:
+  explicit ChainTrace(std::size_t parameter_count)
+      : samples_(parameter_count) {}
+
+  void append(std::span<const double> state);
+
+  [[nodiscard]] std::size_t parameter_count() const { return samples_.size(); }
+  [[nodiscard]] std::size_t sample_count() const {
+    return samples_.empty() ? 0 : samples_.front().size();
+  }
+  [[nodiscard]] std::span<const double> parameter(std::size_t index) const;
+
+ private:
+  std::vector<std::vector<double>> samples_;
+};
+
+/// A complete multi-chain MCMC run.
+class McmcRun {
+ public:
+  McmcRun(std::vector<std::string> parameter_names, std::size_t chain_count);
+
+  [[nodiscard]] const std::vector<std::string>& parameter_names() const {
+    return names_;
+  }
+  [[nodiscard]] std::size_t parameter_index(const std::string& name) const;
+
+  [[nodiscard]] std::size_t chain_count() const { return chains_.size(); }
+  [[nodiscard]] ChainTrace& chain(std::size_t c) { return chains_.at(c); }
+  [[nodiscard]] const ChainTrace& chain(std::size_t c) const {
+    return chains_.at(c);
+  }
+
+  /// All chains' samples of one parameter concatenated (chain 0 first).
+  [[nodiscard]] std::vector<double> pooled(std::size_t parameter_index) const;
+  [[nodiscard]] std::vector<double> pooled(const std::string& name) const;
+
+  /// Total retained samples across chains.
+  [[nodiscard]] std::size_t total_samples() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<ChainTrace> chains_;
+};
+
+}  // namespace srm::mcmc

@@ -1,0 +1,82 @@
+#include "mcmc/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/csv.hpp"
+#include "support/error.hpp"
+
+namespace srm::mcmc {
+
+void write_trace_csv(std::ostream& out, const McmcRun& run) {
+  out << "chain,iteration";
+  for (const auto& name : run.parameter_names()) {
+    out << ',' << name;
+  }
+  out << '\n';
+  out.precision(17);
+  for (std::size_t c = 0; c < run.chain_count(); ++c) {
+    const auto& chain = run.chain(c);
+    for (std::size_t s = 0; s < chain.sample_count(); ++s) {
+      out << c << ',' << s;
+      for (std::size_t p = 0; p < chain.parameter_count(); ++p) {
+        out << ',' << chain.parameter(p)[s];
+      }
+      out << '\n';
+    }
+  }
+}
+
+void write_trace_csv_file(const std::string& path, const McmcRun& run) {
+  std::ofstream out(path);
+  SRM_EXPECTS(out.good(), "cannot open trace file for writing: " + path);
+  write_trace_csv(out, run);
+  SRM_EXPECTS(out.good(), "write failed for trace file: " + path);
+}
+
+McmcRun read_trace_csv(std::istream& in) {
+  const auto rows = support::read_csv(in);
+  SRM_EXPECTS(rows.size() >= 2, "trace CSV needs a header and data rows");
+  const auto& header = rows.front();
+  SRM_EXPECTS(header.size() >= 3 && header[0] == "chain" &&
+                  header[1] == "iteration",
+              "trace CSV header must start with chain,iteration");
+  std::vector<std::string> names(header.begin() + 2, header.end());
+
+  // First pass: count chains.
+  std::size_t chain_count = 0;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    SRM_EXPECTS(rows[r].size() == header.size(),
+                "trace CSV row width mismatch at data row " +
+                    std::to_string(r));
+    chain_count = std::max(
+        chain_count,
+        static_cast<std::size_t>(support::parse_count(rows[r][0])) + 1);
+  }
+  McmcRun run(std::move(names), chain_count);
+
+  std::vector<std::size_t> next_iteration(chain_count, 0);
+  std::vector<double> state(header.size() - 2);
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto chain =
+        static_cast<std::size_t>(support::parse_count(rows[r][0]));
+    const auto iteration =
+        static_cast<std::size_t>(support::parse_count(rows[r][1]));
+    SRM_EXPECTS(iteration == next_iteration[chain],
+                "trace CSV iterations must be contiguous per chain");
+    ++next_iteration[chain];
+    for (std::size_t p = 0; p < state.size(); ++p) {
+      state[p] = support::parse_double(rows[r][p + 2]);
+    }
+    run.chain(chain).append(state);
+  }
+  return run;
+}
+
+McmcRun read_trace_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  SRM_EXPECTS(in.good(), "cannot open trace file: " + path);
+  return read_trace_csv(in);
+}
+
+}  // namespace srm::mcmc

@@ -1,0 +1,23 @@
+// Persistence for MCMC output: write an McmcRun to CSV (one row per
+// retained draw: chain, iteration, then one column per parameter) and read
+// it back. Lets users post-process chains in R/Python/coda, archive runs
+// next to their analyses, and resume diagnostics without re-sampling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mcmc/trace.hpp"
+
+namespace srm::mcmc {
+
+/// Writes `run` as CSV with header "chain,iteration,<param>,<param>,...".
+void write_trace_csv(std::ostream& out, const McmcRun& run);
+void write_trace_csv_file(const std::string& path, const McmcRun& run);
+
+/// Reads a trace written by write_trace_csv. Validates the header shape,
+/// contiguous iteration numbering per chain, and numeric cells.
+McmcRun read_trace_csv(std::istream& in);
+McmcRun read_trace_csv_file(const std::string& path);
+
+}  // namespace srm::mcmc

@@ -1,0 +1,118 @@
+#include "mle/mle_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/likelihood.hpp"
+#include "mle/optimize.hpp"
+#include "support/error.hpp"
+
+namespace srm::mle {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+std::int64_t profile_initial_bugs(const data::BugCountData& data,
+                                  std::span<const double> probabilities) {
+  const std::int64_t s_k = data.total();
+  const double survival = core::survival_product(probabilities);
+  if (survival >= 1.0) {
+    // No detection pressure at all: likelihood is maximized at N = s_k
+    // (every extra undetected bug multiplies by q = 1, but the factorial
+    // ratio still penalizes; the boundary is the maximizer).
+    return s_k;
+  }
+  if (survival <= 0.0) return s_k;
+  // Continuous maximizer of log N!/(N-s_k)! + N log(survival).
+  const double n_star =
+      static_cast<double>(s_k) / (1.0 - survival);
+  auto candidate = static_cast<std::int64_t>(std::floor(n_star));
+  candidate = std::max(candidate, s_k);
+  // The discrete argmax is the candidate or a neighbour; compare directly.
+  auto value = [&](std::int64_t n) {
+    return core::log_likelihood_n_kernel(data, n, probabilities);
+  };
+  std::int64_t best = candidate;
+  double best_value = value(candidate);
+  for (const std::int64_t n :
+       {candidate - 1, candidate + 1, candidate + 2}) {
+    if (n < s_k) continue;
+    const double v = value(n);
+    if (v > best_value) {
+      best_value = v;
+      best = n;
+    }
+  }
+  return best;
+}
+
+MleFit fit_mle(const data::BugCountData& data, core::DetectionModelKind kind,
+               const core::DetectionModelLimits& limits) {
+  const auto model = core::make_detection_model(kind);
+  const auto supports = model->parameter_supports(limits);
+  const std::size_t dim = supports.size();
+
+  std::vector<double> lower;
+  std::vector<double> upper;
+  std::vector<double> start;
+  for (const auto& s : supports) {
+    lower.push_back(s.lower);
+    upper.push_back(s.upper);
+    start.push_back(0.5 * (s.lower + s.upper));
+  }
+
+  const auto profile_objective = [&](std::span<const double> zeta) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      if (zeta[j] <= lower[j] || zeta[j] >= upper[j]) return kNegInf;
+    }
+    const auto probabilities = model->probabilities(data.days(), zeta);
+    const std::int64_t n = profile_initial_bugs(data, probabilities);
+    return core::log_likelihood(data, n, probabilities);
+  };
+
+  NelderMeadOptions options;
+  options.max_iterations = 4000;
+  // Restart from a few deterministic corners to dodge local optima.
+  OptimizeResult best_result;
+  best_result.value = kNegInf;
+  const double offsets[] = {0.5, 0.2, 0.8};
+  for (const double offset : offsets) {
+    std::vector<double> s0;
+    s0.reserve(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      s0.push_back(lower[j] + offset * (upper[j] - lower[j]));
+    }
+    const auto result = nelder_mead(profile_objective, s0, lower, upper,
+                                    options);
+    if (result.value > best_result.value) best_result = result;
+  }
+
+  MleFit fit;
+  fit.model = kind;
+  fit.zeta = best_result.argmax;
+  fit.converged = best_result.converged;
+  const auto probabilities = model->probabilities(data.days(), fit.zeta);
+  fit.initial_bugs = profile_initial_bugs(data, probabilities);
+  fit.log_likelihood =
+      core::log_likelihood(data, fit.initial_bugs, probabilities);
+  const double parameters = static_cast<double>(dim) + 1.0;  // zeta and N
+  fit.aic = -2.0 * fit.log_likelihood + 2.0 * parameters;
+  fit.bic = -2.0 * fit.log_likelihood +
+            parameters * std::log(static_cast<double>(data.days()));
+  return fit;
+}
+
+std::vector<MleFit> fit_all_models(const data::BugCountData& data,
+                                   const core::DetectionModelLimits& limits) {
+  std::vector<MleFit> fits;
+  for (const auto kind : core::all_detection_model_kinds()) {
+    fits.push_back(fit_mle(data, kind, limits));
+  }
+  std::sort(fits.begin(), fits.end(),
+            [](const MleFit& a, const MleFit& b) { return a.aic < b.aic; });
+  return fits;
+}
+
+}  // namespace srm::mle

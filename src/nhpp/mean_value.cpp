@@ -1,0 +1,146 @@
+#include "nhpp/mean_value.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace srm::nhpp {
+
+namespace {
+
+void check_phi(const MeanValueFunction& mvf, std::span<const double> phi) {
+  SRM_EXPECTS(phi.size() == mvf.growth_parameter_count(),
+              "phi size must match the model's growth parameter count");
+}
+
+class GoelOkumoto final : public MeanValueFunction {
+ public:
+  NhppModelKind kind() const override { return NhppModelKind::kGoelOkumoto; }
+  std::string name() const override { return "goel-okumoto"; }
+  std::size_t growth_parameter_count() const override { return 1; }
+  std::vector<GrowthParameterSupport> growth_parameter_supports()
+      const override {
+    return {{"b", 1e-8, 10.0}};
+  }
+  double growth(double t, std::span<const double> phi) const override {
+    check_phi(*this, phi);
+    SRM_EXPECTS(t >= 0.0, "time must be >= 0");
+    return -std::expm1(-phi[0] * t);
+  }
+};
+
+class DelayedSShaped final : public MeanValueFunction {
+ public:
+  NhppModelKind kind() const override {
+    return NhppModelKind::kDelayedSShaped;
+  }
+  std::string name() const override { return "delayed-s"; }
+  std::size_t growth_parameter_count() const override { return 1; }
+  std::vector<GrowthParameterSupport> growth_parameter_supports()
+      const override {
+    return {{"b", 1e-8, 10.0}};
+  }
+  double growth(double t, std::span<const double> phi) const override {
+    check_phi(*this, phi);
+    SRM_EXPECTS(t >= 0.0, "time must be >= 0");
+    const double bt = phi[0] * t;
+    return 1.0 - (1.0 + bt) * std::exp(-bt);
+  }
+};
+
+class InflectionSShaped final : public MeanValueFunction {
+ public:
+  NhppModelKind kind() const override {
+    return NhppModelKind::kInflectionSShaped;
+  }
+  std::string name() const override { return "inflection-s"; }
+  std::size_t growth_parameter_count() const override { return 2; }
+  std::vector<GrowthParameterSupport> growth_parameter_supports()
+      const override {
+    return {{"b", 1e-8, 10.0}, {"c", 1e-8, 100.0}};
+  }
+  double growth(double t, std::span<const double> phi) const override {
+    check_phi(*this, phi);
+    SRM_EXPECTS(t >= 0.0, "time must be >= 0");
+    const double e = std::exp(-phi[0] * t);
+    return (1.0 - e) / (1.0 + phi[1] * e);
+  }
+};
+
+class MusaOkumoto final : public MeanValueFunction {
+ public:
+  NhppModelKind kind() const override { return NhppModelKind::kMusaOkumoto; }
+  std::string name() const override { return "musa-okumoto"; }
+  std::size_t growth_parameter_count() const override { return 1; }
+  std::vector<GrowthParameterSupport> growth_parameter_supports()
+      const override {
+    return {{"b", 1e-8, 10.0}};
+  }
+  bool is_finite_failure() const override { return false; }
+  double growth(double t, std::span<const double> phi) const override {
+    check_phi(*this, phi);
+    SRM_EXPECTS(t >= 0.0, "time must be >= 0");
+    return std::log1p(phi[0] * t);
+  }
+};
+
+constexpr std::array<NhppModelKind, 4> kAllKinds = {
+    NhppModelKind::kGoelOkumoto,
+    NhppModelKind::kDelayedSShaped,
+    NhppModelKind::kInflectionSShaped,
+    NhppModelKind::kMusaOkumoto,
+};
+
+}  // namespace
+
+std::string to_string(NhppModelKind kind) {
+  switch (kind) {
+    case NhppModelKind::kGoelOkumoto:
+      return "goel-okumoto";
+    case NhppModelKind::kDelayedSShaped:
+      return "delayed-s";
+    case NhppModelKind::kInflectionSShaped:
+      return "inflection-s";
+    case NhppModelKind::kMusaOkumoto:
+      return "musa-okumoto";
+  }
+  throw InvalidArgument("unknown NhppModelKind");
+}
+
+std::span<const NhppModelKind> all_nhpp_model_kinds() { return kAllKinds; }
+
+double MeanValueFunction::mean_value(double t, double a,
+                                     std::span<const double> phi) const {
+  SRM_EXPECTS(a > 0.0, "scale a must be positive");
+  return a * growth(t, phi);
+}
+
+double MeanValueFunction::interval_mean(double t0, double t1, double a,
+                                        std::span<const double> phi) const {
+  SRM_EXPECTS(t0 <= t1, "interval must be ordered");
+  return mean_value(t1, a, phi) - mean_value(t0, a, phi);
+}
+
+double MeanValueFunction::reliability(double t, double x, double a,
+                                      std::span<const double> phi) const {
+  SRM_EXPECTS(x >= 0.0, "mission time must be >= 0");
+  return std::exp(-interval_mean(t, t + x, a, phi));
+}
+
+std::unique_ptr<MeanValueFunction> make_mean_value_function(
+    NhppModelKind kind) {
+  switch (kind) {
+    case NhppModelKind::kGoelOkumoto:
+      return std::make_unique<GoelOkumoto>();
+    case NhppModelKind::kDelayedSShaped:
+      return std::make_unique<DelayedSShaped>();
+    case NhppModelKind::kInflectionSShaped:
+      return std::make_unique<InflectionSShaped>();
+    case NhppModelKind::kMusaOkumoto:
+      return std::make_unique<MusaOkumoto>();
+  }
+  throw InvalidArgument("unknown NhppModelKind");
+}
+
+}  // namespace srm::nhpp

@@ -1,0 +1,82 @@
+// Continuous-time NHPP software reliability models — the classical family
+// the paper's discrete models correspond to ("the common NHPP-based SRM",
+// Sections 1-2). A finite-failure NHPP SRM is defined by its mean value
+// function Lambda(t) = a * F(t), where a > 0 is the expected total bug
+// content and F is a cdf-like growth curve; Musa-Okumoto is the standard
+// infinite-failure exception.
+//
+// Implemented growth curves:
+//   Goel-Okumoto (exponential):   F(t) = 1 - e^{-b t}
+//   Delayed S-shaped:             F(t) = 1 - (1 + b t) e^{-b t}
+//   Inflection S-shaped:          F(t) = (1 - e^{-b t}) / (1 + c e^{-b t})
+//   Discrete-equivalent:          F(i) = 1 - prod_{j<=i} (1 - p_j) for a
+//                                 detection-probability model (the bridge
+//                                 between Sections 2 and the NHPP view)
+//   Musa-Okumoto (infinite):      Lambda(t) = a ln(1 + b t)
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace srm::nhpp {
+
+enum class NhppModelKind {
+  kGoelOkumoto,
+  kDelayedSShaped,
+  kInflectionSShaped,
+  kMusaOkumoto,
+};
+
+/// "goel-okumoto", "delayed-s", "inflection-s", "musa-okumoto".
+std::string to_string(NhppModelKind kind);
+
+std::span<const NhppModelKind> all_nhpp_model_kinds();
+
+/// Support of one growth parameter under uniform-box MLE fitting.
+struct GrowthParameterSupport {
+  std::string name;
+  double lower = 0.0;
+  double upper = 1.0;
+};
+
+/// A mean value function Lambda(t; a, phi). For finite-failure models
+/// Lambda = a F(t; phi) with F in [0, 1); for Musa-Okumoto Lambda is
+/// unbounded in t and `is_finite_failure()` is false.
+class MeanValueFunction {
+ public:
+  virtual ~MeanValueFunction() = default;
+
+  [[nodiscard]] virtual NhppModelKind kind() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Growth parameters phi (excludes the scale a).
+  [[nodiscard]] virtual std::size_t growth_parameter_count() const = 0;
+  [[nodiscard]] virtual std::vector<GrowthParameterSupport>
+  growth_parameter_supports() const = 0;
+  [[nodiscard]] virtual bool is_finite_failure() const { return true; }
+
+  /// F(t; phi) — the normalized growth curve in [0, 1) for finite-failure
+  /// models; for Musa-Okumoto this returns Lambda(t; a=1, phi) instead
+  /// (unnormalized), and callers must not assume a [0,1) range.
+  [[nodiscard]] virtual double growth(double t,
+                                      std::span<const double> phi) const = 0;
+
+  /// Lambda(t) = a * growth(t).
+  [[nodiscard]] double mean_value(double t, double a,
+                                  std::span<const double> phi) const;
+
+  /// Expected count on interval (t0, t1]: Lambda(t1) - Lambda(t0).
+  [[nodiscard]] double interval_mean(double t0, double t1, double a,
+                                     std::span<const double> phi) const;
+
+  /// Software reliability: probability of zero failures in (t, t + x]
+  /// given the process survived to t — exp(-(Lambda(t+x) - Lambda(t))).
+  [[nodiscard]] double reliability(double t, double x, double a,
+                                   std::span<const double> phi) const;
+};
+
+std::unique_ptr<MeanValueFunction> make_mean_value_function(
+    NhppModelKind kind);
+
+}  // namespace srm::nhpp

@@ -1,0 +1,150 @@
+#include "nhpp/nhpp_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mle/optimize.hpp"
+#include "random/samplers.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace srm::nhpp {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+double NhppFit::expected_residual(const data::BugCountData& data) const {
+  const auto mvf = make_mean_value_function(model);
+  if (!mvf->is_finite_failure()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return a - mvf->mean_value(static_cast<double>(data.days()), a, phi);
+}
+
+double NhppFit::expected_future_bugs(const data::BugCountData& data,
+                                     double horizon) const {
+  const auto mvf = make_mean_value_function(model);
+  const double k = static_cast<double>(data.days());
+  return mvf->interval_mean(k, k + horizon, a, phi);
+}
+
+double NhppFit::reliability_after(const data::BugCountData& data,
+                                  double mission) const {
+  const auto mvf = make_mean_value_function(model);
+  return mvf->reliability(static_cast<double>(data.days()), mission, a, phi);
+}
+
+double nhpp_log_likelihood(const data::BugCountData& data,
+                           const MeanValueFunction& mvf, double a,
+                           std::span<const double> phi) {
+  SRM_EXPECTS(a > 0.0, "scale a must be positive");
+  double total = 0.0;
+  double previous = 0.0;
+  const auto counts = data.counts();
+  for (std::size_t i = 0; i < data.days(); ++i) {
+    const double current =
+        mvf.mean_value(static_cast<double>(i + 1), a, phi);
+    const double delta = current - previous;
+    previous = current;
+    const auto x = counts[i];
+    if (delta <= 0.0) {
+      if (x != 0) return kNegInf;
+      continue;
+    }
+    total += static_cast<double>(x) * std::log(delta) - delta -
+             math::log_factorial(x);
+  }
+  return total;
+}
+
+double profile_scale(const data::BugCountData& data,
+                     const MeanValueFunction& mvf,
+                     std::span<const double> phi) {
+  // d/da sum_i [x_i log(a dF_i) - a dF_i] = s_k / a - F(k) = 0.
+  const double growth_at_end =
+      mvf.growth(static_cast<double>(data.days()), phi);
+  SRM_EXPECTS(growth_at_end > 0.0,
+              "growth curve must be positive at the last observation");
+  return static_cast<double>(std::max<std::int64_t>(data.total(), 1)) /
+         growth_at_end;
+}
+
+NhppFit fit_nhpp(const data::BugCountData& data, NhppModelKind kind) {
+  const auto mvf = make_mean_value_function(kind);
+  const auto supports = mvf->growth_parameter_supports();
+  const std::size_t dim = supports.size();
+
+  std::vector<double> lower;
+  std::vector<double> upper;
+  for (const auto& s : supports) {
+    lower.push_back(s.lower);
+    upper.push_back(s.upper);
+  }
+
+  const auto profile_objective = [&](std::span<const double> phi) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      if (phi[j] <= lower[j] || phi[j] >= upper[j]) return kNegInf;
+    }
+    const double a = profile_scale(data, *mvf, phi);
+    return nhpp_log_likelihood(data, *mvf, a, phi);
+  };
+
+  mle::NelderMeadOptions options;
+  options.max_iterations = 4000;
+  mle::OptimizeResult best;
+  best.value = kNegInf;
+  // Growth rates live on wildly different scales; restart from several
+  // log-spaced corners.
+  for (const double offset : {1e-3, 1e-2, 0.1, 0.5}) {
+    std::vector<double> start;
+    for (std::size_t j = 0; j < dim; ++j) {
+      start.push_back(lower[j] + offset * (upper[j] - lower[j]));
+    }
+    const auto result =
+        mle::nelder_mead(profile_objective, start, lower, upper, options);
+    if (result.value > best.value) best = result;
+  }
+
+  NhppFit fit;
+  fit.model = kind;
+  fit.phi = best.argmax;
+  fit.converged = best.converged;
+  fit.a = profile_scale(data, *mvf, fit.phi);
+  fit.log_likelihood = nhpp_log_likelihood(data, *mvf, fit.a, fit.phi);
+  const double parameters = static_cast<double>(dim) + 1.0;  // phi and a
+  fit.aic = -2.0 * fit.log_likelihood + 2.0 * parameters;
+  fit.bic = -2.0 * fit.log_likelihood +
+            parameters * std::log(static_cast<double>(data.days()));
+  return fit;
+}
+
+std::vector<NhppFit> fit_all_nhpp_models(const data::BugCountData& data) {
+  std::vector<NhppFit> fits;
+  for (const auto kind : all_nhpp_model_kinds()) {
+    fits.push_back(fit_nhpp(data, kind));
+  }
+  std::sort(fits.begin(), fits.end(),
+            [](const NhppFit& a, const NhppFit& b) { return a.aic < b.aic; });
+  return fits;
+}
+
+data::BugCountData simulate_nhpp(const MeanValueFunction& mvf, double a,
+                                 std::span<const double> phi,
+                                 std::size_t days, random::Rng& rng,
+                                 const std::string& name) {
+  SRM_EXPECTS(days >= 1, "simulate_nhpp requires days >= 1");
+  std::vector<std::int64_t> counts;
+  counts.reserve(days);
+  double previous = 0.0;
+  for (std::size_t i = 1; i <= days; ++i) {
+    const double current = mvf.mean_value(static_cast<double>(i), a, phi);
+    counts.push_back(
+        random::sample_poisson(rng, std::max(current - previous, 0.0)));
+    previous = current;
+  }
+  return data::BugCountData(name, std::move(counts));
+}
+
+}  // namespace srm::nhpp

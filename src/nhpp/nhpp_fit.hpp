@@ -1,0 +1,77 @@
+// Grouped-data maximum likelihood for continuous-time NHPP SRMs.
+//
+// With counts x_i on unit intervals (i-1, i], the log-likelihood is
+//   sum_i [ x_i log(DeltaLambda_i) - DeltaLambda_i - log x_i! ],
+// which for finite-failure models Lambda = a F(t) profiles in closed form:
+// a-hat(phi) = s_k / F(k; phi). The fit is therefore an outer Nelder-Mead
+// over the growth parameters with an exact inner profile step, mirroring
+// the discrete MLE baseline in src/mle/.
+//
+// Also provides an NHPP process simulator (per-interval Poisson draws) for
+// calibration tests.
+#pragma once
+
+#include <vector>
+
+#include "data/bug_count_data.hpp"
+#include "nhpp/mean_value.hpp"
+#include "random/rng.hpp"
+
+namespace srm::nhpp {
+
+struct NhppFit {
+  NhppModelKind model;
+  double a = 0.0;                ///< scale (expected total bug content)
+  std::vector<double> phi;       ///< growth parameters
+  double log_likelihood = 0.0;
+  double aic = 0.0;
+  double bic = 0.0;
+  bool converged = false;
+
+  /// True when the scale estimate ran off along the b -> 0, a -> infinity
+  /// ridge (the mean value function degenerating to a straight line) — the
+  /// finite-failure analogue of "no finite MLE". Read a-hat as unbounded.
+  [[nodiscard]] bool diverged(const data::BugCountData& data) const {
+    return a > 1000.0 * static_cast<double>(data.total() + 1);
+  }
+
+  /// Expected residual bug content after day k: a - Lambda(k). For the
+  /// infinite-failure Musa-Okumoto model this is +infinity conceptually;
+  /// we report the expected count in the next `horizon` days instead via
+  /// expected_future_bugs.
+  [[nodiscard]] double expected_residual(const data::BugCountData& data) const;
+
+  /// Expected number of bugs found in (k, k + horizon].
+  [[nodiscard]] double expected_future_bugs(const data::BugCountData& data,
+                                            double horizon) const;
+
+  /// Software reliability over the next `mission` days after day k.
+  [[nodiscard]] double reliability_after(const data::BugCountData& data,
+                                         double mission) const;
+};
+
+/// Poisson log-likelihood of grouped counts under (a, phi).
+double nhpp_log_likelihood(const data::BugCountData& data,
+                           const MeanValueFunction& mvf, double a,
+                           std::span<const double> phi);
+
+/// Profile MLE of the scale a for fixed growth parameters:
+/// a-hat = s_k / F(k; phi) (valid for finite- and infinite-failure models;
+/// for the latter F is the unnormalized Lambda at a = 1).
+double profile_scale(const data::BugCountData& data,
+                     const MeanValueFunction& mvf,
+                     std::span<const double> phi);
+
+/// Fits one NHPP model by profile maximum likelihood.
+NhppFit fit_nhpp(const data::BugCountData& data, NhppModelKind kind);
+
+/// Fits all four models, sorted by AIC (best first).
+std::vector<NhppFit> fit_all_nhpp_models(const data::BugCountData& data);
+
+/// Simulates grouped counts from an NHPP: x_i ~ Poisson(DeltaLambda_i).
+data::BugCountData simulate_nhpp(const MeanValueFunction& mvf, double a,
+                                 std::span<const double> phi,
+                                 std::size_t days, random::Rng& rng,
+                                 const std::string& name = "nhpp-sim");
+
+}  // namespace srm::nhpp

@@ -1,0 +1,90 @@
+// Permuted congruential generators (O'Neill 2014), implemented from the
+// published reference algorithms, plus SplitMix64 for seed expansion.
+//
+// Pcg32 is the pcg32_random_r XSH-RR variant: 64-bit LCG state, 32-bit
+// output. Pcg64 here is two independently-streamed Pcg32 halves glued
+// together — statistically more than sufficient for Monte Carlo work and
+// fully deterministic across platforms (no __int128 dependency).
+#pragma once
+
+#include <cstdint>
+
+namespace srm::random {
+
+/// SplitMix64 (Vigna) — used to expand a single user seed into the many
+/// state/stream words the other engines need. Passes BigCrush.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// pcg32 (XSH-RR 64/32). Satisfies std::uniform_random_bit_generator.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  constexpr Pcg32() : Pcg32(0x853c49e6748fea9bULL, 0xda3e39cb94b95bdbULL) {}
+
+  constexpr Pcg32(std::uint64_t seed, std::uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+    operator()();
+    state_ += seed;
+    operator()();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;  // must be odd; selects the stream
+};
+
+/// 64-bit generator built from two pcg32 streams (hi/lo words).
+class Pcg64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr Pcg64() : Pcg64(0x2545f4914f6cdd1dULL) {}
+
+  explicit constexpr Pcg64(std::uint64_t seed) : hi_(0, 0), lo_(0, 0) {
+    SplitMix64 mix(seed);
+    const std::uint64_t s1 = mix.next();
+    const std::uint64_t t1 = mix.next();
+    const std::uint64_t s2 = mix.next();
+    const std::uint64_t t2 = mix.next();
+    hi_ = Pcg32(s1, t1);
+    lo_ = Pcg32(s2, t2 | 1u);  // distinct stream from hi_ (inc differs)
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  constexpr result_type operator()() {
+    return (static_cast<std::uint64_t>(hi_()) << 32) | lo_();
+  }
+
+ private:
+  Pcg32 hi_;
+  Pcg32 lo_;
+};
+
+}  // namespace srm::random

@@ -1,0 +1,83 @@
+#include "report/sweep.hpp"
+
+#include "data/datasets.hpp"
+#include "support/error.hpp"
+
+namespace srm::report {
+
+void SweepOptions::set_override(core::PriorKind prior,
+                                core::DetectionModelKind model,
+                                core::HyperPriorConfig config) {
+  for (auto& o : overrides_) {
+    if (o.prior == prior && o.model == model) {
+      o.config = config;
+      return;
+    }
+  }
+  overrides_.push_back({prior, model, config});
+}
+
+core::HyperPriorConfig SweepOptions::config_for(
+    core::PriorKind prior, core::DetectionModelKind model) const {
+  for (const auto& o : overrides_) {
+    if (o.prior == prior && o.model == model) return o.config;
+  }
+  return base_config;
+}
+
+const SweepCell& SweepResult::cell(core::PriorKind prior,
+                                   core::DetectionModelKind model) const {
+  for (const auto& c : cells) {
+    if (c.prior == prior && c.model == model) return c;
+  }
+  throw InvalidArgument("sweep cell not found for " + core::to_string(prior) +
+                        "/" + core::to_string(model));
+}
+
+SweepResult run_sweep(const data::BugCountData& base,
+                      const SweepOptions& options) {
+  SRM_EXPECTS(!options.observation_days.empty(),
+              "sweep requires observation days");
+  SweepResult sweep;
+  sweep.observation_days = options.observation_days;
+  for (const auto prior :
+       {core::PriorKind::kPoisson, core::PriorKind::kNegativeBinomial}) {
+    for (const auto model : core::all_detection_model_kinds()) {
+      SweepCell cell;
+      cell.prior = prior;
+      cell.model = model;
+      cell.config = options.config_for(prior, model);
+
+      core::ExperimentSpec spec;
+      spec.prior = prior;
+      spec.model = model;
+      spec.config = cell.config;
+      spec.gibbs = options.gibbs;
+      spec.observation_days = options.observation_days;
+      spec.eventual_total = options.eventual_total;
+      cell.results = core::run_experiment(base, spec);
+      sweep.cells.push_back(std::move(cell));
+    }
+  }
+  return sweep;
+}
+
+SweepOptions paper_sweep_options() {
+  SweepOptions options;
+  options.observation_days.assign(std::begin(data::kSys1ObservationPoints),
+                                  std::end(data::kSys1ObservationPoints));
+  options.eventual_total = data::kSys1TotalBugs;
+  options.gibbs.chain_count = 2;
+  options.gibbs.burn_in = 500;
+  options.gibbs.iterations = 2500;
+  options.gibbs.seed = 20240624;
+  // Upper limits in the neighbourhood the paper's WAIC tuning lands on;
+  // bench/ablation_hyperparams sweeps them explicitly.
+  options.base_config.lambda_max = 2000.0;
+  options.base_config.alpha_max = 100.0;
+  options.base_config.limits.theta_max = 10.0;
+  options.base_config.limits.gamma_bound = 10.0;
+  return options;
+}
+
+}  // namespace srm::report

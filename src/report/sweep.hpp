@@ -1,0 +1,61 @@
+// The full evaluation sweep of the paper's Section 5: 2 priors x 5
+// detection models x 9 observation points, run once and projected into all
+// five tables and both box-plot figures by src/report/tables.hpp.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "data/bug_count_data.hpp"
+
+namespace srm::report {
+
+struct SweepOptions {
+  std::vector<std::size_t> observation_days;
+  std::int64_t eventual_total = 0;
+  mcmc::GibbsOptions gibbs{};
+  /// Baseline hyperprior configuration (upper limits); per-cell overrides
+  /// can be installed with `set_override`.
+  core::HyperPriorConfig base_config{};
+
+  void set_override(core::PriorKind prior, core::DetectionModelKind model,
+                    core::HyperPriorConfig config);
+  [[nodiscard]] core::HyperPriorConfig config_for(
+      core::PriorKind prior, core::DetectionModelKind model) const;
+
+ private:
+  struct Override {
+    core::PriorKind prior;
+    core::DetectionModelKind model;
+    core::HyperPriorConfig config;
+  };
+  std::vector<Override> overrides_;
+};
+
+/// One (prior, detection model) cell of the sweep.
+struct SweepCell {
+  core::PriorKind prior;
+  core::DetectionModelKind model;
+  core::HyperPriorConfig config;
+  std::vector<core::ObservationResult> results;  ///< one per observation day
+};
+
+struct SweepResult {
+  std::vector<std::size_t> observation_days;
+  std::vector<SweepCell> cells;
+
+  [[nodiscard]] const SweepCell& cell(core::PriorKind prior,
+                                      core::DetectionModelKind model) const;
+};
+
+/// Runs every (prior, model, observation day) combination.
+SweepResult run_sweep(const data::BugCountData& base,
+                      const SweepOptions& options);
+
+/// The paper's SYS1 experimental setup with laptop-scale MCMC defaults:
+/// observation days {48,67,86,96,106,116,126,136,146}, eventual total 136,
+/// 2 chains x (500 burn-in + 2500 retained).
+SweepOptions paper_sweep_options();
+
+}  // namespace srm::report

@@ -1,0 +1,203 @@
+#include "report/tables.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace srm::report {
+
+namespace {
+
+using support::Table;
+
+std::string day_label(std::size_t day) {
+  return std::to_string(day) + "days";
+}
+
+std::vector<std::string> model_header() {
+  std::vector<std::string> header{""};
+  for (const auto kind : core::all_detection_model_kinds()) {
+    header.push_back(core::to_string(kind));
+  }
+  return header;
+}
+
+std::string prior_title(core::PriorKind prior) {
+  return prior == core::PriorKind::kPoisson
+             ? "(i) Poisson prior."
+             : "(ii) Negative binomial prior.";
+}
+
+double statistic_value(const core::ObservationResult& result,
+                       PosteriorStatistic statistic) {
+  switch (statistic) {
+    case PosteriorStatistic::kMean:
+      return result.posterior.summary.mean;
+    case PosteriorStatistic::kMedian:
+      return static_cast<double>(result.posterior.summary.median);
+    case PosteriorStatistic::kMode:
+      return static_cast<double>(result.posterior.summary.mode);
+    case PosteriorStatistic::kStdDev:
+      return result.posterior.summary.sd;
+  }
+  throw InvalidArgument("unknown PosteriorStatistic");
+}
+
+std::string statistic_title(PosteriorStatistic statistic) {
+  switch (statistic) {
+    case PosteriorStatistic::kMean:
+      return "Comparison of mean values of the posterior distributions.";
+    case PosteriorStatistic::kMedian:
+      return "Comparison of medians of the posterior distributions.";
+    case PosteriorStatistic::kMode:
+      return "Comparison of modes of the posterior distributions.";
+    case PosteriorStatistic::kStdDev:
+      return "Comparison of standard deviations of the posterior "
+             "distributions.";
+  }
+  throw InvalidArgument("unknown PosteriorStatistic");
+}
+
+int statistic_digits(PosteriorStatistic statistic) {
+  return (statistic == PosteriorStatistic::kMedian ||
+          statistic == PosteriorStatistic::kMode)
+             ? 0
+             : 3;
+}
+
+}  // namespace
+
+std::string render_dataset_figure(const data::BugCountData& data) {
+  std::ostringstream out;
+  out << "Dataset: " << data.name() << " — " << data.total()
+      << " bugs over " << data.days() << " testing days\n\n";
+
+  // ASCII cumulative curve, one row per 4 days, 60 columns wide.
+  const double scale =
+      60.0 / static_cast<double>(std::max<std::int64_t>(data.total(), 1));
+  for (std::size_t day = 4; day <= data.days(); day += 4) {
+    const std::int64_t s = data.cumulative_through(day);
+    const auto bar = static_cast<std::size_t>(
+        std::lround(static_cast<double>(s) * scale));
+    out << "day " << (day < 10 ? "  " : day < 100 ? " " : "") << day << " |"
+        << std::string(bar, '#') << " " << s << '\n';
+  }
+
+  out << '\n';
+  Table t("Daily bug counts");
+  t.set_header({"day", "count", "cumulative"});
+  for (std::size_t day = 1; day <= data.days(); ++day) {
+    t.add_row({std::to_string(day), std::to_string(data.count_on_day(day)),
+               std::to_string(data.cumulative_through(day))});
+  }
+  out << t.render();
+  return out.str();
+}
+
+std::string render_waic_table(const SweepResult& sweep) {
+  std::ostringstream out;
+  out << "TABLE I: Comparison of WAIC.\n\n";
+  for (const auto prior :
+       {core::PriorKind::kPoisson, core::PriorKind::kNegativeBinomial}) {
+    Table t(prior_title(prior));
+    t.set_header(model_header());
+    for (std::size_t d = 0; d < sweep.observation_days.size(); ++d) {
+      std::vector<std::string> row{day_label(sweep.observation_days[d])};
+      for (const auto kind : core::all_detection_model_kinds()) {
+        const auto& cell = sweep.cell(prior, kind);
+        row.push_back(support::format_double(cell.results[d].waic.waic, 3));
+      }
+      t.add_row(std::move(row));
+    }
+    out << t.render() << '\n';
+  }
+  return out.str();
+}
+
+std::string render_posterior_table(const SweepResult& sweep,
+                                   PosteriorStatistic statistic) {
+  const bool with_deviation = statistic != PosteriorStatistic::kStdDev;
+  const int digits = statistic_digits(statistic);
+  std::ostringstream out;
+  out << statistic_title(statistic) << "\n\n";
+  for (const auto prior :
+       {core::PriorKind::kPoisson, core::PriorKind::kNegativeBinomial}) {
+    Table t(prior_title(prior));
+    t.set_header(model_header());
+    for (std::size_t d = 0; d < sweep.observation_days.size(); ++d) {
+      std::vector<std::string> row{day_label(sweep.observation_days[d])};
+      for (const auto kind : core::all_detection_model_kinds()) {
+        const auto& result = sweep.cell(prior, kind).results[d];
+        const double value = statistic_value(result, statistic);
+        std::string cell = support::format_double(value, digits);
+        if (with_deviation) {
+          const double deviation =
+              value - static_cast<double>(result.actual_residual);
+          cell += " " + support::format_deviation(deviation, digits);
+        }
+        row.push_back(std::move(cell));
+      }
+      t.add_row(std::move(row));
+    }
+    out << t.render() << '\n';
+  }
+  return out.str();
+}
+
+std::string render_boxplot_figure(const SweepResult& sweep,
+                                  core::PriorKind prior) {
+  std::ostringstream out;
+  out << "Box plots of posterior distributions of the residual bug count ("
+      << core::to_string(prior) << " prior)\n\n";
+  for (std::size_t d = 0; d < sweep.observation_days.size(); ++d) {
+    out << "-- observation point: " << sweep.observation_days[d]
+        << " days --\n";
+    std::vector<support::BoxStats> boxes;
+    for (const auto kind : core::all_detection_model_kinds()) {
+      const auto& result = sweep.cell(prior, kind).results[d];
+      support::BoxStats box;
+      box.label = core::to_string(kind);
+      box.whisker_low = result.posterior.box.whisker_low;
+      box.q1 = result.posterior.box.q1;
+      box.median = result.posterior.box.median;
+      box.q3 = result.posterior.box.q3;
+      box.whisker_high = result.posterior.box.whisker_high;
+      boxes.push_back(std::move(box));
+    }
+    out << support::render_box_plots(boxes, 64) << '\n';
+  }
+  return out.str();
+}
+
+std::string render_diagnostics_table(const SweepResult& sweep,
+                                     std::size_t observation_day) {
+  std::size_t day_index = sweep.observation_days.size();
+  for (std::size_t d = 0; d < sweep.observation_days.size(); ++d) {
+    if (sweep.observation_days[d] == observation_day) day_index = d;
+  }
+  SRM_EXPECTS(day_index < sweep.observation_days.size(),
+              "observation day not part of the sweep");
+
+  std::ostringstream out;
+  out << "Convergence diagnostics at " << observation_day
+      << " days (PSRF < 1.1 and |Geweke Z| < 1.96 indicate convergence)\n\n";
+  Table t;
+  t.set_header({"prior", "model", "parameter", "mean", "PSRF", "Geweke Z",
+                "ESS", "ok"});
+  for (const auto& cell : sweep.cells) {
+    for (const auto& diag : cell.results[day_index].diagnostics) {
+      const bool ok = diag.psrf < 1.1 && std::abs(diag.geweke_z) < 1.96;
+      t.add_row({core::to_string(cell.prior), core::to_string(cell.model),
+                 diag.name, support::format_double(diag.posterior_mean, 3),
+                 support::format_double(diag.psrf, 3),
+                 support::format_double(diag.geweke_z, 3),
+                 support::format_double(diag.ess, 1), ok ? "yes" : "NO"});
+    }
+  }
+  out << t.render();
+  return out.str();
+}
+
+}  // namespace srm::report

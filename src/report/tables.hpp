@@ -1,0 +1,44 @@
+// Projections of a SweepResult into the paper's tables and figures:
+//   Table I    — WAIC per (prior, model, observation day)
+//   Table II   — posterior means (+ deviation from the actual residual)
+//   Table III  — posterior medians (+ deviation)
+//   Table IV   — posterior modes (+ deviation)
+//   Table V    — posterior standard deviations
+//   Figs 2-3   — ASCII box plots of the residual posterior per day
+// plus the dataset listing of Fig. 1. Each renderer returns a printable
+// string; the bench binaries just stream it to stdout.
+#pragma once
+
+#include <string>
+
+#include "data/bug_count_data.hpp"
+#include "report/sweep.hpp"
+
+namespace srm::report {
+
+/// Which posterior statistic a table shows.
+enum class PosteriorStatistic { kMean, kMedian, kMode, kStdDev };
+
+/// Fig 1: the dataset as "day, count, cumulative" rows plus an ASCII
+/// cumulative curve.
+std::string render_dataset_figure(const data::BugCountData& data);
+
+/// Table I (one sub-table per prior).
+std::string render_waic_table(const SweepResult& sweep);
+
+/// Tables II-V. Deviation columns are shown for mean/median/mode (matching
+/// the paper, which omits them for the standard deviation).
+std::string render_posterior_table(const SweepResult& sweep,
+                                   PosteriorStatistic statistic);
+
+/// Figs 2-3: box plots for one prior across all observation days and
+/// detection models.
+std::string render_boxplot_figure(const SweepResult& sweep,
+                                  core::PriorKind prior);
+
+/// Convergence report: PSRF / Geweke / ESS for every parameter of every
+/// cell at one observation day (Section 4.2's diagnostics).
+std::string render_diagnostics_table(const SweepResult& sweep,
+                                     std::size_t observation_day);
+
+}  // namespace srm::report

@@ -1,0 +1,39 @@
+#include "stats/beta.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "random/samplers.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace srm::stats {
+
+Beta::Beta(double a, double b) : a_(a), b_(b) {
+  SRM_EXPECTS(a > 0.0 && std::isfinite(a), "Beta requires a > 0");
+  SRM_EXPECTS(b > 0.0 && std::isfinite(b), "Beta requires b > 0");
+}
+
+double Beta::log_pdf(double x) const {
+  if (x <= 0.0 || x >= 1.0) return -std::numeric_limits<double>::infinity();
+  return (a_ - 1.0) * std::log(x) + (b_ - 1.0) * std::log1p(-x) -
+         math::log_beta(a_, b_);
+}
+
+double Beta::pdf(double x) const { return std::exp(log_pdf(x)); }
+
+double Beta::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  return math::regularized_beta(a_, b_, x);
+}
+
+double Beta::quantile(double p) const {
+  return math::inverse_regularized_beta(a_, b_, p);
+}
+
+double Beta::sample(random::Rng& rng) const {
+  return random::sample_beta(rng, a_, b_);
+}
+
+}  // namespace srm::stats

@@ -1,0 +1,36 @@
+// Beta distribution — the exact Gibbs conditional of the negative-binomial
+// hyperparameter beta_0 given (N, alpha_0) under the Uniform(0,1) hyperprior:
+// p(beta_0 | N, alpha_0) ∝ beta_0^{alpha_0} (1 - beta_0)^N, i.e.
+// Beta(alpha_0 + 1, N + 1).
+#pragma once
+
+#include "random/rng.hpp"
+
+namespace srm::stats {
+
+class Beta {
+ public:
+  /// a, b > 0.
+  Beta(double a, double b);
+
+  [[nodiscard]] double log_pdf(double x) const;
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double quantile(double p) const;
+
+  [[nodiscard]] double a() const { return a_; }
+  [[nodiscard]] double b() const { return b_; }
+  [[nodiscard]] double mean() const { return a_ / (a_ + b_); }
+  [[nodiscard]] double variance() const {
+    const double s = a_ + b_;
+    return a_ * b_ / (s * s * (s + 1.0));
+  }
+
+  [[nodiscard]] double sample(random::Rng& rng) const;
+
+ private:
+  double a_;
+  double b_;
+};
+
+}  // namespace srm::stats

@@ -1,0 +1,56 @@
+#include "stats/binomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "random/samplers.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace srm::stats {
+
+Binomial::Binomial(std::int64_t n, double p) : n_(n), p_(p) {
+  SRM_EXPECTS(n >= 0, "Binomial requires n >= 0");
+  SRM_EXPECTS(p >= 0.0 && p <= 1.0, "Binomial requires p in [0, 1]");
+}
+
+double Binomial::log_pmf(std::int64_t k) const {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  if (k < 0 || k > n_) return kNegInf;
+  if (p_ == 0.0) return k == 0 ? 0.0 : kNegInf;
+  if (p_ == 1.0) return k == n_ ? 0.0 : kNegInf;
+  return math::log_binomial(n_, k) + static_cast<double>(k) * std::log(p_) +
+         static_cast<double>(n_ - k) * std::log1p(-p_);
+}
+
+double Binomial::pmf(std::int64_t k) const { return std::exp(log_pmf(k)); }
+
+double Binomial::cdf(std::int64_t k) const {
+  if (k < 0) return 0.0;
+  if (k >= n_) return 1.0;
+  if (p_ == 0.0) return 1.0;
+  if (p_ == 1.0) return 0.0;  // k < n here
+  return math::regularized_beta(static_cast<double>(n_ - k),
+                                static_cast<double>(k) + 1.0, 1.0 - p_);
+}
+
+std::int64_t Binomial::quantile(double prob) const {
+  SRM_EXPECTS(prob >= 0.0 && prob <= 1.0,
+              "Binomial::quantile requires p in [0, 1]");
+  if (prob == 0.0) return 0;
+  if (prob == 1.0) return n_;
+  const double guess = mean() + std::sqrt(std::max(variance(), 0.0)) *
+                                    math::normal_quantile(prob);
+  auto k = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::floor(guess)), 0, n_);
+  while (k > 0 && cdf(k - 1) >= prob) --k;
+  while (k < n_ && cdf(k) < prob) ++k;
+  return k;
+}
+
+std::int64_t Binomial::sample(random::Rng& rng) const {
+  return random::sample_binomial(rng, n_, p_);
+}
+
+}  // namespace srm::stats

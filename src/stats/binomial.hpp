@@ -1,0 +1,36 @@
+// Binomial distribution — the per-testing-day bug detection law of Eq (1):
+// X_i | (N - s_{i-1} remaining, detection probability p_i) ~ Binomial.
+#pragma once
+
+#include <cstdint>
+
+#include "random/rng.hpp"
+
+namespace srm::stats {
+
+class Binomial {
+ public:
+  /// n >= 0 trials, success probability p in [0, 1].
+  Binomial(std::int64_t n, double p);
+
+  [[nodiscard]] double log_pmf(std::int64_t k) const;
+  [[nodiscard]] double pmf(std::int64_t k) const;
+  /// P(K <= k) = I_{1-p}(n - k, k + 1).
+  [[nodiscard]] double cdf(std::int64_t k) const;
+  [[nodiscard]] std::int64_t quantile(double prob) const;
+
+  [[nodiscard]] std::int64_t trials() const { return n_; }
+  [[nodiscard]] double success_probability() const { return p_; }
+  [[nodiscard]] double mean() const { return static_cast<double>(n_) * p_; }
+  [[nodiscard]] double variance() const {
+    return static_cast<double>(n_) * p_ * (1.0 - p_);
+  }
+
+  [[nodiscard]] std::int64_t sample(random::Rng& rng) const;
+
+ private:
+  std::int64_t n_;
+  double p_;
+};
+
+}  // namespace srm::stats

@@ -1,0 +1,78 @@
+#include "stats/gamma.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "random/samplers.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace srm::stats {
+
+Gamma::Gamma(double shape, double rate) : shape_(shape), rate_(rate) {
+  SRM_EXPECTS(shape > 0.0 && std::isfinite(shape), "Gamma requires shape > 0");
+  SRM_EXPECTS(rate > 0.0 && std::isfinite(rate), "Gamma requires rate > 0");
+}
+
+double Gamma::log_pdf(double x) const {
+  if (x <= 0.0) return -std::numeric_limits<double>::infinity();
+  return shape_ * std::log(rate_) + (shape_ - 1.0) * std::log(x) -
+         rate_ * x - std::lgamma(shape_);
+}
+
+double Gamma::pdf(double x) const { return std::exp(log_pdf(x)); }
+
+double Gamma::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return math::regularized_gamma_p(shape_, rate_ * x);
+}
+
+double Gamma::quantile(double p) const {
+  SRM_EXPECTS(p >= 0.0 && p < 1.0, "Gamma::quantile requires p in [0, 1)");
+  return math::inverse_regularized_gamma_p(shape_, p) / rate_;
+}
+
+double Gamma::sample(random::Rng& rng) const {
+  return random::sample_gamma(rng, shape_, rate_);
+}
+
+TruncatedGamma::TruncatedGamma(double shape, double rate, double upper)
+    : base_(shape, rate), upper_(upper), mass_(base_.cdf(upper)) {
+  SRM_EXPECTS(upper > 0.0, "TruncatedGamma requires upper > 0");
+}
+
+double TruncatedGamma::log_pdf(double x) const {
+  if (x <= 0.0 || x > upper_) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  if (mass_ <= 0.0) return -std::numeric_limits<double>::infinity();
+  return base_.log_pdf(x) - std::log(mass_);
+}
+
+double TruncatedGamma::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= upper_) return 1.0;
+  if (mass_ <= 0.0) return 0.0;
+  return base_.cdf(x) / mass_;
+}
+
+double TruncatedGamma::quantile(double p) const {
+  SRM_EXPECTS(p >= 0.0 && p < 1.0,
+              "TruncatedGamma::quantile requires p in [0, 1)");
+  if (mass_ <= 0.0) return upper_;
+  return std::min(base_.quantile(p * mass_), upper_);
+}
+
+double TruncatedGamma::mean() const {
+  if (mass_ <= 0.0) return upper_;
+  const double numerator =
+      math::regularized_gamma_p(base_.shape() + 1.0, base_.rate() * upper_);
+  return base_.mean() * numerator / mass_;
+}
+
+double TruncatedGamma::sample(random::Rng& rng) const {
+  return random::sample_truncated_gamma(rng, base_.shape(), base_.rate(),
+                                        upper_);
+}
+
+}  // namespace srm::stats

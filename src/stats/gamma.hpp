@@ -1,0 +1,56 @@
+// Gamma distribution (shape/rate) and its truncation to (0, upper].
+//
+// The truncated gamma is the exact Gibbs conditional of the Poisson-prior
+// hyperparameter lambda_0 given N under the Uniform(0, lambda_max)
+// hyperprior: p(lambda_0 | N) ∝ lambda_0^N e^{-lambda_0} on (0, lambda_max).
+#pragma once
+
+#include "random/rng.hpp"
+
+namespace srm::stats {
+
+class Gamma {
+ public:
+  /// shape > 0, rate > 0; mean = shape / rate.
+  Gamma(double shape, double rate);
+
+  [[nodiscard]] double log_pdf(double x) const;
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double quantile(double p) const;
+
+  [[nodiscard]] double shape() const { return shape_; }
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] double mean() const { return shape_ / rate_; }
+  [[nodiscard]] double variance() const { return shape_ / (rate_ * rate_); }
+
+  [[nodiscard]] double sample(random::Rng& rng) const;
+
+ private:
+  double shape_;
+  double rate_;
+};
+
+/// Gamma(shape, rate) conditioned on X <= upper.
+class TruncatedGamma {
+ public:
+  TruncatedGamma(double shape, double rate, double upper);
+
+  [[nodiscard]] double log_pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double quantile(double p) const;
+  /// Mean by the closed-form identity
+  /// E[X | X <= u] = (shape/rate) * P(shape+1, rate u) / P(shape, rate u).
+  [[nodiscard]] double mean() const;
+
+  [[nodiscard]] double upper() const { return upper_; }
+
+  [[nodiscard]] double sample(random::Rng& rng) const;
+
+ private:
+  Gamma base_;
+  double upper_;
+  double mass_;  // P(X_base <= upper), cached normalizer
+};
+
+}  // namespace srm::stats

@@ -1,0 +1,40 @@
+// Generalized Pareto distribution (GPD) over exceedances y >= 0:
+//   F(y) = 1 - (1 + k y / sigma)^{-1/k}   (k != 0),
+//   F(y) = 1 - exp(-y / sigma)            (k == 0),
+// plus the Zhang-Stephens (2009) quasi-Bayesian estimator of (k, sigma) —
+// the fit PSIS-LOO uses to smooth importance-weight tails (Vehtari,
+// Gelman & Gabry 2017).
+#pragma once
+
+#include <span>
+
+namespace srm::stats {
+
+class GeneralizedPareto {
+ public:
+  /// sigma > 0; k may be negative (bounded support), zero (exponential) or
+  /// positive (heavy tail).
+  GeneralizedPareto(double k, double sigma);
+
+  [[nodiscard]] double k() const { return k_; }
+  [[nodiscard]] double sigma() const { return sigma_; }
+
+  [[nodiscard]] double cdf(double y) const;
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double log_pdf(double y) const;
+  /// Mean, defined for k < 1 (infinite otherwise).
+  [[nodiscard]] double mean() const;
+
+ private:
+  double k_;
+  double sigma_;
+};
+
+/// Zhang-Stephens profile-posterior estimate of the GPD parameters from a
+/// sample of exceedances (all > 0). Requires at least 5 observations.
+/// `regularize` applies the weakly-informative shrinkage of the loo
+/// package (k <- (n k + 5) / (n + 10)), which stabilizes small tails.
+GeneralizedPareto fit_generalized_pareto(std::span<const double> exceedances,
+                                         bool regularize = true);
+
+}  // namespace srm::stats

@@ -1,0 +1,66 @@
+#include "stats/negative_binomial.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "random/samplers.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace srm::stats {
+
+NegativeBinomial::NegativeBinomial(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  SRM_EXPECTS(alpha > 0.0 && std::isfinite(alpha),
+              "NegativeBinomial requires alpha > 0");
+  SRM_EXPECTS(beta > 0.0 && beta < 1.0,
+              "NegativeBinomial requires beta in (0, 1)");
+}
+
+double NegativeBinomial::log_pmf(std::int64_t k) const {
+  if (k < 0) return -std::numeric_limits<double>::infinity();
+  return math::log_negbinomial_coefficient(alpha_, k) +
+         alpha_ * std::log(beta_) +
+         static_cast<double>(k) * std::log1p(-beta_);
+}
+
+double NegativeBinomial::pmf(std::int64_t k) const {
+  return std::exp(log_pmf(k));
+}
+
+double NegativeBinomial::cdf(std::int64_t k) const {
+  if (k < 0) return 0.0;
+  return math::regularized_beta(alpha_, static_cast<double>(k) + 1.0, beta_);
+}
+
+std::int64_t NegativeBinomial::quantile(double p) const {
+  SRM_EXPECTS(p >= 0.0 && p <= 1.0,
+              "NegativeBinomial::quantile requires p in [0, 1]");
+  if (p == 0.0) return 0;
+  if (p == 1.0) return std::numeric_limits<std::int64_t>::max();
+  const double mu = mean();
+  const double sd = std::sqrt(variance());
+  const double guess = mu + sd * math::normal_quantile(p);
+  auto k = static_cast<std::int64_t>(std::max(0.0, std::floor(guess)));
+  while (k > 0 && cdf(k - 1) >= p) --k;
+  while (cdf(k) < p) ++k;
+  return k;
+}
+
+std::int64_t NegativeBinomial::mode() const {
+  if (alpha_ <= 1.0) return 0;
+  const double m = (alpha_ - 1.0) * (1.0 - beta_) / beta_;
+  // When m is integral the pmf ties at m-1 and m; return the smaller mode
+  // (the same convention summarize_integers uses for sample modes).
+  const double rounded = std::round(m);
+  if (std::abs(m - rounded) < 1e-9) {
+    return static_cast<std::int64_t>(rounded) - 1;
+  }
+  return static_cast<std::int64_t>(std::floor(m));
+}
+
+std::int64_t NegativeBinomial::sample(random::Rng& rng) const {
+  return random::sample_negative_binomial(rng, alpha_, beta_);
+}
+
+}  // namespace srm::stats

@@ -1,0 +1,43 @@
+// Negative binomial distribution with real shape parameter.
+//
+// Parametrization (the one used throughout the paper's Section 3.2):
+//   P(K = k) = C(k + alpha - 1, k) * beta^alpha * (1 - beta)^k,
+// alpha > 0 real, beta in (0, 1); mean = alpha (1-beta)/beta. This is the
+// prior of the initial bug content N under the NHMPP-based SRM and — by
+// Proposition 2 — the posterior of the residual bug count.
+#pragma once
+
+#include <cstdint>
+
+#include "random/rng.hpp"
+
+namespace srm::stats {
+
+class NegativeBinomial {
+ public:
+  NegativeBinomial(double alpha, double beta);
+
+  [[nodiscard]] double log_pmf(std::int64_t k) const;
+  [[nodiscard]] double pmf(std::int64_t k) const;
+  /// P(K <= k) = I_beta(alpha, k + 1) (regularized incomplete beta).
+  [[nodiscard]] double cdf(std::int64_t k) const;
+  /// Smallest k with cdf(k) >= p.
+  [[nodiscard]] std::int64_t quantile(double p) const;
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double beta() const { return beta_; }
+  [[nodiscard]] double mean() const { return alpha_ * (1.0 - beta_) / beta_; }
+  [[nodiscard]] double variance() const {
+    return alpha_ * (1.0 - beta_) / (beta_ * beta_);
+  }
+  /// Mode = floor((alpha-1)(1-beta)/beta) for alpha > 1, else 0.
+  [[nodiscard]] std::int64_t mode() const;
+
+  [[nodiscard]] std::int64_t sample(random::Rng& rng) const;
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+}  // namespace srm::stats

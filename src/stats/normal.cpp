@@ -1,0 +1,35 @@
+#include "stats/normal.hpp"
+
+#include <cmath>
+
+#include "random/samplers.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace srm::stats {
+
+Normal::Normal(double mean, double sd) : mean_(mean), sd_(sd) {
+  SRM_EXPECTS(sd > 0.0 && std::isfinite(sd), "Normal requires sd > 0");
+  SRM_EXPECTS(std::isfinite(mean), "Normal requires finite mean");
+}
+
+double Normal::log_pdf(double x) const {
+  const double z = (x - mean_) / sd_;
+  return -0.5 * z * z - std::log(sd_) - 0.5 * std::log(2.0 * M_PI);
+}
+
+double Normal::pdf(double x) const { return std::exp(log_pdf(x)); }
+
+double Normal::cdf(double x) const {
+  return math::normal_cdf((x - mean_) / sd_);
+}
+
+double Normal::quantile(double p) const {
+  return mean_ + sd_ * math::normal_quantile(p);
+}
+
+double Normal::sample(random::Rng& rng) const {
+  return random::sample_normal(rng, mean_, sd_);
+}
+
+}  // namespace srm::stats

@@ -1,0 +1,30 @@
+// Normal distribution — used by the convergence diagnostics (Geweke's Z is
+// referred to a standard normal) and by sampler goodness-of-fit tests.
+#pragma once
+
+#include "random/rng.hpp"
+
+namespace srm::stats {
+
+class Normal {
+ public:
+  /// sd > 0.
+  Normal(double mean, double sd);
+
+  [[nodiscard]] double log_pdf(double x) const;
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double quantile(double p) const;
+
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double sd() const { return sd_; }
+  [[nodiscard]] double variance() const { return sd_ * sd_; }
+
+  [[nodiscard]] double sample(random::Rng& rng) const;
+
+ private:
+  double mean_;
+  double sd_;
+};
+
+}  // namespace srm::stats

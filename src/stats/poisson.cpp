@@ -1,0 +1,56 @@
+#include "stats/poisson.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "random/samplers.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace srm::stats {
+
+Poisson::Poisson(double mean) : mean_(mean) {
+  SRM_EXPECTS(mean >= 0.0 && std::isfinite(mean),
+              "Poisson requires finite mean >= 0");
+}
+
+double Poisson::log_pmf(std::int64_t k) const {
+  if (k < 0) return -std::numeric_limits<double>::infinity();
+  if (mean_ == 0.0) {
+    return k == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(k) * std::log(mean_) - mean_ -
+         math::log_factorial(k);
+}
+
+double Poisson::pmf(std::int64_t k) const { return std::exp(log_pmf(k)); }
+
+double Poisson::cdf(std::int64_t k) const {
+  if (k < 0) return 0.0;
+  if (mean_ == 0.0) return 1.0;
+  // P(X <= k) = Q(k + 1, mean).
+  return math::regularized_gamma_q(static_cast<double>(k) + 1.0, mean_);
+}
+
+std::int64_t Poisson::quantile(double p) const {
+  SRM_EXPECTS(p >= 0.0 && p <= 1.0, "Poisson::quantile requires p in [0, 1]");
+  if (mean_ == 0.0 || p == 0.0) return 0;
+  if (p == 1.0) return std::numeric_limits<std::int64_t>::max();
+  // Normal start then exact step search on the CDF.
+  const double guess =
+      mean_ + std::sqrt(mean_) * math::normal_quantile(p);
+  auto k = static_cast<std::int64_t>(std::max(0.0, std::floor(guess)));
+  while (k > 0 && cdf(k - 1) >= p) --k;
+  while (cdf(k) < p) ++k;
+  return k;
+}
+
+std::int64_t Poisson::mode() const {
+  return static_cast<std::int64_t>(std::floor(mean_));
+}
+
+std::int64_t Poisson::sample(random::Rng& rng) const {
+  return random::sample_poisson(rng, mean_);
+}
+
+}  // namespace srm::stats

@@ -1,0 +1,36 @@
+// Poisson distribution object. In the paper this is both the prior of the
+// initial bug content N under the NHPP-based SRM and — by Proposition 1 —
+// the posterior of the residual bug count.
+#pragma once
+
+#include <cstdint>
+
+#include "random/rng.hpp"
+
+namespace srm::stats {
+
+class Poisson {
+ public:
+  /// mean >= 0. A zero mean is the degenerate distribution at 0 (arises in
+  /// the paper when virtual testing drives the residual count to zero).
+  explicit Poisson(double mean);
+
+  [[nodiscard]] double log_pmf(std::int64_t k) const;
+  [[nodiscard]] double pmf(std::int64_t k) const;
+  /// P(X <= k); regularized upper incomplete gamma identity.
+  [[nodiscard]] double cdf(std::int64_t k) const;
+  /// Smallest k with cdf(k) >= p.
+  [[nodiscard]] std::int64_t quantile(double p) const;
+
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const { return mean_; }
+  /// Mode = floor(mean) (smaller of the two modes when mean is integral).
+  [[nodiscard]] std::int64_t mode() const;
+
+  [[nodiscard]] std::int64_t sample(random::Rng& rng) const;
+
+ private:
+  double mean_;
+};
+
+}  // namespace srm::stats

@@ -1,0 +1,39 @@
+#include "stats/uniform.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace srm::stats {
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  SRM_EXPECTS(lo < hi && std::isfinite(lo) && std::isfinite(hi),
+              "Uniform requires finite lo < hi");
+}
+
+double Uniform::log_pdf(double x) const {
+  if (x < lo_ || x > hi_) return -std::numeric_limits<double>::infinity();
+  return -std::log(hi_ - lo_);
+}
+
+double Uniform::pdf(double x) const {
+  return (x < lo_ || x > hi_) ? 0.0 : 1.0 / (hi_ - lo_);
+}
+
+double Uniform::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double Uniform::quantile(double p) const {
+  SRM_EXPECTS(p >= 0.0 && p <= 1.0, "Uniform::quantile requires p in [0, 1]");
+  return lo_ + p * (hi_ - lo_);
+}
+
+double Uniform::sample(random::Rng& rng) const {
+  return rng.uniform(lo_, hi_);
+}
+
+}  // namespace srm::stats

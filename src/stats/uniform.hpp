@@ -1,0 +1,34 @@
+// Continuous uniform distribution — the non-informative hyperprior the paper
+// places on every hyperparameter (Section 3.3, Eqs 15-17 and 19-22).
+#pragma once
+
+#include "random/rng.hpp"
+
+namespace srm::stats {
+
+class Uniform {
+ public:
+  /// lo < hi.
+  Uniform(double lo, double hi);
+
+  [[nodiscard]] double log_pdf(double x) const;
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double quantile(double p) const;
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] double mean() const { return 0.5 * (lo_ + hi_); }
+  [[nodiscard]] double variance() const {
+    const double w = hi_ - lo_;
+    return w * w / 12.0;
+  }
+
+  [[nodiscard]] double sample(random::Rng& rng) const;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+}  // namespace srm::stats

@@ -1,0 +1,77 @@
+#include "support/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace srm::support {
+
+CsvRows read_csv(std::istream& in) {
+  CsvRows rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::vector<std::string> row;
+    std::string cell;
+    std::istringstream cells(line);
+    while (std::getline(cells, cell, ',')) {
+      // Trim surrounding whitespace.
+      const auto b = cell.find_first_not_of(" \t");
+      const auto e = cell.find_last_not_of(" \t");
+      row.push_back(b == std::string::npos ? std::string{}
+                                           : cell.substr(b, e - b + 1));
+    }
+    if (!line.empty() && line.back() == ',') row.emplace_back();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+CsvRows read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  SRM_EXPECTS(in.good(), "cannot open CSV file: " + path);
+  return read_csv(in);
+}
+
+void write_csv(std::ostream& out, const CsvRows& rows) {
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const CsvRows& rows) {
+  std::ofstream out(path);
+  SRM_EXPECTS(out.good(), "cannot open CSV file for writing: " + path);
+  write_csv(out, rows);
+  SRM_EXPECTS(out.good(), "write failed for CSV file: " + path);
+}
+
+double parse_double(const std::string& cell) {
+  double value = 0.0;
+  const char* begin = cell.data();
+  const char* end = begin + cell.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  SRM_EXPECTS(ec == std::errc{} && ptr == end,
+              "malformed numeric CSV cell: '" + cell + "'");
+  return value;
+}
+
+long long parse_count(const std::string& cell) {
+  long long value = 0;
+  const char* begin = cell.data();
+  const char* end = begin + cell.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  SRM_EXPECTS(ec == std::errc{} && ptr == end && value >= 0,
+              "malformed count CSV cell: '" + cell + "'");
+  return value;
+}
+
+}  // namespace srm::support

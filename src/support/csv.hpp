@@ -1,0 +1,36 @@
+// Minimal CSV reader/writer for bug-count datasets and experiment output.
+//
+// The dialect is deliberately small: comma-separated, optional header row,
+// no quoting (the library never emits cells containing commas). Lines whose
+// first non-space character is '#' are treated as comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace srm::support {
+
+/// Rows of string cells; all parsing of numbers is the caller's business.
+using CsvRows = std::vector<std::vector<std::string>>;
+
+/// Parses CSV from a stream. Skips blank lines and '#' comments.
+CsvRows read_csv(std::istream& in);
+
+/// Parses CSV from a file. Throws srm::InvalidArgument if unreadable.
+CsvRows read_csv_file(const std::string& path);
+
+/// Writes rows as CSV to a stream.
+void write_csv(std::ostream& out, const CsvRows& rows);
+
+/// Writes rows as CSV to a file. Throws srm::InvalidArgument on failure.
+void write_csv_file(const std::string& path, const CsvRows& rows);
+
+/// Parses a cell as double; throws srm::InvalidArgument naming the cell on
+/// malformed input.
+double parse_double(const std::string& cell);
+
+/// Parses a cell as a non-negative integer count.
+long long parse_count(const std::string& cell);
+
+}  // namespace srm::support

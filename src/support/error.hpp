@@ -1,0 +1,70 @@
+// Error handling and contract machinery for the bayes-srm library.
+//
+// Conventions (C++ Core Guidelines E.2, I.5/I.7):
+//  * Precondition violations on the public API throw srm::InvalidArgument
+//    via SRM_EXPECTS — callers can recover and the message names the
+//    violated condition.
+//  * Internal invariants use SRM_ENSURES/SRM_ASSERT which throw
+//    srm::LogicError; a failure indicates a library bug, not user error.
+//  * Numerical failures (non-convergence, domain errors discovered at
+//    run time) throw srm::NumericError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace srm {
+
+/// Base class of every exception thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant failed — indicates a bug inside the library.
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed to converge or left its domain.
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* condition, const char* file,
+                                         int line, const std::string& message);
+[[noreturn]] void throw_logic_error(const char* condition, const char* file,
+                                    int line, const std::string& message);
+}  // namespace detail
+
+}  // namespace srm
+
+/// Precondition check on a public API. Throws srm::InvalidArgument.
+#define SRM_EXPECTS(cond, message)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::srm::detail::throw_invalid_argument(#cond, __FILE__, __LINE__,      \
+                                            (message));                    \
+    }                                                                       \
+  } while (false)
+
+/// Postcondition / invariant check. Throws srm::LogicError.
+#define SRM_ENSURES(cond, message)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::srm::detail::throw_logic_error(#cond, __FILE__, __LINE__,           \
+                                       (message));                         \
+    }                                                                       \
+  } while (false)
+
+/// Alias for mid-function invariant checks.
+#define SRM_ASSERT(cond, message) SRM_ENSURES(cond, message)

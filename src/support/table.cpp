@@ -1,0 +1,126 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace srm::support {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  SRM_EXPECTS(header_.empty() || row.size() == header_.size(),
+              "Table row width must match the header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  // Column widths = max over header and all rows.
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) measure(row);
+
+  auto emit = [&](std::ostringstream& out, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out << (c == 0 ? "| " : " ");
+      out << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << '\n';
+  std::size_t total = 1;
+  for (std::size_t c = 0; c < cols; ++c) total += width[c] + 3;
+  const std::string rule(total, '-');
+  out << rule << '\n';
+  if (!header_.empty()) {
+    emit(out, header_);
+    out << rule << '\n';
+  }
+  for (const auto& row : rows_) emit(out, row);
+  out << rule << '\n';
+  return out.str();
+}
+
+std::string format_double(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string format_deviation(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "(%+.*f)", digits, value);
+  return buffer;
+}
+
+std::string render_box_plots(const std::vector<BoxStats>& boxes, int width) {
+  SRM_EXPECTS(width >= 10, "box plot width must be at least 10 cells");
+  if (boxes.empty()) return {};
+
+  double lo = boxes.front().whisker_low;
+  double hi = boxes.front().whisker_high;
+  std::size_t label_width = 0;
+  for (const auto& b : boxes) {
+    SRM_EXPECTS(b.whisker_low <= b.q1 && b.q1 <= b.median &&
+                    b.median <= b.q3 && b.q3 <= b.whisker_high,
+                "box statistics must be ordered");
+    lo = std::min(lo, b.whisker_low);
+    hi = std::max(hi, b.whisker_high);
+    label_width = std::max(label_width, b.label.size());
+  }
+  if (hi <= lo) hi = lo + 1.0;  // degenerate posteriors collapse to a point
+
+  const double scale = (width - 1) / (hi - lo);
+  auto cell = [&](double v) {
+    return std::clamp(static_cast<int>(std::lround((v - lo) * scale)), 0,
+                      width - 1);
+  };
+
+  std::ostringstream out;
+  for (const auto& b : boxes) {
+    std::string line(static_cast<std::size_t>(width), ' ');
+    const int wl = cell(b.whisker_low);
+    const int q1 = cell(b.q1);
+    const int md = cell(b.median);
+    const int q3 = cell(b.q3);
+    const int wh = cell(b.whisker_high);
+    for (int i = wl; i <= wh; ++i) line[static_cast<std::size_t>(i)] = '-';
+    for (int i = q1; i <= q3; ++i) line[static_cast<std::size_t>(i)] = '=';
+    line[static_cast<std::size_t>(wl)] = '|';
+    line[static_cast<std::size_t>(wh)] = '|';
+    line[static_cast<std::size_t>(q1)] = '[';
+    line[static_cast<std::size_t>(q3)] = ']';
+    line[static_cast<std::size_t>(md)] = '#';
+    out << b.label << std::string(label_width - b.label.size(), ' ') << " |"
+        << line << "|\n";
+  }
+  out << std::string(label_width, ' ') << " +" << std::string(width, '-')
+      << "+\n";
+  std::ostringstream axis;
+  const std::string lo_str = format_double(lo, 1);
+  const std::string hi_str = format_double(hi, 1);
+  axis << std::string(label_width, ' ') << "  " << lo_str;
+  const int pad = width - static_cast<int>(lo_str.size()) -
+                  static_cast<int>(hi_str.size());
+  axis << std::string(static_cast<std::size_t>(std::max(pad, 1)), ' ')
+       << hi_str << '\n';
+  out << axis.str();
+  return out.str();
+}
+
+}  // namespace srm::support

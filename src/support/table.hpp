@@ -1,0 +1,63 @@
+// Fixed-width ASCII table rendering used by the bench binaries to print the
+// paper's tables, and an ASCII horizontal box-plot renderer for the figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace srm::support {
+
+/// A simple column-aligned text table with an optional title.
+///
+/// Usage:
+///   Table t{"Comparison of WAIC"};
+///   t.set_header({"", "model0", "model1"});
+///   t.add_row({"48days", "171.8", "168.6"});
+///   std::cout << t.render();
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with `|`-separated columns and a rule under the header.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `digits` digits after the decimal point.
+[[nodiscard]] std::string format_double(double value, int digits = 3);
+
+/// Formats `value` as a signed deviation, e.g. "(+5.550)" / "(-13.211)".
+[[nodiscard]] std::string format_deviation(double value, int digits = 3);
+
+/// Five-number summary consumed by the box-plot renderer.
+struct BoxStats {
+  std::string label;
+  double whisker_low = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double whisker_high = 0.0;
+};
+
+/// Renders horizontal ASCII box plots on a shared axis:
+///
+///   model0 |        |----[===|=====]------|
+///   model1 | |-[=|]--|
+///          +------------------------------+
+///          0                            820
+///
+/// `width` is the number of character cells for the axis.
+[[nodiscard]] std::string render_box_plots(const std::vector<BoxStats>& boxes,
+                                           int width = 60);
+
+}  // namespace srm::support

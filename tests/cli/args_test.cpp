@@ -1,0 +1,55 @@
+// Tests for the CLI flag parser.
+#include "cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace {
+
+using srm::cli::Args;
+
+TEST(Args, ParsesValuesAndSwitches) {
+  const auto args = Args::parse({"--csv", "file.csv", "--jeffreys",
+                                 "--days", "48"});
+  EXPECT_EQ(args.require_string("csv"), "file.csv");
+  EXPECT_TRUE(args.has("jeffreys"));
+  EXPECT_EQ(args.get_int("days", 0), 48);
+  EXPECT_TRUE(args.unused().empty());
+}
+
+TEST(Args, FallbacksWhenAbsent) {
+  const auto args = Args::parse({});
+  EXPECT_EQ(args.get_string("prior", "poisson"), "poisson");
+  EXPECT_DOUBLE_EQ(args.get_double("lambda-max", 2000.0), 2000.0);
+  EXPECT_EQ(args.get_int("chains", 2), 2);
+  EXPECT_FALSE(args.has("anything"));
+}
+
+TEST(Args, NumericValidation) {
+  const auto args = Args::parse({"--days", "abc", "--rate", "1.5"});
+  EXPECT_THROW(args.get_int("days", 0), srm::InvalidArgument);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 1.5);
+}
+
+TEST(Args, RequiredFlagMissingThrows) {
+  const auto args = Args::parse({"--other", "x"});
+  EXPECT_THROW(args.require_string("csv"), srm::InvalidArgument);
+}
+
+TEST(Args, MalformedTokensThrow) {
+  EXPECT_THROW(Args::parse({"positional"}), srm::InvalidArgument);
+  EXPECT_THROW(Args::parse({"--dup", "1", "--dup", "2"}),
+               srm::InvalidArgument);
+  EXPECT_THROW(Args::parse({"--"}), srm::InvalidArgument);
+}
+
+TEST(Args, UnusedTracksUnreadFlags) {
+  const auto args = Args::parse({"--read", "1", "--typo", "2"});
+  EXPECT_EQ(args.get_int("read", 0), 1);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// End-to-end tests of the CLI subcommands (via the dispatch function, so
+// the binary's plumbing is covered without spawning processes).
+#include "cli/commands.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using srm::cli::dispatch;
+
+struct RunResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+RunResult run(const std::string& command,
+              const std::vector<std::string>& flags) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = dispatch(command, flags, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Cli, FitOnEmbeddedDataset) {
+  const auto result =
+      run("fit", {"--csv", "sys1", "--days", "48", "--model", "model1",
+                  "--iterations", "400", "--burn-in", "100"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("residual bug posterior"), std::string::npos);
+  EXPECT_NE(result.out.find("WAIC"), std::string::npos);
+  EXPECT_NE(result.out.find("PSRF"), std::string::npos);
+}
+
+TEST(Cli, MleOnNtds) {
+  const auto result = run("mle", {"--csv", "ntds"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("AIC"), std::string::npos);
+  EXPECT_NE(result.out.find("model1"), std::string::npos);
+}
+
+TEST(Cli, NhppBaseline) {
+  const auto result = run("nhpp", {"--csv", "sys1", "--days", "48"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("goel-okumoto"), std::string::npos);
+  EXPECT_NE(result.out.find("R(1 day)"), std::string::npos);
+}
+
+TEST(Cli, SimulateRoundTripsThroughCsv) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "srm_cli_sim.csv").string();
+  const auto sim =
+      run("simulate", {"--bugs", "80", "--days", "20", "--model", "model0",
+                       "--mu", "0.1", "--seed", "7", "--out", path});
+  EXPECT_EQ(sim.code, 0) << sim.err;
+  // Feed the simulated file back through the MLE command.
+  const auto mle = run("mle", {"--csv", path});
+  EXPECT_EQ(mle.code, 0) << mle.err;
+  std::filesystem::remove(path);
+}
+
+TEST(Cli, SimulateRequiresModelParameters) {
+  const auto result = run("simulate", {"--bugs", "80", "--days", "20",
+                                       "--model", "model1", "--mu", "0.9"});
+  EXPECT_EQ(result.code, 2);  // missing --theta
+  EXPECT_NE(result.err.find("theta"), std::string::npos);
+}
+
+TEST(Cli, PredictScoresHoldout) {
+  const auto result =
+      run("predict", {"--csv", "sys1", "--fit-days", "48", "--iterations",
+                      "400", "--burn-in", "100"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("log predictive score"), std::string::npos);
+}
+
+TEST(Cli, ExtendedModelsSelectable) {
+  const auto result =
+      run("fit", {"--csv", "ntds", "--model", "model6", "--iterations",
+                  "300", "--burn-in", "100"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("model6"), std::string::npos);
+}
+
+TEST(Cli, ReleasePlansOptimalDay) {
+  const auto result =
+      run("release", {"--csv", "ntds", "--day-cost", "2", "--bug-cost", "40",
+                      "--horizon", "10", "--iterations", "400", "--burn-in",
+                      "100", "--model", "model0"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("optimal release: day"), std::string::npos);
+  EXPECT_NE(result.out.find("E[cost]"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const auto result = run("frobnicate", {});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("usage"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagFails) {
+  const auto result = run("mle", {"--csv", "ntds", "--bogus", "1"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("bogus"), std::string::npos);
+}
+
+TEST(Cli, MissingCsvFails) {
+  const auto result = run("fit", {});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("csv"), std::string::npos);
+}
+
+}  // namespace

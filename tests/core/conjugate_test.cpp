@@ -1,0 +1,200 @@
+// The central correctness tests of the library: the analytic posteriors of
+// Propositions 1 and 2 must equal the brute-force normalized
+// prior(N) * likelihood(x | N, p) over a grid of N — for arbitrary
+// heterogeneous detection probabilities. This also pins down the corrected
+// parametrization of Eq (11)/(13) documented in DESIGN.md.
+#include "core/conjugate.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/likelihood.hpp"
+#include "random/rng.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace {
+
+namespace core = srm::core;
+namespace math = srm::math;
+using srm::data::BugCountData;
+
+// Unnormalized log posterior of N = s_k + r via prior * likelihood.
+double log_unnormalized_posterior_poisson(const BugCountData& data,
+                                          std::int64_t r, double lambda0,
+                                          std::span<const double> p) {
+  const std::int64_t n = data.total() + r;
+  const double log_prior = static_cast<double>(n) * std::log(lambda0) -
+                           lambda0 - math::log_factorial(n);
+  return log_prior + core::log_likelihood(data, n, p);
+}
+
+double log_unnormalized_posterior_negbin(const BugCountData& data,
+                                         std::int64_t r, double alpha0,
+                                         double beta0,
+                                         std::span<const double> p) {
+  const std::int64_t n = data.total() + r;
+  const double log_prior = math::log_negbinomial_coefficient(alpha0, n) +
+                           alpha0 * std::log(beta0) +
+                           static_cast<double>(n) * std::log1p(-beta0);
+  return log_prior + core::log_likelihood(data, n, p);
+}
+
+// Normalizes a vector of unnormalized log masses into probabilities.
+std::vector<double> normalize(const std::vector<double>& log_mass) {
+  const double log_z = math::log_sum_exp(log_mass);
+  std::vector<double> out;
+  out.reserve(log_mass.size());
+  for (const double lm : log_mass) out.push_back(std::exp(lm - log_z));
+  return out;
+}
+
+struct RandomInstance {
+  BugCountData data;
+  std::vector<double> p;
+};
+
+RandomInstance make_instance(std::uint64_t seed) {
+  srm::random::Rng rng(seed);
+  const std::size_t days = 2 + rng.uniform_index(6);
+  std::vector<std::int64_t> counts;
+  std::vector<double> p;
+  for (std::size_t i = 0; i < days; ++i) {
+    counts.push_back(static_cast<std::int64_t>(rng.uniform_index(4)));
+    p.push_back(rng.uniform(0.05, 0.6));
+  }
+  return {BugCountData("t", std::move(counts)), std::move(p)};
+}
+
+class Proposition1Property : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(Proposition1Property, PosteriorMatchesBruteForce) {
+  const auto inst = make_instance(GetParam());
+  srm::random::Rng rng(GetParam() + 500);
+  const double lambda0 = rng.uniform(1.0, 40.0);
+
+  const auto posterior =
+      core::poisson_residual_posterior(lambda0, inst.data, inst.p);
+
+  constexpr std::int64_t kGrid = 300;
+  std::vector<double> log_mass;
+  for (std::int64_t r = 0; r <= kGrid; ++r) {
+    log_mass.push_back(
+        log_unnormalized_posterior_poisson(inst.data, r, lambda0, inst.p));
+  }
+  const auto brute = normalize(log_mass);
+  for (std::int64_t r = 0; r <= 60; ++r) {
+    EXPECT_NEAR(posterior.pmf(r), brute[static_cast<std::size_t>(r)], 1e-9)
+        << "r=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, Proposition1Property,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+class Proposition2Property : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(Proposition2Property, PosteriorMatchesBruteForce) {
+  const auto inst = make_instance(GetParam() + 10000);
+  srm::random::Rng rng(GetParam() + 777);
+  const double alpha0 = rng.uniform(0.5, 20.0);
+  const double beta0 = rng.uniform(0.15, 0.9);
+
+  const auto posterior = core::negative_binomial_residual_posterior(
+      alpha0, beta0, inst.data, inst.p);
+  // Parameter updates: alpha_k = alpha_0 + s_k; 1 - beta_k = (1-beta_0) Q.
+  EXPECT_NEAR(posterior.alpha(),
+              alpha0 + static_cast<double>(inst.data.total()), 1e-12);
+  EXPECT_NEAR(1.0 - posterior.beta(),
+              (1.0 - beta0) * core::survival_product(inst.p), 1e-12);
+
+  constexpr std::int64_t kGrid = 600;
+  std::vector<double> log_mass;
+  for (std::int64_t r = 0; r <= kGrid; ++r) {
+    log_mass.push_back(log_unnormalized_posterior_negbin(inst.data, r, alpha0,
+                                                         beta0, inst.p));
+  }
+  const auto brute = normalize(log_mass);
+  for (std::int64_t r = 0; r <= 60; ++r) {
+    EXPECT_NEAR(posterior.pmf(r), brute[static_cast<std::size_t>(r)], 1e-9)
+        << "r=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, Proposition2Property,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(Proposition1, LambdaUpdateFormula) {
+  // Eq (10): lambda_k = lambda_0 prod q_i.
+  const BugCountData data("t", {1, 0, 2});
+  const std::vector<double> p{0.2, 0.5, 0.25};
+  const auto posterior = core::poisson_residual_posterior(100.0, data, p);
+  EXPECT_NEAR(posterior.mean(), 100.0 * 0.8 * 0.5 * 0.75, 1e-10);
+}
+
+TEST(Proposition2, HomogeneousCaseReducesToChun) {
+  // With p_i = p constant, 1 - beta_k = (1-beta_0) (1-p)^k.
+  const BugCountData data("t", {2, 3, 1, 0});
+  const std::vector<double> p(4, 0.3);
+  const auto posterior =
+      core::negative_binomial_residual_posterior(2.0, 0.4, data, p);
+  EXPECT_NEAR(posterior.alpha(), 2.0 + 6.0, 1e-12);
+  EXPECT_NEAR(1.0 - posterior.beta(), 0.6 * std::pow(0.7, 4.0), 1e-12);
+}
+
+// Sequential-update property: processing days one at a time, feeding each
+// posterior's parameters forward, must equal the one-shot k-day update.
+TEST(Proposition1, SequentialUpdatesCompose) {
+  const BugCountData data("t", {1, 2, 0, 3});
+  const std::vector<double> p{0.1, 0.3, 0.2, 0.4};
+  const auto oneshot = core::poisson_residual_posterior(50.0, data, p);
+
+  double lambda = 50.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    // One day at a time: the posterior mean parameter just multiplies by q.
+    const BugCountData day("d", {data.counts()[i]});
+    const std::vector<double> pi{p[i]};
+    lambda = core::poisson_residual_posterior(lambda, day, pi).mean();
+  }
+  EXPECT_NEAR(oneshot.mean(), lambda, 1e-10);
+}
+
+TEST(Proposition2, SequentialUpdatesCompose) {
+  const BugCountData data("t", {1, 2, 0, 3});
+  const std::vector<double> p{0.1, 0.3, 0.2, 0.4};
+  const auto oneshot =
+      core::negative_binomial_residual_posterior(3.0, 0.5, data, p);
+
+  double alpha = 3.0;
+  double beta = 0.5;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const BugCountData day("d", {data.counts()[i]});
+    const std::vector<double> pi{p[i]};
+    const auto step =
+        core::negative_binomial_residual_posterior(alpha, beta, day, pi);
+    alpha = step.alpha();
+    beta = step.beta();
+  }
+  EXPECT_NEAR(oneshot.alpha(), alpha, 1e-10);
+  EXPECT_NEAR(oneshot.beta(), beta, 1e-10);
+}
+
+TEST(ConjugatePosteriors, RejectInvalidHyperparameters) {
+  const BugCountData data("t", {1});
+  const std::vector<double> p{0.5};
+  EXPECT_THROW(core::poisson_residual_posterior(0.0, data, p),
+               srm::InvalidArgument);
+  EXPECT_THROW(core::negative_binomial_residual_posterior(0.0, 0.5, data, p),
+               srm::InvalidArgument);
+  EXPECT_THROW(core::negative_binomial_residual_posterior(1.0, 1.0, data, p),
+               srm::InvalidArgument);
+  const std::vector<double> short_p{};
+  EXPECT_THROW(core::poisson_residual_posterior(1.0, data, short_p),
+               srm::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Tests for the extension detection models (model5 Rayleigh, model6
+// learning curve) beyond the paper's five.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bayes_srm.hpp"
+#include "core/detection_models.hpp"
+#include "data/bug_count_data.hpp"
+#include "mcmc/gibbs.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+namespace core = srm::core;
+using core::DetectionModelKind;
+
+TEST(ExtendedModels, Registry) {
+  const auto extended = core::extended_detection_model_kinds();
+  ASSERT_EQ(extended.size(), 2u);
+  EXPECT_EQ(core::to_string(extended[0]), "model5");
+  EXPECT_EQ(core::to_string(extended[1]), "model6");
+  // The paper list is unchanged.
+  EXPECT_EQ(core::all_detection_model_kinds().size(), 5u);
+}
+
+TEST(Model5, IsDiscreteWeibullWithShapeTwo) {
+  const auto rayleigh =
+      core::make_detection_model(DetectionModelKind::kRayleigh);
+  const auto weibull =
+      core::make_detection_model(DetectionModelKind::kWeibull);
+  const std::vector<double> zeta5{0.8};
+  for (std::size_t day = 1; day <= 20; ++day) {
+    // 1 - mu^{2i-1} directly.
+    EXPECT_NEAR(rayleigh->probability(day, zeta5),
+                1.0 - std::pow(0.8, 2.0 * static_cast<double>(day) - 1.0),
+                1e-14);
+  }
+  (void)weibull;  // shape parity is documented; Eq (7) caps omega below 1
+}
+
+TEST(Model5, IncreasingHazard) {
+  const auto m = core::make_detection_model(DetectionModelKind::kRayleigh);
+  const std::vector<double> zeta{0.95};
+  double previous = 0.0;
+  for (std::size_t day = 1; day <= 60; ++day) {
+    const double p = m->probability(day, zeta);
+    EXPECT_GT(p, previous);
+    EXPECT_LE(p, 1.0);
+    previous = p;
+  }
+}
+
+TEST(Model6, RampsFromZeroTowardMu) {
+  const auto m =
+      core::make_detection_model(DetectionModelKind::kLearningCurve);
+  const std::vector<double> zeta{0.4, 0.25};
+  EXPECT_NEAR(m->probability(1, zeta), 0.4 * 0.25 / 1.25, 1e-14);
+  double previous = 0.0;
+  for (std::size_t day = 1; day <= 100; ++day) {
+    const double p = m->probability(day, zeta);
+    EXPECT_GT(p, previous);
+    EXPECT_LT(p, 0.4);
+    previous = p;
+  }
+  EXPECT_NEAR(m->probability(100000, zeta), 0.4, 1e-3);
+}
+
+TEST(Model6, SupportsUseThetaMax) {
+  const auto m =
+      core::make_detection_model(DetectionModelKind::kLearningCurve);
+  core::DetectionModelLimits limits;
+  limits.theta_max = 7.0;
+  const auto supports = m->parameter_supports(limits);
+  ASSERT_EQ(supports.size(), 2u);
+  EXPECT_EQ(supports[1].name, "theta");
+  EXPECT_DOUBLE_EQ(supports[1].upper, 7.0);
+}
+
+class ExtendedModelGibbs
+    : public ::testing::TestWithParam<DetectionModelKind> {};
+
+TEST_P(ExtendedModelGibbs, FullBayesianFitRuns) {
+  // The extension models plug into the whole Bayesian pipeline unchanged.
+  const srm::data::BugCountData data("t", {0, 1, 1, 2, 2, 3, 2, 3});
+  for (const auto prior :
+       {core::PriorKind::kPoisson, core::PriorKind::kNegativeBinomial}) {
+    core::BayesianSrm model(prior, GetParam(), data);
+    srm::mcmc::GibbsOptions gibbs;
+    gibbs.chain_count = 2;
+    gibbs.burn_in = 100;
+    gibbs.iterations = 400;
+    const auto run = srm::mcmc::run_gibbs(model, gibbs);
+    EXPECT_EQ(run.total_samples(), 800u);
+    for (const double r : run.pooled("residual")) {
+      EXPECT_GE(r, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Extensions, ExtendedModelGibbs,
+    ::testing::Values(DetectionModelKind::kRayleigh,
+                      DetectionModelKind::kLearningCurve),
+    [](const auto& info) { return core::to_string(info.param); });
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Tests for PSIS-LOO and its agreement with WAIC.
+#include "core/loo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/waic.hpp"
+#include "data/bug_count_data.hpp"
+#include "mcmc/gibbs.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+namespace core = srm::core;
+using srm::data::BugCountData;
+
+BugCountData data() { return BugCountData("t", {3, 2, 2, 1, 2, 0, 1, 1}); }
+
+srm::mcmc::McmcRun fit(const core::BayesianSrm& model) {
+  srm::mcmc::GibbsOptions gibbs;
+  gibbs.chain_count = 2;
+  gibbs.burn_in = 300;
+  gibbs.iterations = 2000;
+  gibbs.seed = 99;
+  return srm::mcmc::run_gibbs(model, gibbs);
+}
+
+TEST(PsisLoo, AgreesWithWaicOnWellBehavedFit) {
+  // Watanabe: WAIC and LOO estimate the same generalization loss; on a
+  // well-behaved posterior looic and the (deviance-scale) WAIC agree to
+  // within a few units.
+  const core::BayesianSrm model(core::PriorKind::kPoisson,
+                                core::DetectionModelKind::kConstant, data());
+  const auto run = fit(model);
+  const auto waic = core::compute_waic(model, run);
+  const auto loo = core::compute_psis_loo(model, run);
+  EXPECT_NEAR(loo.looic, waic.waic, 0.1 * waic.waic + 3.0);
+}
+
+TEST(PsisLoo, PointwiseSumsToTotal) {
+  const core::BayesianSrm model(core::PriorKind::kPoisson,
+                                core::DetectionModelKind::kConstant, data());
+  const auto run = fit(model);
+  const auto loo = core::compute_psis_loo(model, run);
+  ASSERT_EQ(loo.pointwise.size(), data().days());
+  double sum = 0.0;
+  for (const auto& point : loo.pointwise) sum += point.elpd;
+  EXPECT_NEAR(sum, loo.elpd_loo, 1e-10);
+  EXPECT_NEAR(loo.looic, -2.0 * loo.elpd_loo, 1e-10);
+}
+
+TEST(PsisLoo, ParetoKMostlyBelowThreshold) {
+  // A small conjugate-ish model with thousands of draws must produce
+  // reliable importance estimates (k-hat below 0.7) nearly everywhere.
+  const core::BayesianSrm model(core::PriorKind::kPoisson,
+                                core::DetectionModelKind::kConstant, data());
+  const auto run = fit(model);
+  const auto loo = core::compute_psis_loo(model, run);
+  EXPECT_LE(loo.high_k_count, 1u);
+}
+
+TEST(PsisLoo, RanksModelsLikeWaic) {
+  const auto d = data();
+  const core::BayesianSrm good(core::PriorKind::kPoisson,
+                               core::DetectionModelKind::kConstant, d);
+  const core::BayesianSrm bad(core::PriorKind::kPoisson,
+                              core::DetectionModelKind::kPareto, d);
+  const auto run_good = fit(good);
+  const auto run_bad = fit(bad);
+  const double waic_margin = core::compute_waic(bad, run_bad).waic -
+                             core::compute_waic(good, run_good).waic;
+  const double loo_margin = core::compute_psis_loo(bad, run_bad).looic -
+                            core::compute_psis_loo(good, run_good).looic;
+  // Same sign of the comparison (when the margin is non-trivial).
+  if (std::abs(waic_margin) > 5.0) {
+    EXPECT_GT(loo_margin, 0.0);
+  }
+}
+
+TEST(PsisLoo, RequiresEnoughDraws) {
+  const core::BayesianSrm model(core::PriorKind::kPoisson,
+                                core::DetectionModelKind::kConstant, data());
+  srm::mcmc::McmcRun tiny(model.parameter_names(), 1);
+  tiny.chain(0).append(std::vector<double>{1.0, 5.0, 0.3});
+  EXPECT_THROW(core::compute_psis_loo(model, tiny), srm::InvalidArgument);
+}
+
+TEST(ParetoSmoothing, PreservesOrderAndCapsAtMax) {
+  std::vector<double> log_w;
+  for (int i = 0; i < 200; ++i) {
+    log_w.push_back(0.01 * static_cast<double>(i));
+  }
+  const double max_before =
+      *std::max_element(log_w.begin(), log_w.end());
+  const double k = core::pareto_smooth_log_weights(log_w);
+  EXPECT_TRUE(std::isfinite(k));
+  for (const double w : log_w) {
+    EXPECT_LE(w, max_before + 1e-12);
+  }
+}
+
+TEST(ParetoSmoothing, TooFewWeightsThrow) {
+  std::vector<double> log_w{0.1, 0.2};
+  EXPECT_THROW(core::pareto_smooth_log_weights(log_w),
+               srm::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Tests for pseudo-BMA model averaging.
+#include "core/model_averaging.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace {
+
+namespace core = srm::core;
+
+core::AveragingCandidate candidate(const std::string& label, double waic,
+                                   std::vector<std::int64_t> samples) {
+  core::AveragingCandidate c;
+  c.label = label;
+  c.waic.waic = waic;
+  c.waic.data_points = 10;
+  c.posterior.samples = std::move(samples);
+  c.posterior.summary = srm::stats::summarize_integers(c.posterior.samples);
+  return c;
+}
+
+TEST(ModelAveraging, WeightsFollowAkaikeRule) {
+  const auto avg = core::average_models({
+      candidate("a", 100.0, {1, 1, 1, 1}),
+      candidate("b", 102.0, {9, 9, 9, 9}),
+  });
+  ASSERT_EQ(avg.weights.size(), 2u);
+  // w_a / w_b = exp((102-100)/2) = e.
+  EXPECT_NEAR(avg.weights[0].weight / avg.weights[1].weight, std::exp(1.0),
+              1e-10);
+  EXPECT_NEAR(avg.weights[0].weight + avg.weights[1].weight, 1.0, 1e-12);
+}
+
+TEST(ModelAveraging, DominantModelDominatesMixture) {
+  const auto avg = core::average_models({
+      candidate("good", 100.0, {2, 2, 2, 2}),
+      candidate("bad", 180.0, {500, 500, 500, 500}),
+  });
+  // exp(-40) weight on "bad": the mixture is effectively "good".
+  EXPECT_EQ(avg.summary.median, 2);
+  EXPECT_LT(avg.summary.mean, 3.0);
+  EXPECT_GT(avg.weights[0].weight, 0.999999);
+}
+
+TEST(ModelAveraging, EqualWaicGivesBalancedMixture) {
+  const auto avg = core::average_models({
+      candidate("a", 100.0, std::vector<std::int64_t>(100, 0)),
+      candidate("b", 100.0, std::vector<std::int64_t>(100, 10)),
+  });
+  EXPECT_NEAR(avg.weights[0].weight, 0.5, 1e-12);
+  // Mixture mean is halfway between the components.
+  EXPECT_NEAR(avg.summary.mean, 5.0, 0.2);
+}
+
+TEST(ModelAveraging, MixtureSizeMatchesBudget) {
+  const auto avg = core::average_models({
+      candidate("a", 100.0, std::vector<std::int64_t>(2000, 1)),
+      candidate("b", 101.0, std::vector<std::int64_t>(2000, 2)),
+  });
+  EXPECT_EQ(avg.samples.size(), 2000u);
+}
+
+TEST(ModelAveraging, SingleCandidateIsIdentity) {
+  const auto avg =
+      core::average_models({candidate("only", 50.0, {1, 2, 3, 4, 5})});
+  EXPECT_NEAR(avg.weights[0].weight, 1.0, 1e-12);
+  EXPECT_NEAR(avg.summary.mean, 3.0, 0.01);
+}
+
+TEST(ModelAveraging, ValidatesInput) {
+  EXPECT_THROW(core::average_models({}), srm::InvalidArgument);
+  auto a = candidate("a", 100.0, {1});
+  auto b = candidate("b", 100.0, {1});
+  b.waic.data_points = 7;  // different data window
+  EXPECT_THROW(core::average_models({a, b}), srm::InvalidArgument);
+  auto empty = candidate("c", 100.0, {1});
+  empty.posterior.samples.clear();
+  EXPECT_THROW(core::average_models({a, empty}), srm::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Tests for WAIC-based hyperparameter tuning.
+#include "core/tuning.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace {
+
+namespace core = srm::core;
+using srm::data::BugCountData;
+
+BugCountData data() { return BugCountData("t", {3, 2, 1, 2, 0, 1}); }
+
+srm::mcmc::GibbsOptions quick_gibbs() {
+  srm::mcmc::GibbsOptions gibbs;
+  gibbs.chain_count = 1;
+  gibbs.burn_in = 50;
+  gibbs.iterations = 300;
+  gibbs.parallel_chains = false;
+  return gibbs;
+}
+
+TEST(Tuning, EvaluatesFullGridForThetaModels) {
+  core::TuningGrid grid;
+  grid.lambda_max_candidates = {50.0, 100.0};
+  grid.theta_max_candidates = {1.0, 5.0, 10.0};
+  const auto result = core::tune_hyperparameters(
+      data(), core::PriorKind::kPoisson,
+      core::DetectionModelKind::kPadgettSpurrier, grid, quick_gibbs());
+  EXPECT_EQ(result.evaluated.size(), 6u);  // 2 lambda x 3 theta
+}
+
+TEST(Tuning, ThetaFreeModelsSkipThetaDimension) {
+  core::TuningGrid grid;
+  grid.lambda_max_candidates = {50.0, 100.0, 200.0};
+  grid.theta_max_candidates = {1.0, 5.0};
+  const auto result = core::tune_hyperparameters(
+      data(), core::PriorKind::kPoisson, core::DetectionModelKind::kConstant,
+      grid, quick_gibbs());
+  EXPECT_EQ(result.evaluated.size(), 3u);  // lambda only
+}
+
+TEST(Tuning, NegBinUsesAlphaCandidates) {
+  core::TuningGrid grid;
+  grid.alpha_max_candidates = {5.0, 20.0};
+  const auto result = core::tune_hyperparameters(
+      data(), core::PriorKind::kNegativeBinomial,
+      core::DetectionModelKind::kConstant, grid, quick_gibbs());
+  ASSERT_EQ(result.evaluated.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.evaluated[0].config.alpha_max, 5.0);
+  EXPECT_DOUBLE_EQ(result.evaluated[1].config.alpha_max, 20.0);
+}
+
+TEST(Tuning, BestIsGridMinimum) {
+  core::TuningGrid grid;
+  grid.lambda_max_candidates = {20.0, 100.0, 500.0};
+  const auto result = core::tune_hyperparameters(
+      data(), core::PriorKind::kPoisson, core::DetectionModelKind::kConstant,
+      grid, quick_gibbs());
+  double min_waic = result.evaluated.front().waic.waic;
+  for (const auto& entry : result.evaluated) {
+    min_waic = std::min(min_waic, entry.waic.waic);
+  }
+  EXPECT_DOUBLE_EQ(result.best_waic.waic, min_waic);
+}
+
+TEST(Tuning, EmptyGridThrows) {
+  core::TuningGrid grid;
+  grid.lambda_max_candidates = {};
+  EXPECT_THROW(core::tune_hyperparameters(
+                   data(), core::PriorKind::kPoisson,
+                   core::DetectionModelKind::kConstant, grid, quick_gibbs()),
+               srm::InvalidArgument);
+}
+
+}  // namespace

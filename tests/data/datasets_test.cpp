@@ -1,0 +1,69 @@
+// Tests for the embedded datasets: the SYS1 reconstruction must hit the
+// cumulative anchors recovered from the paper's tables, exactly.
+#include "data/datasets.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace d = srm::data;
+
+TEST(Sys1, TotalsAndLength) {
+  const auto data = d::sys1_grouped();
+  EXPECT_EQ(data.days(), d::kSys1TestingDays);
+  EXPECT_EQ(data.total(), d::kSys1TotalBugs);
+  EXPECT_EQ(data.name(), "sys1");
+}
+
+TEST(Sys1, PaperAnchorsExact) {
+  // From Tables II-IV: actual residual 94 at 48 days, 52 at 67 days, 4 at
+  // 86 days, 0 at 96 days.
+  const auto data = d::sys1_grouped();
+  EXPECT_EQ(data.cumulative_through(48), 42);
+  EXPECT_EQ(data.cumulative_through(67), 84);
+  EXPECT_EQ(data.cumulative_through(86), 132);
+  EXPECT_EQ(data.cumulative_through(96), 136);
+}
+
+TEST(Sys1, DeterministicReconstruction) {
+  const auto a = d::sys1_grouped();
+  const auto b = d::sys1_grouped();
+  for (std::size_t day = 1; day <= a.days(); ++day) {
+    EXPECT_EQ(a.count_on_day(day), b.count_on_day(day));
+  }
+}
+
+TEST(Sys1, NonTrivialDispersion) {
+  // The reconstruction must not be the flat piecewise-constant spread: some
+  // day-to-day variation is required for realistic likelihood values.
+  const auto data = d::sys1_grouped();
+  std::int64_t max_count = 0;
+  int zero_days = 0;
+  for (std::size_t day = 1; day <= data.days(); ++day) {
+    max_count = std::max(max_count, data.count_on_day(day));
+    if (data.count_on_day(day) == 0) ++zero_days;
+  }
+  EXPECT_GE(max_count, 4);
+  EXPECT_GE(zero_days, 10);
+}
+
+TEST(Sys1, ObservationPointsCoverPaperGrid) {
+  ASSERT_EQ(std::size(d::kSys1ObservationPoints), 9u);
+  EXPECT_EQ(d::kSys1ObservationPoints[0], 48u);
+  EXPECT_EQ(d::kSys1ObservationPoints[3], 96u);
+  EXPECT_EQ(d::kSys1ObservationPoints[8], 146u);
+}
+
+TEST(Ntds, TwentySixBugsOverTwentyFivePeriods) {
+  const auto data = d::ntds_grouped();
+  EXPECT_EQ(data.days(), 25u);
+  EXPECT_EQ(data.total(), 26);
+  // Known grouped counts from the published inter-failure times.
+  EXPECT_EQ(data.count_on_day(1), 1);
+  EXPECT_EQ(data.count_on_day(10), 4);
+  EXPECT_EQ(data.count_on_day(25), 3);
+}
+
+}  // namespace

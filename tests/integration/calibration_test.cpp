@@ -1,0 +1,108 @@
+// Integration test: end-to-end calibration on synthetic data generated from
+// the exact detection process the SRMs assume. The full Bayesian fit (all
+// hyperparameters sampled) must place the known true residual count inside
+// its central credible interval, and the analytic conjugate posterior with
+// oracle detection probabilities must concentrate around the truth.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/conjugate.hpp"
+#include "core/experiment.hpp"
+#include "data/generator.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+namespace core = srm::core;
+
+TEST(Calibration, OraclePosteriorCoversTruthAcrossReplicates) {
+  // With the detection probabilities known, Proposition 1's posterior is
+  // exact, so its 95% interval must cover the true residual in ~95% of
+  // replicated simulations.
+  const auto model =
+      core::make_detection_model(core::DetectionModelKind::kPadgettSpurrier);
+  const std::vector<double> zeta{0.99, 0.002};
+  const std::int64_t n0 = 120;
+  const std::size_t days = 50;
+  int covered = 0;
+  const int replicates = 120;
+  for (int r = 0; r < replicates; ++r) {
+    srm::random::Rng rng(9000 + static_cast<std::uint64_t>(r));
+    const auto data = srm::data::simulate_detection_process(
+        n0, days,
+        [&](std::size_t day) { return model->probability(day, zeta); }, rng);
+    const std::int64_t truth = n0 - data.total();
+    const auto posterior = core::poisson_residual_posterior(
+        static_cast<double>(n0), data, model->probabilities(days, zeta));
+    if (truth >= posterior.quantile(0.025) &&
+        truth <= posterior.quantile(0.975)) {
+      ++covered;
+    }
+  }
+  // Binomial(120, 0.95) is above 105 with overwhelming probability.
+  EXPECT_GE(covered, 105) << "coverage " << covered << "/" << replicates;
+}
+
+TEST(Calibration, FullBayesianFitBracketsTruth) {
+  const auto model =
+      core::make_detection_model(core::DetectionModelKind::kPadgettSpurrier);
+  const std::vector<double> zeta{0.99, 0.002};
+  srm::random::Rng rng(4242);
+  const std::int64_t n0 = 120;
+  const auto data = srm::data::simulate_detection_process(
+      n0, 50,
+      [&](std::size_t day) { return model->probability(day, zeta); }, rng,
+      "synth");
+  const std::int64_t truth = n0 - data.total();
+
+  core::ExperimentSpec spec;
+  spec.prior = core::PriorKind::kPoisson;
+  spec.model = core::DetectionModelKind::kPadgettSpurrier;
+  spec.eventual_total = n0;
+  spec.gibbs.chain_count = 2;
+  spec.gibbs.burn_in = 500;
+  spec.gibbs.iterations = 3000;
+  const auto result = core::run_observation(data, spec, 50);
+
+  // The hyperparameters are unknown here, so the posterior is wider than
+  // the oracle's; the truth must sit inside the central 98% interval.
+  const auto& samples = result.posterior.samples;
+  const auto low = srm::stats::integer_quantile(samples, 0.01);
+  const auto high = srm::stats::integer_quantile(samples, 0.99);
+  EXPECT_GE(truth, low);
+  EXPECT_LE(truth, high);
+  // And the convergence diagnostics must pass for every parameter.
+  for (const auto& diag : result.diagnostics) {
+    EXPECT_LT(diag.psrf, 1.1) << diag.name;
+  }
+}
+
+TEST(Calibration, MorePaddingNeverIncreasesResidual) {
+  // Virtual testing with zero counts can only shrink the estimated
+  // residual count (more evidence that nothing is left).
+  const auto model =
+      core::make_detection_model(core::DetectionModelKind::kConstant);
+  const std::vector<double> zeta{0.06};
+  srm::random::Rng rng(31);
+  const auto data = srm::data::simulate_detection_process(
+      100, 40,
+      [&](std::size_t day) { return model->probability(day, zeta); }, rng);
+
+  core::ExperimentSpec spec;
+  spec.prior = core::PriorKind::kPoisson;
+  spec.model = core::DetectionModelKind::kConstant;
+  spec.eventual_total = 100;
+  spec.gibbs.chain_count = 2;
+  spec.gibbs.burn_in = 300;
+  spec.gibbs.iterations = 1500;
+  spec.observation_days = {40, 80, 160};
+  const auto results = core::run_experiment(data, spec);
+  EXPECT_GT(results[0].posterior.summary.mean,
+            results[1].posterior.summary.mean);
+  EXPECT_GT(results[1].posterior.summary.mean,
+            results[2].posterior.summary.mean);
+}
+
+}  // namespace

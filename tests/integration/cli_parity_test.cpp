@@ -1,0 +1,63 @@
+// Integration test: the CLI front end must report the same inference as
+// the library API called directly with the same options (no hidden
+// defaults drifting apart).
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cli/commands.hpp"
+#include "core/experiment.hpp"
+#include "data/datasets.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+namespace core = srm::core;
+
+TEST(CliParity, FitMatchesDirectApiCall) {
+  // Direct API call with the CLI's documented defaults.
+  const auto data = srm::data::ntds_grouped();
+  core::ExperimentSpec spec;
+  spec.prior = core::PriorKind::kPoisson;
+  spec.model = core::DetectionModelKind::kPadgettSpurrier;
+  spec.eventual_total = data.total();
+  spec.gibbs.chain_count = 2;
+  spec.gibbs.burn_in = 200;
+  spec.gibbs.iterations = 600;
+  spec.gibbs.seed = 20240624;  // the CLI default
+  const auto direct = core::run_observation(data, spec, data.days());
+
+  // Same through the CLI.
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = srm::cli::dispatch(
+      "fit",
+      {"--csv", "ntds", "--prior", "poisson", "--model", "model1",
+       "--chains", "2", "--burn-in", "200", "--iterations", "600"},
+      out, err);
+  ASSERT_EQ(code, 0) << err.str();
+
+  // The CLI prints "mean   <value>" with 3 decimals; the direct mean must
+  // appear verbatim (identical seeds make the runs bit-identical).
+  const std::string expected_mean =
+      "mean   " + srm::support::format_double(direct.posterior.summary.mean, 3);
+  EXPECT_NE(out.str().find(expected_mean), std::string::npos)
+      << "CLI output:\n"
+      << out.str() << "\nexpected: " << expected_mean;
+  const std::string expected_waic =
+      "WAIC " + srm::support::format_double(direct.waic.waic, 3);
+  EXPECT_NE(out.str().find(expected_waic), std::string::npos);
+}
+
+TEST(CliParity, DaysFlagMatchesTruncation) {
+  std::ostringstream out_full;
+  std::ostringstream err;
+  ASSERT_EQ(srm::cli::dispatch("mle", {"--csv", "sys1", "--days", "48"},
+                               out_full, err),
+            0);
+  // The header line must reflect the truncated total (42 bugs by day 48).
+  EXPECT_NE(out_full.str().find("42 bugs / 48 days"), std::string::npos)
+      << out_full.str();
+}
+
+}  // namespace

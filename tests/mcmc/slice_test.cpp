@@ -1,0 +1,152 @@
+// Correctness tests for the slice sampler: as an MCMC kernel its chain must
+// reproduce the moments and tail probabilities of known targets.
+#include "mcmc/slice.hpp"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.hpp"
+#include "stats/beta.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using srm::mcmc::SliceOptions;
+using srm::mcmc::slice_sample;
+using srm::random::Rng;
+
+std::vector<double> run_chain(Rng& rng, double x0,
+                              const std::function<double(double)>& log_density,
+                              const SliceOptions& options, int n) {
+  std::vector<double> chain;
+  chain.reserve(n);
+  double x = x0;
+  for (int i = 0; i < n; ++i) {
+    x = slice_sample(rng, x, log_density, options);
+    chain.push_back(x);
+  }
+  return chain;
+}
+
+TEST(SliceSampler, StandardNormalMoments) {
+  Rng rng(1);
+  SliceOptions options;
+  options.lower = -100.0;
+  options.upper = 100.0;
+  const auto chain = run_chain(
+      rng, 0.5, [](double x) { return -0.5 * x * x; }, options, 60000);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : chain) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / chain.size(), 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / chain.size(), 1.0, 0.05);
+}
+
+TEST(SliceSampler, BetaTargetMomentsAndSupport) {
+  Rng rng(2);
+  SliceOptions options;
+  options.lower = 0.0;
+  options.upper = 1.0;
+  options.initial_width = 0.3;
+  const srm::stats::Beta target(2.0, 5.0);
+  const auto chain = run_chain(
+      rng, 0.3, [&](double x) { return target.log_pdf(x); }, options, 60000);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : chain) {
+    ASSERT_GT(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / chain.size();
+  EXPECT_NEAR(mean, target.mean(), 0.01);
+  EXPECT_NEAR(sum_sq / chain.size() - mean * mean, target.variance(),
+              0.15 * target.variance());
+}
+
+TEST(SliceSampler, BimodalTargetVisitsBothModes) {
+  Rng rng(3);
+  SliceOptions options;
+  options.lower = -20.0;
+  options.upper = 20.0;
+  options.initial_width = 2.0;
+  // Mixture of N(-4, 1) and N(+4, 1).
+  const auto log_density = [](double x) {
+    const double a = -0.5 * (x + 4.0) * (x + 4.0);
+    const double b = -0.5 * (x - 4.0) * (x - 4.0);
+    const double m = std::max(a, b);
+    return m + std::log(std::exp(a - m) + std::exp(b - m));
+  };
+  const auto chain = run_chain(rng, -4.0, log_density, options, 40000);
+  int negative = 0;
+  int positive = 0;
+  for (const double x : chain) {
+    if (x < -1.0) ++negative;
+    if (x > 1.0) ++positive;
+  }
+  // Both modes must receive roughly half of the mass.
+  EXPECT_GT(negative, 10000);
+  EXPECT_GT(positive, 10000);
+}
+
+TEST(SliceSampler, TruncatedExponentialRespectsBounds) {
+  Rng rng(4);
+  SliceOptions options;
+  options.lower = 0.0;
+  options.upper = 2.0;
+  options.initial_width = 0.5;
+  const auto chain = run_chain(
+      rng, 1.0, [](double x) { return -3.0 * x; }, options, 30000);
+  double sum = 0.0;
+  for (const double x : chain) {
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 2.0);
+    sum += x;
+  }
+  // E[X] for Exp(3) truncated to [0,2]: 1/3 - 2 e^{-6}/(1-e^{-6}).
+  const double expected =
+      1.0 / 3.0 - 2.0 * std::exp(-6.0) / (1.0 - std::exp(-6.0));
+  EXPECT_NEAR(sum / chain.size(), expected, 0.01);
+}
+
+TEST(SliceSampler, SpikeDensityDoesNotHang) {
+  // A density that is -inf almost everywhere except a narrow spike around
+  // the current point: the shrinkage loop must terminate.
+  Rng rng(5);
+  SliceOptions options;
+  options.lower = 0.0;
+  options.upper = 1.0;
+  const auto log_density = [](double x) {
+    return (x > 0.49999 && x < 0.50001) ? 0.0 : -1e9;
+  };
+  const double x = slice_sample(rng, 0.5, log_density, options);
+  EXPECT_GT(x, 0.49);
+  EXPECT_LT(x, 0.51);
+}
+
+TEST(SliceSampler, InvalidArgumentsThrow) {
+  Rng rng(6);
+  SliceOptions options;
+  options.lower = 0.0;
+  options.upper = 1.0;
+  const auto flat = [](double) { return 0.0; };
+  options.initial_width = -1.0;
+  EXPECT_THROW(slice_sample(rng, 0.5, flat, options), srm::InvalidArgument);
+  options.initial_width = 1.0;
+  EXPECT_THROW(slice_sample(rng, 2.0, flat, options), srm::InvalidArgument);
+  const auto neg_inf_everywhere = [](double) {
+    return -std::numeric_limits<double>::infinity();
+  };
+  EXPECT_THROW(slice_sample(rng, 0.5, neg_inf_everywhere, options),
+               srm::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Tests for MCMC trace CSV persistence.
+#include "mcmc/trace_io.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace {
+
+using srm::mcmc::McmcRun;
+
+McmcRun sample_run() {
+  McmcRun run({"residual", "mu"}, 2);
+  run.chain(0).append(std::vector<double>{3.0, 0.25});
+  run.chain(0).append(std::vector<double>{5.0, 0.125});
+  run.chain(1).append(std::vector<double>{4.0, 0.5});
+  return run;
+}
+
+TEST(TraceIo, RoundTripsThroughStream) {
+  const auto original = sample_run();
+  std::ostringstream out;
+  srm::mcmc::write_trace_csv(out, original);
+  std::istringstream in(out.str());
+  const auto restored = srm::mcmc::read_trace_csv(in);
+
+  EXPECT_EQ(restored.parameter_names(), original.parameter_names());
+  ASSERT_EQ(restored.chain_count(), 2u);
+  EXPECT_EQ(restored.chain(0).sample_count(), 2u);
+  EXPECT_EQ(restored.chain(1).sample_count(), 1u);
+  EXPECT_EQ(restored.pooled("residual"), original.pooled("residual"));
+  EXPECT_EQ(restored.pooled("mu"), original.pooled("mu"));
+}
+
+TEST(TraceIo, PreservesFullDoublePrecision) {
+  McmcRun run({"x"}, 1);
+  const double value = 0.1234567890123456789;
+  run.chain(0).append(std::vector<double>{value});
+  std::ostringstream out;
+  srm::mcmc::write_trace_csv(out, run);
+  std::istringstream in(out.str());
+  const auto restored = srm::mcmc::read_trace_csv(in);
+  EXPECT_DOUBLE_EQ(restored.pooled("x")[0], value);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "srm_trace_test.csv")
+          .string();
+  srm::mcmc::write_trace_csv_file(path, sample_run());
+  const auto restored = srm::mcmc::read_trace_csv_file(path);
+  EXPECT_EQ(restored.total_samples(), 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, RejectsMalformedHeaders) {
+  std::istringstream bad_header("iter,chain,x\n0,0,1.0\n");
+  EXPECT_THROW(srm::mcmc::read_trace_csv(bad_header), srm::InvalidArgument);
+  std::istringstream no_data("chain,iteration,x\n");
+  EXPECT_THROW(srm::mcmc::read_trace_csv(no_data), srm::InvalidArgument);
+}
+
+TEST(TraceIo, RejectsNonContiguousIterations) {
+  std::istringstream gap("chain,iteration,x\n0,0,1.0\n0,2,2.0\n");
+  EXPECT_THROW(srm::mcmc::read_trace_csv(gap), srm::InvalidArgument);
+}
+
+TEST(TraceIo, RejectsRaggedRows) {
+  std::istringstream ragged("chain,iteration,x\n0,0,1.0,9.0\n");
+  EXPECT_THROW(srm::mcmc::read_trace_csv(ragged), srm::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Tests for the profile maximum-likelihood baseline.
+#include "mle/mle_fit.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/likelihood.hpp"
+#include "data/generator.hpp"
+#include "random/rng.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+namespace core = srm::core;
+using srm::data::BugCountData;
+using srm::mle::fit_all_models;
+using srm::mle::fit_mle;
+using srm::mle::profile_initial_bugs;
+
+// Property: the profile maximizer must beat its integer neighbours.
+class ProfileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProfileProperty, BeatsNeighbours) {
+  srm::random::Rng rng(GetParam());
+  const std::size_t days = 3 + rng.uniform_index(8);
+  std::vector<std::int64_t> counts;
+  std::vector<double> p;
+  for (std::size_t i = 0; i < days; ++i) {
+    counts.push_back(static_cast<std::int64_t>(rng.uniform_index(5)));
+    p.push_back(rng.uniform(0.05, 0.5));
+  }
+  const BugCountData data("t", std::move(counts));
+  const std::int64_t best = profile_initial_bugs(data, p);
+  ASSERT_GE(best, data.total());
+  const double value_best = core::log_likelihood_n_kernel(data, best, p);
+  for (const std::int64_t n : {best - 2, best - 1, best + 1, best + 2}) {
+    if (n < data.total()) continue;
+    EXPECT_GE(value_best, core::log_likelihood_n_kernel(data, n, p))
+        << "n=" << n << " best=" << best;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ProfileProperty,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+TEST(ProfileInitialBugs, ClosedFormNeighbourhood) {
+  // With constant p, N-hat ~= s_k / (1 - (1-p)^k).
+  const BugCountData data("t", {10, 8, 6, 5, 4});
+  const std::vector<double> p(5, 0.2);
+  const std::int64_t best = profile_initial_bugs(data, p);
+  const double approx = 33.0 / (1.0 - std::pow(0.8, 5.0));
+  EXPECT_NEAR(static_cast<double>(best), approx, 2.0);
+}
+
+TEST(MleFit, RecoversConstantDetectionParameters) {
+  // Simulate from model0 with known mu and N; the MLE must land nearby.
+  srm::random::Rng rng(99);
+  const auto data = srm::data::simulate_detection_process(
+      500, 40, [](std::size_t) { return 0.08; }, rng);
+  const auto fit = fit_mle(data, core::DetectionModelKind::kConstant);
+  EXPECT_NEAR(fit.zeta[0], 0.08, 0.02);
+  EXPECT_NEAR(static_cast<double>(fit.initial_bugs), 500.0, 75.0);
+}
+
+TEST(MleFit, AicPenalizesParametersConsistently) {
+  const BugCountData data("t", {4, 3, 3, 2, 2, 1, 1, 0, 1, 0});
+  const auto fit0 = fit_mle(data, core::DetectionModelKind::kConstant);
+  // AIC = -2 logL + 2 (params + 1): model0 has 1 zeta parameter.
+  EXPECT_NEAR(fit0.aic, -2.0 * fit0.log_likelihood + 4.0, 1e-10);
+  EXPECT_NEAR(fit0.bic,
+              -2.0 * fit0.log_likelihood + 2.0 * std::log(10.0), 1e-10);
+  const auto fit1 = fit_mle(data, core::DetectionModelKind::kPadgettSpurrier);
+  EXPECT_NEAR(fit1.aic, -2.0 * fit1.log_likelihood + 6.0, 1e-10);
+}
+
+TEST(MleFit, TwoParameterModelFitsAtLeastAsWellInLikelihood) {
+  // model1 nests model0 in the limit theta -> 0 only approximately, but on
+  // decaying data its maximized likelihood should not be dramatically worse
+  // than model0's; sanity-check both fits are finite and ordered sanely.
+  const BugCountData data("t", {0, 1, 1, 2, 2, 3, 3, 4, 4, 5});
+  const auto fit0 = fit_mle(data, core::DetectionModelKind::kConstant);
+  const auto fit1 = fit_mle(data, core::DetectionModelKind::kPadgettSpurrier);
+  EXPECT_TRUE(std::isfinite(fit0.log_likelihood));
+  EXPECT_TRUE(std::isfinite(fit1.log_likelihood));
+  // Increasing detection data: the Padgett-Spurrier model should fit
+  // strictly better in raw likelihood.
+  EXPECT_GT(fit1.log_likelihood, fit0.log_likelihood - 1e-6);
+}
+
+TEST(FitAllModels, ReturnsAllFiveSortedByAic) {
+  const BugCountData data("t", {3, 2, 2, 1, 1, 1, 0, 0, 1, 0});
+  const auto fits = fit_all_models(data);
+  ASSERT_EQ(fits.size(), 5u);
+  for (std::size_t i = 1; i < fits.size(); ++i) {
+    EXPECT_LE(fits[i - 1].aic, fits[i].aic);
+  }
+}
+
+TEST(MleFit, ResidualIsInitialMinusDetected) {
+  const BugCountData data("t", {2, 2, 2});
+  const auto fit = fit_mle(data, core::DetectionModelKind::kConstant);
+  EXPECT_EQ(fit.residual(data), fit.initial_bugs - 6);
+}
+
+}  // namespace

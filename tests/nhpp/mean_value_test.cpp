@@ -1,0 +1,124 @@
+// Tests for the continuous-time NHPP mean value functions.
+#include "nhpp/mean_value.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace {
+
+namespace nhpp = srm::nhpp;
+using nhpp::NhppModelKind;
+
+TEST(MeanValue, FactoryAndNames) {
+  EXPECT_EQ(
+      nhpp::make_mean_value_function(NhppModelKind::kGoelOkumoto)->name(),
+      "goel-okumoto");
+  EXPECT_EQ(nhpp::to_string(NhppModelKind::kMusaOkumoto), "musa-okumoto");
+  EXPECT_EQ(nhpp::all_nhpp_model_kinds().size(), 4u);
+}
+
+TEST(GoelOkumotoMvf, HandComputedValues) {
+  const auto mvf = nhpp::make_mean_value_function(NhppModelKind::kGoelOkumoto);
+  const std::vector<double> phi{0.5};
+  EXPECT_NEAR(mvf->growth(2.0, phi), 1.0 - std::exp(-1.0), 1e-14);
+  EXPECT_NEAR(mvf->mean_value(2.0, 100.0, phi),
+              100.0 * (1.0 - std::exp(-1.0)), 1e-10);
+  EXPECT_DOUBLE_EQ(mvf->growth(0.0, phi), 0.0);
+}
+
+TEST(DelayedSShapedMvf, SShape) {
+  const auto mvf =
+      nhpp::make_mean_value_function(NhppModelKind::kDelayedSShaped);
+  const std::vector<double> phi{0.4};
+  // Starts slower than Goel-Okumoto with the same rate (S-shape).
+  const auto go = nhpp::make_mean_value_function(NhppModelKind::kGoelOkumoto);
+  EXPECT_LT(mvf->growth(1.0, phi), go->growth(1.0, phi));
+  // But still approaches 1.
+  EXPECT_NEAR(mvf->growth(100.0, phi), 1.0, 1e-10);
+}
+
+TEST(InflectionSShapedMvf, ReducesToGoelOkumotoWhenCIsTiny) {
+  const auto inflection =
+      nhpp::make_mean_value_function(NhppModelKind::kInflectionSShaped);
+  const auto go = nhpp::make_mean_value_function(NhppModelKind::kGoelOkumoto);
+  const std::vector<double> phi_inflection{0.3, 1e-8};
+  const std::vector<double> phi_go{0.3};
+  for (const double t : {0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(inflection->growth(t, phi_inflection), go->growth(t, phi_go),
+                1e-6);
+  }
+}
+
+TEST(MusaOkumotoMvf, InfiniteFailures) {
+  const auto mvf =
+      nhpp::make_mean_value_function(NhppModelKind::kMusaOkumoto);
+  EXPECT_FALSE(mvf->is_finite_failure());
+  const std::vector<double> phi{1.0};
+  EXPECT_NEAR(mvf->growth(std::exp(1.0) - 1.0, phi), 1.0, 1e-12);
+  // Unbounded growth.
+  EXPECT_GT(mvf->growth(1e6, phi), 10.0);
+}
+
+class AllMvfsMonotone : public ::testing::TestWithParam<NhppModelKind> {};
+
+TEST_P(AllMvfsMonotone, GrowthIsNondecreasingFromZero) {
+  const auto mvf = nhpp::make_mean_value_function(GetParam());
+  const auto supports = mvf->growth_parameter_supports();
+  std::vector<double> phi;
+  for (const auto& s : supports) {
+    phi.push_back(0.5 * (s.lower + std::min(s.upper, 2.0)));
+  }
+  double previous = mvf->growth(0.0, phi);
+  EXPECT_NEAR(previous, 0.0, 1e-12);
+  for (double t = 0.5; t <= 50.0; t += 0.5) {
+    const double g = mvf->growth(t, phi);
+    EXPECT_GE(g, previous - 1e-12) << mvf->name() << " t=" << t;
+    previous = g;
+  }
+  if (mvf->is_finite_failure()) {
+    EXPECT_LE(previous, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, AllMvfsMonotone,
+    ::testing::ValuesIn(std::vector<NhppModelKind>(
+        nhpp::all_nhpp_model_kinds().begin(),
+        nhpp::all_nhpp_model_kinds().end())),
+    [](const auto& info) {
+      auto name = nhpp::to_string(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(MeanValue, ReliabilityIsSurvivalOfIncrement) {
+  const auto mvf = nhpp::make_mean_value_function(NhppModelKind::kGoelOkumoto);
+  const std::vector<double> phi{0.2};
+  const double a = 50.0;
+  const double expected = std::exp(
+      -(mvf->mean_value(12.0, a, phi) - mvf->mean_value(10.0, a, phi)));
+  EXPECT_NEAR(mvf->reliability(10.0, 2.0, a, phi), expected, 1e-12);
+  // Zero mission time is certain survival.
+  EXPECT_DOUBLE_EQ(mvf->reliability(10.0, 0.0, a, phi), 1.0);
+  // Reliability increases with testing time (fewer bugs remain).
+  EXPECT_GT(mvf->reliability(50.0, 5.0, a, phi),
+            mvf->reliability(5.0, 5.0, a, phi));
+}
+
+TEST(MeanValue, ContractViolationsThrow) {
+  const auto mvf = nhpp::make_mean_value_function(NhppModelKind::kGoelOkumoto);
+  const std::vector<double> phi{0.2};
+  const std::vector<double> wrong{0.2, 0.3};
+  EXPECT_THROW(mvf->growth(1.0, wrong), srm::InvalidArgument);
+  EXPECT_THROW(mvf->growth(-1.0, phi), srm::InvalidArgument);
+  EXPECT_THROW(mvf->mean_value(1.0, 0.0, phi), srm::InvalidArgument);
+  EXPECT_THROW(mvf->reliability(1.0, -1.0, 10.0, phi), srm::InvalidArgument);
+}
+
+}  // namespace

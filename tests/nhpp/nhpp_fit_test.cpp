@@ -1,0 +1,158 @@
+// Tests for the grouped-data NHPP maximum-likelihood fitter.
+#include "nhpp/nhpp_fit.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.hpp"
+#include "data/generator.hpp"
+#include "mle/mle_fit.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+namespace nhpp = srm::nhpp;
+using nhpp::NhppModelKind;
+using srm::data::BugCountData;
+
+TEST(NhppLikelihood, MatchesHandComputation) {
+  const auto mvf = nhpp::make_mean_value_function(NhppModelKind::kGoelOkumoto);
+  const BugCountData data("t", {2, 1});
+  const std::vector<double> phi{0.5};
+  const double a = 10.0;
+  const double l1 = a * (1.0 - std::exp(-0.5));
+  const double l2 = a * (1.0 - std::exp(-1.0));
+  const double expected = 2.0 * std::log(l1) - l1 - std::log(2.0) +
+                          1.0 * std::log(l2 - l1) - (l2 - l1);
+  EXPECT_NEAR(nhpp::nhpp_log_likelihood(data, *mvf, a, phi), expected, 1e-12);
+}
+
+TEST(ProfileScale, StationaryPointOfLikelihood) {
+  const BugCountData data("t", {5, 4, 3, 2, 2, 1});
+  const auto mvf = nhpp::make_mean_value_function(NhppModelKind::kGoelOkumoto);
+  const std::vector<double> phi{0.3};
+  const double a_hat = nhpp::profile_scale(data, *mvf, phi);
+  const double at_hat = nhpp::nhpp_log_likelihood(data, *mvf, a_hat, phi);
+  for (const double factor : {0.9, 0.95, 1.05, 1.1}) {
+    EXPECT_GE(at_hat,
+              nhpp::nhpp_log_likelihood(data, *mvf, a_hat * factor, phi))
+        << factor;
+  }
+}
+
+TEST(NhppFit, RecoversGoelOkumotoParameters) {
+  const auto mvf = nhpp::make_mean_value_function(NhppModelKind::kGoelOkumoto);
+  const std::vector<double> true_phi{0.05};
+  const double true_a = 300.0;
+  srm::random::Rng rng(8);
+  const auto data = nhpp::simulate_nhpp(*mvf, true_a, true_phi, 60, rng);
+  const auto fit = nhpp::fit_nhpp(data, NhppModelKind::kGoelOkumoto);
+  EXPECT_NEAR(fit.phi[0], 0.05, 0.02);
+  EXPECT_NEAR(fit.a, true_a, 60.0);
+  EXPECT_TRUE(std::isfinite(fit.log_likelihood));
+}
+
+TEST(NhppFit, RecoversDelayedSShapedParameters) {
+  const auto mvf =
+      nhpp::make_mean_value_function(NhppModelKind::kDelayedSShaped);
+  const std::vector<double> true_phi{0.12};
+  const double true_a = 200.0;
+  srm::random::Rng rng(9);
+  const auto data = nhpp::simulate_nhpp(*mvf, true_a, true_phi, 70, rng);
+  const auto fit = nhpp::fit_nhpp(data, NhppModelKind::kDelayedSShaped);
+  EXPECT_NEAR(fit.phi[0], 0.12, 0.03);
+  EXPECT_NEAR(fit.a, true_a, 40.0);
+}
+
+TEST(NhppFit, TrueModelWinsAicOnItsOwnData) {
+  // Data generated from delayed S-shaped should prefer it (or at least not
+  // be beaten badly) over Goel-Okumoto under AIC.
+  const auto mvf =
+      nhpp::make_mean_value_function(NhppModelKind::kDelayedSShaped);
+  const std::vector<double> true_phi{0.08};
+  srm::random::Rng rng(10);
+  const auto data = nhpp::simulate_nhpp(*mvf, 400.0, true_phi, 80, rng);
+  const auto ds = nhpp::fit_nhpp(data, NhppModelKind::kDelayedSShaped);
+  const auto go = nhpp::fit_nhpp(data, NhppModelKind::kGoelOkumoto);
+  EXPECT_LT(ds.aic, go.aic);
+}
+
+TEST(NhppFit, FitAllSortedByAic) {
+  const auto fits = nhpp::fit_all_nhpp_models(srm::data::sys1_grouped());
+  ASSERT_EQ(fits.size(), 4u);
+  for (std::size_t i = 1; i < fits.size(); ++i) {
+    EXPECT_LE(fits[i - 1].aic, fits[i].aic);
+  }
+}
+
+TEST(NhppFit, ResidualAndReliabilityAccessors) {
+  const auto data = srm::data::sys1_grouped();
+  const auto fit = nhpp::fit_nhpp(data, NhppModelKind::kGoelOkumoto);
+  const double residual = fit.expected_residual(data);
+  EXPECT_GE(residual, 0.0);
+  // At a huge horizon the future-bug count approaches the residual content
+  // (relative tolerance: with a near-degenerate rate the exponential tail
+  // at the horizon is small but not zero).
+  EXPECT_NEAR(fit.expected_future_bugs(data, 1e9), residual,
+              1e-4 * residual + 1e-6);
+  const double r1 = fit.reliability_after(data, 1.0);
+  const double r10 = fit.reliability_after(data, 10.0);
+  EXPECT_GT(r1, 0.0);
+  EXPECT_LE(r1, 1.0);
+  EXPECT_LE(r10, r1);
+}
+
+TEST(NhppFit, MusaOkumotoInfiniteResidual) {
+  const auto data = srm::data::sys1_grouped();
+  const auto fit = nhpp::fit_nhpp(data, NhppModelKind::kMusaOkumoto);
+  EXPECT_TRUE(std::isinf(fit.expected_residual(data)));
+  // But finite-horizon prediction is well defined.
+  EXPECT_GT(fit.expected_future_bugs(data, 10.0), 0.0);
+  EXPECT_TRUE(std::isfinite(fit.expected_future_bugs(data, 10.0)));
+}
+
+TEST(NhppFit, DiscreteBayesAndContinuousMleAgreeOnResidualScale) {
+  // The discrete binomial MLE (model0) and the geometric Goel-Okumoto NHPP
+  // describe the same data-generating mechanism for large N; their
+  // estimated residual counts should be on the same scale.
+  srm::random::Rng rng(11);
+  const auto data = srm::data::simulate_detection_process(
+      400, 50, [](std::size_t) { return 0.04; }, rng);
+  const auto discrete =
+      srm::mle::fit_mle(data, srm::core::DetectionModelKind::kConstant);
+  const auto continuous =
+      nhpp::fit_nhpp(data, NhppModelKind::kGoelOkumoto);
+  const double discrete_residual =
+      static_cast<double>(discrete.residual(data));
+  const double continuous_residual = continuous.expected_residual(data);
+  EXPECT_NEAR(discrete_residual, continuous_residual,
+              0.25 * std::max({discrete_residual, continuous_residual,
+                               20.0}));
+}
+
+TEST(SimulateNhpp, DeterministicAndScalesWithA) {
+  const auto mvf = nhpp::make_mean_value_function(NhppModelKind::kGoelOkumoto);
+  const std::vector<double> phi{0.1};
+  srm::random::Rng a1(3);
+  srm::random::Rng a2(3);
+  const auto d1 = nhpp::simulate_nhpp(*mvf, 100.0, phi, 30, a1);
+  const auto d2 = nhpp::simulate_nhpp(*mvf, 100.0, phi, 30, a2);
+  for (std::size_t day = 1; day <= 30; ++day) {
+    EXPECT_EQ(d1.count_on_day(day), d2.count_on_day(day));
+  }
+  // Expected totals scale linearly in a.
+  double total_small = 0.0;
+  double total_large = 0.0;
+  for (int r = 0; r < 200; ++r) {
+    srm::random::Rng rng(100 + static_cast<std::uint64_t>(r));
+    total_small += static_cast<double>(
+        nhpp::simulate_nhpp(*mvf, 50.0, phi, 30, rng).total());
+    srm::random::Rng rng2(5000 + static_cast<std::uint64_t>(r));
+    total_large += static_cast<double>(
+        nhpp::simulate_nhpp(*mvf, 200.0, phi, 30, rng2).total());
+  }
+  EXPECT_NEAR(total_large / total_small, 4.0, 0.3);
+}
+
+}  // namespace

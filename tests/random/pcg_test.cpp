@@ -1,0 +1,149 @@
+// Tests for the PCG engines and the Rng handle.
+#include "random/pcg.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using srm::random::Pcg32;
+using srm::random::Pcg64;
+using srm::random::Rng;
+using srm::random::SplitMix64;
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values from the published splitmix64.c with seed 0.
+  SplitMix64 mix(0);
+  EXPECT_EQ(mix.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(mix.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(mix.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Pcg32, DeterministicAcrossInstances) {
+  Pcg32 a(42, 54);
+  Pcg32 b(42, 54);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Pcg32, StreamsDiffer) {
+  Pcg32 a(42, 1);
+  Pcg32 b(42, 2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Pcg32, ReferenceSequence) {
+  // pcg32 reference output for seed=42, stream=54 (from the PCG paper's
+  // demo program pcg32-demo.c).
+  Pcg32 gen(42, 54);
+  EXPECT_EQ(gen(), 0xa15c02b7u);
+  EXPECT_EQ(gen(), 0x7b47f409u);
+  EXPECT_EQ(gen(), 0xba1d3330u);
+}
+
+TEST(Pcg64, FullRangeAndDeterminism) {
+  Pcg64 a(7);
+  Pcg64 b(7);
+  bool high_bit_seen = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = a();
+    EXPECT_EQ(v, b());
+    if (v >> 63) high_bit_seen = true;
+  }
+  EXPECT_TRUE(high_bit_seen);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng rng(123);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformOpenNeverHitsEndpoints) {
+  Rng rng(456);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform_open();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(789);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.003);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(31337);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformIndexBoundsAndCoverage) {
+  Rng rng(2024);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    const auto idx = rng.uniform_index(7);
+    ASSERT_LT(idx, 7u);
+    ++counts[static_cast<std::size_t>(idx)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, 10000, 500);  // ~5 sigma band
+  }
+}
+
+TEST(Rng, UniformIndexOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, UniformIndexZeroThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_index(0), srm::InvalidArgument);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(99);
+  Rng child_a = parent.split();
+  Rng child_b = parent.split();
+  int matches = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child_a.next_u64() == child_b.next_u64()) ++matches;
+  }
+  EXPECT_EQ(matches, 0);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_EQ(a.seed(), 1234u);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Tests for the sweep driver and the table/figure renderers, on a reduced
+// grid so the full code path runs in seconds.
+#include "report/tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+namespace core = srm::core;
+namespace report = srm::report;
+
+const report::SweepResult& small_sweep() {
+  static const report::SweepResult sweep = [] {
+    report::SweepOptions options;
+    options.observation_days = {48, 96};
+    options.eventual_total = srm::data::kSys1TotalBugs;
+    options.gibbs.chain_count = 2;
+    options.gibbs.burn_in = 100;
+    options.gibbs.iterations = 400;
+    return report::run_sweep(srm::data::sys1_grouped(), options);
+  }();
+  return sweep;
+}
+
+TEST(Sweep, ProducesAllTenCells) {
+  const auto& sweep = small_sweep();
+  EXPECT_EQ(sweep.cells.size(), 10u);
+  for (const auto& cell : sweep.cells) {
+    EXPECT_EQ(cell.results.size(), 2u);
+  }
+}
+
+TEST(Sweep, CellLookupByPriorAndModel) {
+  const auto& sweep = small_sweep();
+  const auto& cell = sweep.cell(core::PriorKind::kNegativeBinomial,
+                                core::DetectionModelKind::kWeibull);
+  EXPECT_EQ(cell.prior, core::PriorKind::kNegativeBinomial);
+  EXPECT_EQ(cell.model, core::DetectionModelKind::kWeibull);
+}
+
+TEST(Sweep, ConfigOverridesApply) {
+  report::SweepOptions options;
+  options.base_config.lambda_max = 100.0;
+  core::HyperPriorConfig special;
+  special.lambda_max = 42.0;
+  options.set_override(core::PriorKind::kPoisson,
+                       core::DetectionModelKind::kPareto, special);
+  EXPECT_DOUBLE_EQ(options
+                       .config_for(core::PriorKind::kPoisson,
+                                   core::DetectionModelKind::kPareto)
+                       .lambda_max,
+                   42.0);
+  EXPECT_DOUBLE_EQ(options
+                       .config_for(core::PriorKind::kPoisson,
+                                   core::DetectionModelKind::kConstant)
+                       .lambda_max,
+                   100.0);
+}
+
+TEST(Render, WaicTableMentionsAllModelsAndDays) {
+  const auto text = report::render_waic_table(small_sweep());
+  for (const char* token : {"model0", "model1", "model2", "model3", "model4",
+                            "48days", "96days", "Poisson prior",
+                            "Negative binomial prior"}) {
+    EXPECT_NE(text.find(token), std::string::npos) << token;
+  }
+}
+
+TEST(Render, PosteriorTablesCarryDeviationsExceptSd) {
+  const auto means = report::render_posterior_table(
+      small_sweep(), report::PosteriorStatistic::kMean);
+  EXPECT_NE(means.find("(+"), std::string::npos);
+  const auto sds = report::render_posterior_table(
+      small_sweep(), report::PosteriorStatistic::kStdDev);
+  EXPECT_EQ(sds.find("(+"), std::string::npos);
+  EXPECT_NE(sds.find("standard deviations"), std::string::npos);
+}
+
+TEST(Render, BoxplotFigureHasOneSectionPerDay) {
+  const auto text = report::render_boxplot_figure(small_sweep(),
+                                                  core::PriorKind::kPoisson);
+  EXPECT_NE(text.find("observation point: 48 days"), std::string::npos);
+  EXPECT_NE(text.find("observation point: 96 days"), std::string::npos);
+  EXPECT_NE(text.find("model4"), std::string::npos);
+}
+
+TEST(Render, DiagnosticsTableListsParameters) {
+  const auto text = report::render_diagnostics_table(small_sweep(), 96);
+  for (const char* token :
+       {"PSRF", "Geweke", "residual", "lambda0", "alpha0", "beta0", "mu"}) {
+    EXPECT_NE(text.find(token), std::string::npos) << token;
+  }
+  EXPECT_THROW(report::render_diagnostics_table(small_sweep(), 55),
+               srm::InvalidArgument);
+}
+
+TEST(Render, DatasetFigureListsEveryDay) {
+  const auto text =
+      report::render_dataset_figure(srm::data::sys1_grouped());
+  EXPECT_NE(text.find("136 bugs over 96 testing days"), std::string::npos);
+  EXPECT_NE(text.find("Daily bug counts"), std::string::npos);
+}
+
+TEST(Sweep, UnknownCellThrows) {
+  report::SweepResult empty;
+  EXPECT_THROW(empty.cell(core::PriorKind::kPoisson,
+                          core::DetectionModelKind::kConstant),
+               srm::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Tests for the binomial distribution object.
+#include "stats/binomial.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using srm::stats::Binomial;
+
+TEST(Binomial, PmfSumsToOne) {
+  const Binomial d(25, 0.37);
+  double total = 0.0;
+  for (std::int64_t k = 0; k <= 25; ++k) total += d.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Binomial, PmfKnownValues) {
+  const Binomial d(4, 0.5);
+  EXPECT_NEAR(d.pmf(0), 1.0 / 16.0, 1e-12);
+  EXPECT_NEAR(d.pmf(2), 6.0 / 16.0, 1e-12);
+  EXPECT_NEAR(d.pmf(4), 1.0 / 16.0, 1e-12);
+  EXPECT_EQ(d.pmf(5), 0.0);
+  EXPECT_EQ(d.pmf(-1), 0.0);
+}
+
+TEST(Binomial, SymmetryUnderComplement) {
+  const Binomial d(12, 0.3);
+  const Binomial complement(12, 0.7);
+  for (std::int64_t k = 0; k <= 12; ++k) {
+    EXPECT_NEAR(d.pmf(k), complement.pmf(12 - k), 1e-12);
+  }
+}
+
+TEST(Binomial, CdfMatchesPartialSums) {
+  const Binomial d(30, 0.42);
+  double partial = 0.0;
+  for (std::int64_t k = 0; k <= 30; ++k) {
+    partial += d.pmf(k);
+    EXPECT_NEAR(d.cdf(k), partial, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(Binomial, DegenerateProbabilities) {
+  const Binomial zero(10, 0.0);
+  EXPECT_EQ(zero.pmf(0), 1.0);
+  EXPECT_EQ(zero.cdf(5), 1.0);
+  const Binomial one(10, 1.0);
+  EXPECT_EQ(one.pmf(10), 1.0);
+  EXPECT_EQ(one.cdf(9), 0.0);
+  EXPECT_EQ(one.cdf(10), 1.0);
+}
+
+TEST(Binomial, ZeroTrials) {
+  const Binomial d(0, 0.4);
+  EXPECT_EQ(d.pmf(0), 1.0);
+  EXPECT_EQ(d.cdf(0), 1.0);
+  EXPECT_EQ(d.quantile(0.9), 0);
+}
+
+TEST(Binomial, QuantileIsGeneralizedInverse) {
+  const Binomial d(50, 0.23);
+  for (const double p : {0.01, 0.2, 0.5, 0.8, 0.99}) {
+    const auto q = d.quantile(p);
+    EXPECT_GE(d.cdf(q), p);
+    if (q > 0) {
+      EXPECT_LT(d.cdf(q - 1), p);
+    }
+  }
+}
+
+TEST(Binomial, SamplingMatchesMoments) {
+  const Binomial d(40, 0.65);
+  srm::random::Rng rng(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(d.sample(rng));
+  EXPECT_NEAR(sum / n, d.mean(), 0.05);
+}
+
+TEST(Binomial, RejectsInvalidConstruction) {
+  EXPECT_THROW(Binomial(-1, 0.5), srm::InvalidArgument);
+  EXPECT_THROW(Binomial(5, -0.1), srm::InvalidArgument);
+  EXPECT_THROW(Binomial(5, 1.1), srm::InvalidArgument);
+}
+
+}  // namespace

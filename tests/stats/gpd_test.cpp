@@ -1,0 +1,102 @@
+// Tests for the generalized Pareto distribution and its Zhang-Stephens fit.
+#include "stats/gpd.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using srm::stats::fit_generalized_pareto;
+using srm::stats::GeneralizedPareto;
+
+TEST(Gpd, ExponentialSpecialCase) {
+  const GeneralizedPareto d(0.0, 2.0);
+  EXPECT_NEAR(d.cdf(2.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(d.quantile(0.5), 2.0 * std::log(2.0), 1e-12);
+  EXPECT_NEAR(d.mean(), 2.0, 1e-12);
+}
+
+TEST(Gpd, CdfQuantileRoundTrip) {
+  for (const double k : {-0.4, -0.1, 0.0, 0.3, 0.9}) {
+    const GeneralizedPareto d(k, 1.5);
+    for (const double p : {0.05, 0.3, 0.7, 0.95}) {
+      EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-10) << "k=" << k;
+    }
+  }
+}
+
+TEST(Gpd, BoundedSupportForNegativeShape) {
+  const GeneralizedPareto d(-0.5, 1.0);
+  // Support is [0, sigma/|k|] = [0, 2].
+  EXPECT_NEAR(d.cdf(2.0), 1.0, 1e-12);
+  EXPECT_EQ(d.cdf(3.0), 1.0);
+  EXPECT_EQ(d.log_pdf(3.0), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Gpd, HeavyTailInfiniteMean) {
+  EXPECT_TRUE(std::isinf(GeneralizedPareto(1.2, 1.0).mean()));
+  EXPECT_NEAR(GeneralizedPareto(0.5, 1.0).mean(), 2.0, 1e-12);
+}
+
+TEST(Gpd, PdfIntegratesToCdf) {
+  const GeneralizedPareto d(0.4, 1.0);
+  // Trapezoid integral of pdf over [0, 5] vs cdf(5).
+  const int steps = 20000;
+  double total = 0.0;
+  const double h = 5.0 / steps;
+  for (int i = 0; i < steps; ++i) {
+    const double y0 = i * h;
+    const double y1 = (i + 1) * h;
+    total += 0.5 * (std::exp(d.log_pdf(y0)) + std::exp(d.log_pdf(y1))) * h;
+  }
+  EXPECT_NEAR(total, d.cdf(5.0), 1e-5);
+}
+
+TEST(GpdFit, RecoversShapeAndScale) {
+  for (const double true_k : {-0.2, 0.0, 0.3, 0.7}) {
+    const double true_sigma = 2.0;
+    const GeneralizedPareto truth(true_k, true_sigma);
+    srm::random::Rng rng(static_cast<std::uint64_t>((true_k + 1.0) * 1000));
+    std::vector<double> sample;
+    for (int i = 0; i < 4000; ++i) {
+      sample.push_back(truth.quantile(rng.uniform()));
+    }
+    const auto fit = fit_generalized_pareto(sample, /*regularize=*/false);
+    EXPECT_NEAR(fit.k(), true_k, 0.08) << "true_k=" << true_k;
+    EXPECT_NEAR(fit.sigma(), true_sigma, 0.25) << "true_k=" << true_k;
+  }
+}
+
+TEST(GpdFit, RegularizationShrinksTowardHalf) {
+  // Small samples: the regularized k sits between the raw estimate and 0.5.
+  const GeneralizedPareto truth(0.0, 1.0);
+  srm::random::Rng rng(77);
+  std::vector<double> sample;
+  for (int i = 0; i < 30; ++i) sample.push_back(truth.quantile(rng.uniform()));
+  const auto raw = fit_generalized_pareto(sample, false);
+  const auto reg = fit_generalized_pareto(sample, true);
+  const double lo = std::min(raw.k(), 0.5);
+  const double hi = std::max(raw.k(), 0.5);
+  EXPECT_GE(reg.k(), lo - 1e-12);
+  EXPECT_LE(reg.k(), hi + 1e-12);
+}
+
+TEST(GpdFit, RejectsBadInput) {
+  EXPECT_THROW(fit_generalized_pareto(std::vector<double>{1.0, 2.0}),
+               srm::InvalidArgument);
+  EXPECT_THROW(
+      fit_generalized_pareto(std::vector<double>{-1.0, 1.0, 2.0, 3.0, 4.0}),
+      srm::InvalidArgument);
+}
+
+TEST(Gpd, ConstructorValidation) {
+  EXPECT_THROW(GeneralizedPareto(0.1, 0.0), srm::InvalidArgument);
+  EXPECT_THROW(GeneralizedPareto(0.1, -1.0), srm::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Tests for the negative binomial distribution object (real shape).
+#include "stats/negative_binomial.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using srm::stats::NegativeBinomial;
+
+TEST(NegativeBinomial, PmfSumsToOne) {
+  for (const auto& [alpha, beta] :
+       {std::pair{2.5, 0.4}, std::pair{1.0, 0.7}, std::pair{40.0, 0.9}}) {
+    const NegativeBinomial d(alpha, beta);
+    double total = 0.0;
+    for (std::int64_t k = 0; k < 2000; ++k) total += d.pmf(k);
+    EXPECT_NEAR(total, 1.0, 1e-9) << alpha << "," << beta;
+  }
+}
+
+TEST(NegativeBinomial, GeometricSpecialCase) {
+  // alpha = 1 is the geometric distribution: pmf(k) = beta (1-beta)^k.
+  const NegativeBinomial d(1.0, 0.3);
+  for (std::int64_t k = 0; k <= 10; ++k) {
+    EXPECT_NEAR(d.pmf(k), 0.3 * std::pow(0.7, static_cast<double>(k)),
+                1e-12);
+  }
+}
+
+TEST(NegativeBinomial, PmfRecurrence) {
+  // pmf(k+1)/pmf(k) = (k + alpha)/(k + 1) * (1 - beta).
+  const NegativeBinomial d(3.7, 0.45);
+  for (std::int64_t k = 0; k <= 30; ++k) {
+    const double ratio = d.pmf(k + 1) / d.pmf(k);
+    const double expected =
+        (static_cast<double>(k) + 3.7) / (static_cast<double>(k) + 1.0) *
+        0.55;
+    EXPECT_NEAR(ratio, expected, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(NegativeBinomial, CdfMatchesPartialSums) {
+  const NegativeBinomial d(5.0, 0.35);
+  double partial = 0.0;
+  for (std::int64_t k = 0; k <= 60; ++k) {
+    partial += d.pmf(k);
+    EXPECT_NEAR(d.cdf(k), partial, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(NegativeBinomial, QuantileIsGeneralizedInverse) {
+  const NegativeBinomial d(8.0, 0.25);
+  for (const double p : {0.01, 0.3, 0.5, 0.9, 0.999}) {
+    const auto q = d.quantile(p);
+    EXPECT_GE(d.cdf(q), p);
+    if (q > 0) {
+      EXPECT_LT(d.cdf(q - 1), p);
+    }
+  }
+}
+
+TEST(NegativeBinomial, MomentFormulas) {
+  const NegativeBinomial d(4.0, 0.2);
+  EXPECT_DOUBLE_EQ(d.mean(), 4.0 * 0.8 / 0.2);
+  EXPECT_DOUBLE_EQ(d.variance(), 4.0 * 0.8 / 0.04);
+}
+
+TEST(NegativeBinomial, ModeTieCaseReturnsSmallerMode) {
+  // alpha = 4, beta = 0.3: (alpha-1)(1-beta)/beta = 7 exactly, so the pmf
+  // ties at k = 6 and k = 7; the convention is to report the smaller.
+  const NegativeBinomial d(4.0, 0.3);
+  EXPECT_NEAR(d.pmf(6), d.pmf(7), 1e-15);
+  EXPECT_EQ(d.mode(), 6);
+}
+
+TEST(NegativeBinomial, ModeMatchesArgmaxOfPmf) {
+  for (const auto& [alpha, beta] :
+       {std::pair{4.0, 0.35}, std::pair{0.5, 0.5}, std::pair{20.0, 0.6}}) {
+    const NegativeBinomial d(alpha, beta);
+    std::int64_t argmax = 0;
+    double best = -1.0;
+    for (std::int64_t k = 0; k < 200; ++k) {
+      if (d.pmf(k) > best) {
+        best = d.pmf(k);
+        argmax = k;
+      }
+    }
+    EXPECT_EQ(d.mode(), argmax) << alpha << "," << beta;
+  }
+}
+
+TEST(NegativeBinomial, SamplingMatchesMoments) {
+  const NegativeBinomial d(6.0, 0.4);
+  srm::random::Rng rng(42);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(d.sample(rng));
+  EXPECT_NEAR(sum / n, d.mean(), 0.1);
+}
+
+TEST(NegativeBinomial, NegativeArgumentHasZeroMass) {
+  const NegativeBinomial d(2.0, 0.5);
+  EXPECT_EQ(d.pmf(-1), 0.0);
+  EXPECT_EQ(d.cdf(-1), 0.0);
+}
+
+TEST(NegativeBinomial, RejectsInvalidConstruction) {
+  EXPECT_THROW(NegativeBinomial(0.0, 0.5), srm::InvalidArgument);
+  EXPECT_THROW(NegativeBinomial(-1.0, 0.5), srm::InvalidArgument);
+  EXPECT_THROW(NegativeBinomial(1.0, 0.0), srm::InvalidArgument);
+  EXPECT_THROW(NegativeBinomial(1.0, 1.0), srm::InvalidArgument);
+}
+
+}  // namespace

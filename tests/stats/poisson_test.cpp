@@ -1,0 +1,93 @@
+// Tests for the Poisson distribution object.
+#include "stats/poisson.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using srm::stats::Poisson;
+
+TEST(Poisson, PmfSumsToOne) {
+  for (const double mean : {0.5, 3.0, 25.0}) {
+    const Poisson d(mean);
+    double total = 0.0;
+    for (std::int64_t k = 0; k < 200; ++k) total += d.pmf(k);
+    EXPECT_NEAR(total, 1.0, 1e-10) << "mean=" << mean;
+  }
+}
+
+TEST(Poisson, PmfKnownValues) {
+  const Poisson d(2.0);
+  EXPECT_NEAR(d.pmf(0), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(d.pmf(1), 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(d.pmf(2), 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_EQ(d.pmf(-1), 0.0);
+}
+
+TEST(Poisson, CdfMatchesPartialSums) {
+  const Poisson d(7.3);
+  double partial = 0.0;
+  for (std::int64_t k = 0; k <= 30; ++k) {
+    partial += d.pmf(k);
+    EXPECT_NEAR(d.cdf(k), partial, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(Poisson, QuantileIsGeneralizedInverse) {
+  const Poisson d(11.0);
+  for (const double p : {0.01, 0.2, 0.5, 0.8, 0.99}) {
+    const auto q = d.quantile(p);
+    EXPECT_GE(d.cdf(q), p);
+    if (q > 0) {
+      EXPECT_LT(d.cdf(q - 1), p);
+    }
+  }
+}
+
+TEST(Poisson, DegenerateZeroMean) {
+  const Poisson d(0.0);
+  EXPECT_EQ(d.pmf(0), 1.0);
+  EXPECT_EQ(d.pmf(1), 0.0);
+  EXPECT_EQ(d.cdf(0), 1.0);
+  EXPECT_EQ(d.quantile(0.99), 0);
+  srm::random::Rng rng(1);
+  EXPECT_EQ(d.sample(rng), 0);
+}
+
+TEST(Poisson, ModeIsFloorOfMean) {
+  EXPECT_EQ(Poisson(3.7).mode(), 3);
+  EXPECT_EQ(Poisson(4.0).mode(), 4);
+  EXPECT_EQ(Poisson(0.2).mode(), 0);
+}
+
+TEST(Poisson, MomentsExposed) {
+  const Poisson d(5.5);
+  EXPECT_DOUBLE_EQ(d.mean(), 5.5);
+  EXPECT_DOUBLE_EQ(d.variance(), 5.5);
+}
+
+TEST(Poisson, SamplingMatchesDistribution) {
+  const Poisson d(13.0);
+  srm::random::Rng rng(77);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(d.sample(rng));
+  EXPECT_NEAR(sum / n, 13.0, 0.06);
+}
+
+TEST(Poisson, RejectsInvalidConstruction) {
+  EXPECT_THROW(Poisson(-1.0), srm::InvalidArgument);
+  EXPECT_THROW(Poisson(std::nan("")), srm::InvalidArgument);
+}
+
+TEST(Poisson, QuantileRejectsOutOfRange) {
+  EXPECT_THROW(Poisson(1.0).quantile(-0.1), srm::InvalidArgument);
+  EXPECT_THROW(Poisson(1.0).quantile(1.5), srm::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Tests for the minimal CSV reader/writer.
+#include "support/csv.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace {
+
+using srm::support::CsvRows;
+
+TEST(Csv, ParsesSimpleRows) {
+  std::istringstream in("a,b\n1,2\n3,4\n");
+  const auto rows = srm::support::read_csv(in);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(Csv, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# header comment\n\n1,2\n   # indented comment\n3,4\n");
+  const auto rows = srm::support::read_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST(Csv, TrimsCellWhitespace) {
+  std::istringstream in("  1 ,\t2  \n");
+  const auto rows = srm::support::read_csv(in);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(Csv, HandlesCrLf) {
+  std::istringstream in("1,2\r\n3,4\r\n");
+  const auto rows = srm::support::read_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "4");
+}
+
+TEST(Csv, TrailingCommaYieldsEmptyCell) {
+  std::istringstream in("1,\n");
+  const auto rows = srm::support::read_csv(in);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 2u);
+  EXPECT_TRUE(rows[0][1].empty());
+}
+
+TEST(Csv, WriteReadRoundTrip) {
+  const CsvRows rows{{"day", "count"}, {"1", "5"}, {"2", "0"}};
+  std::ostringstream out;
+  srm::support::write_csv(out, rows);
+  std::istringstream in(out.str());
+  EXPECT_EQ(srm::support::read_csv(in), rows);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "srm_csv_test.csv").string();
+  const CsvRows rows{{"1", "2"}, {"3", "4"}};
+  srm::support::write_csv_file(path, rows);
+  EXPECT_EQ(srm::support::read_csv_file(path), rows);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(srm::support::read_csv_file("/nonexistent/really/not.csv"),
+               srm::InvalidArgument);
+}
+
+TEST(ParseDouble, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(srm::support::parse_double("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(srm::support::parse_double("-1e3"), -1000.0);
+  EXPECT_THROW(srm::support::parse_double("abc"), srm::InvalidArgument);
+  EXPECT_THROW(srm::support::parse_double("1.5x"), srm::InvalidArgument);
+  EXPECT_THROW(srm::support::parse_double(""), srm::InvalidArgument);
+}
+
+TEST(ParseCount, ValidAndInvalid) {
+  EXPECT_EQ(srm::support::parse_count("42"), 42);
+  EXPECT_EQ(srm::support::parse_count("0"), 0);
+  EXPECT_THROW(srm::support::parse_count("-3"), srm::InvalidArgument);
+  EXPECT_THROW(srm::support::parse_count("3.5"), srm::InvalidArgument);
+  EXPECT_THROW(srm::support::parse_count("x"), srm::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,55 @@
+// Tests for the contract/exception machinery.
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+double checked_sqrt(double x) {
+  SRM_EXPECTS(x >= 0.0, "checked_sqrt requires x >= 0");
+  return x * x;  // placeholder body; the contract is what is under test
+}
+
+TEST(Contracts, ExpectsPassesOnValidInput) {
+  EXPECT_NO_THROW(checked_sqrt(4.0));
+}
+
+TEST(Contracts, ExpectsThrowsInvalidArgument) {
+  EXPECT_THROW(checked_sqrt(-1.0), srm::InvalidArgument);
+}
+
+TEST(Contracts, ExpectsMessageNamesConditionAndLocation) {
+  try {
+    checked_sqrt(-1.0);
+    FAIL() << "expected InvalidArgument";
+  } catch (const srm::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("x >= 0.0"), std::string::npos) << what;
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("checked_sqrt requires"), std::string::npos) << what;
+  }
+}
+
+TEST(Contracts, EnsuresThrowsLogicError) {
+  const auto broken = [] { SRM_ENSURES(1 == 2, "internal bug"); };
+  EXPECT_THROW(broken(), srm::LogicError);
+}
+
+TEST(Contracts, AssertAliasesEnsures) {
+  const auto broken = [] { SRM_ASSERT(false, "assert fired"); };
+  EXPECT_THROW(broken(), srm::LogicError);
+}
+
+TEST(Contracts, ExceptionHierarchy) {
+  // All library exceptions are catchable as srm::Error and std::exception.
+  EXPECT_THROW(throw srm::InvalidArgument("x"), srm::Error);
+  EXPECT_THROW(throw srm::LogicError("x"), srm::Error);
+  EXPECT_THROW(throw srm::NumericError("x"), srm::Error);
+  EXPECT_THROW(throw srm::Error("x"), std::runtime_error);
+}
+
+TEST(Contracts, NoThrowWhenConditionHolds) {
+  EXPECT_NO_THROW([] { SRM_ENSURES(2 + 2 == 4, "math works"); }());
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Tests for the ASCII table and box-plot renderers.
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace {
+
+using srm::support::BoxStats;
+using srm::support::Table;
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Title");
+  t.set_header({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(out.find("| 333 | 4  |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), srm::InvalidArgument);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t;
+  t.set_header({"x"});
+  t.add_row({"wide-cell"});
+  const std::string out = t.render();
+  // Header cell padded to the width of "wide-cell".
+  EXPECT_NE(out.find("| x         |"), std::string::npos) << out;
+}
+
+TEST(Table, EmptyTableRendersRules) {
+  Table t;
+  EXPECT_FALSE(t.render().empty());
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+TEST(FormatDouble, RespectsDigits) {
+  EXPECT_EQ(srm::support::format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(srm::support::format_double(3.0, 0), "3");
+  EXPECT_EQ(srm::support::format_double(-1.5, 3), "-1.500");
+}
+
+TEST(FormatDeviation, AlwaysSigned) {
+  EXPECT_EQ(srm::support::format_deviation(5.55, 2), "(+5.55)");
+  EXPECT_EQ(srm::support::format_deviation(-13.211, 3), "(-13.211)");
+  EXPECT_EQ(srm::support::format_deviation(0.0, 1), "(+0.0)");
+}
+
+TEST(BoxPlots, RendersAllGlyphs) {
+  BoxStats b;
+  b.label = "m0";
+  b.whisker_low = 0.0;
+  b.q1 = 2.0;
+  b.median = 5.0;
+  b.q3 = 8.0;
+  b.whisker_high = 10.0;
+  const std::string out = srm::support::render_box_plots({b}, 40);
+  EXPECT_NE(out.find('['), std::string::npos);
+  EXPECT_NE(out.find(']'), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("m0"), std::string::npos);
+}
+
+TEST(BoxPlots, DegeneratePointMassDoesNotCrash) {
+  BoxStats b;
+  b.label = "point";
+  b.whisker_low = b.q1 = b.median = b.q3 = b.whisker_high = 0.0;
+  EXPECT_NO_THROW(srm::support::render_box_plots({b}, 30));
+}
+
+TEST(BoxPlots, UnorderedStatsThrow) {
+  BoxStats b;
+  b.label = "bad";
+  b.whisker_low = 5.0;
+  b.q1 = 1.0;  // below whisker_low
+  b.median = 6.0;
+  b.q3 = 7.0;
+  b.whisker_high = 8.0;
+  EXPECT_THROW(srm::support::render_box_plots({b}, 30),
+               srm::InvalidArgument);
+}
+
+TEST(BoxPlots, SharedAxisAcrossBoxes) {
+  BoxStats narrow;
+  narrow.label = "narrow";
+  narrow.whisker_low = 0.0;
+  narrow.q1 = 1.0;
+  narrow.median = 2.0;
+  narrow.q3 = 3.0;
+  narrow.whisker_high = 4.0;
+  BoxStats wide = narrow;
+  wide.label = "wide";
+  wide.whisker_high = 400.0;
+  wide.q3 = 300.0;
+  const std::string out =
+      srm::support::render_box_plots({narrow, wide}, 50);
+  // The axis label must span the global range [0, 400].
+  EXPECT_NE(out.find("400.0"), std::string::npos) << out;
+  EXPECT_NE(out.find("0.0"), std::string::npos) << out;
+}
+
+TEST(BoxPlots, TooNarrowWidthThrows) {
+  BoxStats b;
+  b.label = "x";
+  b.whisker_high = 1.0;
+  b.q3 = 0.5;
+  EXPECT_THROW(srm::support::render_box_plots({b}, 5), srm::InvalidArgument);
+}
+
+}  // namespace
