@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_datasets.dir/ablation_datasets.cpp.o"
+  "CMakeFiles/ablation_datasets.dir/ablation_datasets.cpp.o.d"
+  "ablation_datasets"
+  "ablation_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_extended_models.dir/ablation_extended_models.cpp.o"
+  "CMakeFiles/ablation_extended_models.dir/ablation_extended_models.cpp.o.d"
+  "ablation_extended_models"
+  "ablation_extended_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_extended_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

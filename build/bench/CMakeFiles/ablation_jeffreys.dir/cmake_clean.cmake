@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_jeffreys.dir/ablation_jeffreys.cpp.o"
+  "CMakeFiles/ablation_jeffreys.dir/ablation_jeffreys.cpp.o.d"
+  "ablation_jeffreys"
+  "ablation_jeffreys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_jeffreys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loo_vs_waic.dir/ablation_loo_vs_waic.cpp.o"
+  "CMakeFiles/ablation_loo_vs_waic.dir/ablation_loo_vs_waic.cpp.o.d"
+  "ablation_loo_vs_waic"
+  "ablation_loo_vs_waic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loo_vs_waic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_loo_vs_waic.
+# This may be replaced when dependencies are built.

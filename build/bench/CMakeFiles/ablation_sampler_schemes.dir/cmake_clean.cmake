@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sampler_schemes.dir/ablation_sampler_schemes.cpp.o"
+  "CMakeFiles/ablation_sampler_schemes.dir/ablation_sampler_schemes.cpp.o.d"
+  "ablation_sampler_schemes"
+  "ablation_sampler_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sampler_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

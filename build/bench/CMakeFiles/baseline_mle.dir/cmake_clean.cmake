@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_mle.dir/baseline_mle.cpp.o"
+  "CMakeFiles/baseline_mle.dir/baseline_mle.cpp.o.d"
+  "baseline_mle"
+  "baseline_mle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_mle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

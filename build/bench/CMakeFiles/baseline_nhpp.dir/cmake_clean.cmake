@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_nhpp.dir/baseline_nhpp.cpp.o"
+  "CMakeFiles/baseline_nhpp.dir/baseline_nhpp.cpp.o.d"
+  "baseline_nhpp"
+  "baseline_nhpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_nhpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

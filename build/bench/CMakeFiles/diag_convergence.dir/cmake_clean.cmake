@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_convergence.dir/diag_convergence.cpp.o"
+  "CMakeFiles/diag_convergence.dir/diag_convergence.cpp.o.d"
+  "diag_convergence"
+  "diag_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_dataset.dir/fig1_dataset.cpp.o"
+  "CMakeFiles/fig1_dataset.dir/fig1_dataset.cpp.o.d"
+  "fig1_dataset"
+  "fig1_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_boxplot_poisson.dir/fig2_boxplot_poisson.cpp.o"
+  "CMakeFiles/fig2_boxplot_poisson.dir/fig2_boxplot_poisson.cpp.o.d"
+  "fig2_boxplot_poisson"
+  "fig2_boxplot_poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_boxplot_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_boxplot_negbin.dir/fig3_boxplot_negbin.cpp.o"
+  "CMakeFiles/fig3_boxplot_negbin.dir/fig3_boxplot_negbin.cpp.o.d"
+  "fig3_boxplot_negbin"
+  "fig3_boxplot_negbin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_boxplot_negbin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictive_scores.dir/predictive_scores.cpp.o"
+  "CMakeFiles/predictive_scores.dir/predictive_scores.cpp.o.d"
+  "predictive_scores"
+  "predictive_scores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictive_scores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

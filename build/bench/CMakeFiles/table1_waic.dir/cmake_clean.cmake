@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_waic.dir/table1_waic.cpp.o"
+  "CMakeFiles/table1_waic.dir/table1_waic.cpp.o.d"
+  "table1_waic"
+  "table1_waic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_waic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

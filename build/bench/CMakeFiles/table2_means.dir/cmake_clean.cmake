@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_means.dir/table2_means.cpp.o"
+  "CMakeFiles/table2_means.dir/table2_means.cpp.o.d"
+  "table2_means"
+  "table2_means.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_means.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

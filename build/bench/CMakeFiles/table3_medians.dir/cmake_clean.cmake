@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_medians.dir/table3_medians.cpp.o"
+  "CMakeFiles/table3_medians.dir/table3_medians.cpp.o.d"
+  "table3_medians"
+  "table3_medians.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_medians.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

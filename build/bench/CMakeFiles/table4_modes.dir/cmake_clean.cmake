@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_modes.dir/table4_modes.cpp.o"
+  "CMakeFiles/table4_modes.dir/table4_modes.cpp.o.d"
+  "table4_modes"
+  "table4_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_stddev.dir/table5_stddev.cpp.o"
+  "CMakeFiles/table5_stddev.dir/table5_stddev.cpp.o.d"
+  "table5_stddev"
+  "table5_stddev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_stddev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

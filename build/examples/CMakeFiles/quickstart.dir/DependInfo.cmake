@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/srm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/srm_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/srm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcmc/CMakeFiles/srm_mcmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/diagnostics/CMakeFiles/srm_diagnostics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/srm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/mle/CMakeFiles/srm_mle.dir/DependInfo.cmake"
+  "/root/repo/build/src/nhpp/CMakeFiles/srm_nhpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/srm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/srm_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/release_planning.dir/release_planning.cpp.o"
+  "CMakeFiles/release_planning.dir/release_planning.cpp.o.d"
+  "release_planning"
+  "release_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/release_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

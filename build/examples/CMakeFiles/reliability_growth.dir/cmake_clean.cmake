@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_growth.dir/reliability_growth.cpp.o"
+  "CMakeFiles/reliability_growth.dir/reliability_growth.cpp.o.d"
+  "reliability_growth"
+  "reliability_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_recovery.dir/synthetic_recovery.cpp.o"
+  "CMakeFiles/synthetic_recovery.dir/synthetic_recovery.cpp.o.d"
+  "synthetic_recovery"
+  "synthetic_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

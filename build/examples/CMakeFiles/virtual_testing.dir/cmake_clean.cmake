@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_testing.dir/virtual_testing.cpp.o"
+  "CMakeFiles/virtual_testing.dir/virtual_testing.cpp.o.d"
+  "virtual_testing"
+  "virtual_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_cli.dir/main.cpp.o"
+  "CMakeFiles/srm_cli.dir/main.cpp.o.d"
+  "srm_cli"
+  "srm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

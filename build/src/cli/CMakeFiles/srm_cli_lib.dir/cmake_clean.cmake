@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_cli_lib.dir/args.cpp.o"
+  "CMakeFiles/srm_cli_lib.dir/args.cpp.o.d"
+  "CMakeFiles/srm_cli_lib.dir/commands.cpp.o"
+  "CMakeFiles/srm_cli_lib.dir/commands.cpp.o.d"
+  "libsrm_cli_lib.a"
+  "libsrm_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

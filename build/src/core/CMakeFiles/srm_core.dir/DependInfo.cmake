@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bayes_srm.cpp" "src/core/CMakeFiles/srm_core.dir/bayes_srm.cpp.o" "gcc" "src/core/CMakeFiles/srm_core.dir/bayes_srm.cpp.o.d"
+  "/root/repo/src/core/conjugate.cpp" "src/core/CMakeFiles/srm_core.dir/conjugate.cpp.o" "gcc" "src/core/CMakeFiles/srm_core.dir/conjugate.cpp.o.d"
+  "/root/repo/src/core/detection_models.cpp" "src/core/CMakeFiles/srm_core.dir/detection_models.cpp.o" "gcc" "src/core/CMakeFiles/srm_core.dir/detection_models.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/srm_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/srm_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/likelihood.cpp" "src/core/CMakeFiles/srm_core.dir/likelihood.cpp.o" "gcc" "src/core/CMakeFiles/srm_core.dir/likelihood.cpp.o.d"
+  "/root/repo/src/core/loo.cpp" "src/core/CMakeFiles/srm_core.dir/loo.cpp.o" "gcc" "src/core/CMakeFiles/srm_core.dir/loo.cpp.o.d"
+  "/root/repo/src/core/model_averaging.cpp" "src/core/CMakeFiles/srm_core.dir/model_averaging.cpp.o" "gcc" "src/core/CMakeFiles/srm_core.dir/model_averaging.cpp.o.d"
+  "/root/repo/src/core/posterior.cpp" "src/core/CMakeFiles/srm_core.dir/posterior.cpp.o" "gcc" "src/core/CMakeFiles/srm_core.dir/posterior.cpp.o.d"
+  "/root/repo/src/core/predictive.cpp" "src/core/CMakeFiles/srm_core.dir/predictive.cpp.o" "gcc" "src/core/CMakeFiles/srm_core.dir/predictive.cpp.o.d"
+  "/root/repo/src/core/release_policy.cpp" "src/core/CMakeFiles/srm_core.dir/release_policy.cpp.o" "gcc" "src/core/CMakeFiles/srm_core.dir/release_policy.cpp.o.d"
+  "/root/repo/src/core/tuning.cpp" "src/core/CMakeFiles/srm_core.dir/tuning.cpp.o" "gcc" "src/core/CMakeFiles/srm_core.dir/tuning.cpp.o.d"
+  "/root/repo/src/core/waic.cpp" "src/core/CMakeFiles/srm_core.dir/waic.cpp.o" "gcc" "src/core/CMakeFiles/srm_core.dir/waic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/srm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/srm_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/srm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcmc/CMakeFiles/srm_mcmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/diagnostics/CMakeFiles/srm_diagnostics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/srm_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_core.dir/bayes_srm.cpp.o"
+  "CMakeFiles/srm_core.dir/bayes_srm.cpp.o.d"
+  "CMakeFiles/srm_core.dir/conjugate.cpp.o"
+  "CMakeFiles/srm_core.dir/conjugate.cpp.o.d"
+  "CMakeFiles/srm_core.dir/detection_models.cpp.o"
+  "CMakeFiles/srm_core.dir/detection_models.cpp.o.d"
+  "CMakeFiles/srm_core.dir/experiment.cpp.o"
+  "CMakeFiles/srm_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/srm_core.dir/likelihood.cpp.o"
+  "CMakeFiles/srm_core.dir/likelihood.cpp.o.d"
+  "CMakeFiles/srm_core.dir/loo.cpp.o"
+  "CMakeFiles/srm_core.dir/loo.cpp.o.d"
+  "CMakeFiles/srm_core.dir/model_averaging.cpp.o"
+  "CMakeFiles/srm_core.dir/model_averaging.cpp.o.d"
+  "CMakeFiles/srm_core.dir/posterior.cpp.o"
+  "CMakeFiles/srm_core.dir/posterior.cpp.o.d"
+  "CMakeFiles/srm_core.dir/predictive.cpp.o"
+  "CMakeFiles/srm_core.dir/predictive.cpp.o.d"
+  "CMakeFiles/srm_core.dir/release_policy.cpp.o"
+  "CMakeFiles/srm_core.dir/release_policy.cpp.o.d"
+  "CMakeFiles/srm_core.dir/tuning.cpp.o"
+  "CMakeFiles/srm_core.dir/tuning.cpp.o.d"
+  "CMakeFiles/srm_core.dir/waic.cpp.o"
+  "CMakeFiles/srm_core.dir/waic.cpp.o.d"
+  "libsrm_core.a"
+  "libsrm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_data.dir/bug_count_data.cpp.o"
+  "CMakeFiles/srm_data.dir/bug_count_data.cpp.o.d"
+  "CMakeFiles/srm_data.dir/datasets.cpp.o"
+  "CMakeFiles/srm_data.dir/datasets.cpp.o.d"
+  "CMakeFiles/srm_data.dir/generator.cpp.o"
+  "CMakeFiles/srm_data.dir/generator.cpp.o.d"
+  "libsrm_data.a"
+  "libsrm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diagnostics/ess.cpp" "src/diagnostics/CMakeFiles/srm_diagnostics.dir/ess.cpp.o" "gcc" "src/diagnostics/CMakeFiles/srm_diagnostics.dir/ess.cpp.o.d"
+  "/root/repo/src/diagnostics/gelman_rubin.cpp" "src/diagnostics/CMakeFiles/srm_diagnostics.dir/gelman_rubin.cpp.o" "gcc" "src/diagnostics/CMakeFiles/srm_diagnostics.dir/gelman_rubin.cpp.o.d"
+  "/root/repo/src/diagnostics/geweke.cpp" "src/diagnostics/CMakeFiles/srm_diagnostics.dir/geweke.cpp.o" "gcc" "src/diagnostics/CMakeFiles/srm_diagnostics.dir/geweke.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/srm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/srm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcmc/CMakeFiles/srm_mcmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/srm_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

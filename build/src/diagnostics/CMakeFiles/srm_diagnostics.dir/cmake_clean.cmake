@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_diagnostics.dir/ess.cpp.o"
+  "CMakeFiles/srm_diagnostics.dir/ess.cpp.o.d"
+  "CMakeFiles/srm_diagnostics.dir/gelman_rubin.cpp.o"
+  "CMakeFiles/srm_diagnostics.dir/gelman_rubin.cpp.o.d"
+  "CMakeFiles/srm_diagnostics.dir/geweke.cpp.o"
+  "CMakeFiles/srm_diagnostics.dir/geweke.cpp.o.d"
+  "libsrm_diagnostics.a"
+  "libsrm_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcmc/gibbs.cpp" "src/mcmc/CMakeFiles/srm_mcmc.dir/gibbs.cpp.o" "gcc" "src/mcmc/CMakeFiles/srm_mcmc.dir/gibbs.cpp.o.d"
+  "/root/repo/src/mcmc/slice.cpp" "src/mcmc/CMakeFiles/srm_mcmc.dir/slice.cpp.o" "gcc" "src/mcmc/CMakeFiles/srm_mcmc.dir/slice.cpp.o.d"
+  "/root/repo/src/mcmc/trace.cpp" "src/mcmc/CMakeFiles/srm_mcmc.dir/trace.cpp.o" "gcc" "src/mcmc/CMakeFiles/srm_mcmc.dir/trace.cpp.o.d"
+  "/root/repo/src/mcmc/trace_io.cpp" "src/mcmc/CMakeFiles/srm_mcmc.dir/trace_io.cpp.o" "gcc" "src/mcmc/CMakeFiles/srm_mcmc.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/srm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/srm_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

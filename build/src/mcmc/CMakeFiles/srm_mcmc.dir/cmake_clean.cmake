@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_mcmc.dir/gibbs.cpp.o"
+  "CMakeFiles/srm_mcmc.dir/gibbs.cpp.o.d"
+  "CMakeFiles/srm_mcmc.dir/slice.cpp.o"
+  "CMakeFiles/srm_mcmc.dir/slice.cpp.o.d"
+  "CMakeFiles/srm_mcmc.dir/trace.cpp.o"
+  "CMakeFiles/srm_mcmc.dir/trace.cpp.o.d"
+  "CMakeFiles/srm_mcmc.dir/trace_io.cpp.o"
+  "CMakeFiles/srm_mcmc.dir/trace_io.cpp.o.d"
+  "libsrm_mcmc.a"
+  "libsrm_mcmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_mcmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

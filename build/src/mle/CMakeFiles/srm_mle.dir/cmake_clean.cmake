@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_mle.dir/mle_fit.cpp.o"
+  "CMakeFiles/srm_mle.dir/mle_fit.cpp.o.d"
+  "CMakeFiles/srm_mle.dir/optimize.cpp.o"
+  "CMakeFiles/srm_mle.dir/optimize.cpp.o.d"
+  "libsrm_mle.a"
+  "libsrm_mle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_mle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_nhpp.dir/mean_value.cpp.o"
+  "CMakeFiles/srm_nhpp.dir/mean_value.cpp.o.d"
+  "CMakeFiles/srm_nhpp.dir/nhpp_fit.cpp.o"
+  "CMakeFiles/srm_nhpp.dir/nhpp_fit.cpp.o.d"
+  "libsrm_nhpp.a"
+  "libsrm_nhpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_nhpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_random.dir/samplers.cpp.o"
+  "CMakeFiles/srm_random.dir/samplers.cpp.o.d"
+  "libsrm_random.a"
+  "libsrm_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_report.dir/sweep.cpp.o"
+  "CMakeFiles/srm_report.dir/sweep.cpp.o.d"
+  "CMakeFiles/srm_report.dir/tables.cpp.o"
+  "CMakeFiles/srm_report.dir/tables.cpp.o.d"
+  "libsrm_report.a"
+  "libsrm_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/beta.cpp" "src/stats/CMakeFiles/srm_stats.dir/beta.cpp.o" "gcc" "src/stats/CMakeFiles/srm_stats.dir/beta.cpp.o.d"
+  "/root/repo/src/stats/binomial.cpp" "src/stats/CMakeFiles/srm_stats.dir/binomial.cpp.o" "gcc" "src/stats/CMakeFiles/srm_stats.dir/binomial.cpp.o.d"
+  "/root/repo/src/stats/gamma.cpp" "src/stats/CMakeFiles/srm_stats.dir/gamma.cpp.o" "gcc" "src/stats/CMakeFiles/srm_stats.dir/gamma.cpp.o.d"
+  "/root/repo/src/stats/gpd.cpp" "src/stats/CMakeFiles/srm_stats.dir/gpd.cpp.o" "gcc" "src/stats/CMakeFiles/srm_stats.dir/gpd.cpp.o.d"
+  "/root/repo/src/stats/negative_binomial.cpp" "src/stats/CMakeFiles/srm_stats.dir/negative_binomial.cpp.o" "gcc" "src/stats/CMakeFiles/srm_stats.dir/negative_binomial.cpp.o.d"
+  "/root/repo/src/stats/normal.cpp" "src/stats/CMakeFiles/srm_stats.dir/normal.cpp.o" "gcc" "src/stats/CMakeFiles/srm_stats.dir/normal.cpp.o.d"
+  "/root/repo/src/stats/poisson.cpp" "src/stats/CMakeFiles/srm_stats.dir/poisson.cpp.o" "gcc" "src/stats/CMakeFiles/srm_stats.dir/poisson.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/srm_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/srm_stats.dir/summary.cpp.o.d"
+  "/root/repo/src/stats/uniform.cpp" "src/stats/CMakeFiles/srm_stats.dir/uniform.cpp.o" "gcc" "src/stats/CMakeFiles/srm_stats.dir/uniform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/srm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/srm_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

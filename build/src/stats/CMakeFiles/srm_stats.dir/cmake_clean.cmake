@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_stats.dir/beta.cpp.o"
+  "CMakeFiles/srm_stats.dir/beta.cpp.o.d"
+  "CMakeFiles/srm_stats.dir/binomial.cpp.o"
+  "CMakeFiles/srm_stats.dir/binomial.cpp.o.d"
+  "CMakeFiles/srm_stats.dir/gamma.cpp.o"
+  "CMakeFiles/srm_stats.dir/gamma.cpp.o.d"
+  "CMakeFiles/srm_stats.dir/gpd.cpp.o"
+  "CMakeFiles/srm_stats.dir/gpd.cpp.o.d"
+  "CMakeFiles/srm_stats.dir/negative_binomial.cpp.o"
+  "CMakeFiles/srm_stats.dir/negative_binomial.cpp.o.d"
+  "CMakeFiles/srm_stats.dir/normal.cpp.o"
+  "CMakeFiles/srm_stats.dir/normal.cpp.o.d"
+  "CMakeFiles/srm_stats.dir/poisson.cpp.o"
+  "CMakeFiles/srm_stats.dir/poisson.cpp.o.d"
+  "CMakeFiles/srm_stats.dir/summary.cpp.o"
+  "CMakeFiles/srm_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/srm_stats.dir/uniform.cpp.o"
+  "CMakeFiles/srm_stats.dir/uniform.cpp.o.d"
+  "libsrm_stats.a"
+  "libsrm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

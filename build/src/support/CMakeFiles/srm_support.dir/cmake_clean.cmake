@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_support.dir/csv.cpp.o"
+  "CMakeFiles/srm_support.dir/csv.cpp.o.d"
+  "CMakeFiles/srm_support.dir/error.cpp.o"
+  "CMakeFiles/srm_support.dir/error.cpp.o.d"
+  "CMakeFiles/srm_support.dir/math.cpp.o"
+  "CMakeFiles/srm_support.dir/math.cpp.o.d"
+  "CMakeFiles/srm_support.dir/table.cpp.o"
+  "CMakeFiles/srm_support.dir/table.cpp.o.d"
+  "libsrm_support.a"
+  "libsrm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_bayes_srm_test.dir/core/bayes_srm_test.cpp.o"
+  "CMakeFiles/core_bayes_srm_test.dir/core/bayes_srm_test.cpp.o.d"
+  "core_bayes_srm_test"
+  "core_bayes_srm_test.pdb"
+  "core_bayes_srm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_bayes_srm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

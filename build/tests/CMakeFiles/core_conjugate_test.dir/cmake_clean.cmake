@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_conjugate_test.dir/core/conjugate_test.cpp.o"
+  "CMakeFiles/core_conjugate_test.dir/core/conjugate_test.cpp.o.d"
+  "core_conjugate_test"
+  "core_conjugate_test.pdb"
+  "core_conjugate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_conjugate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

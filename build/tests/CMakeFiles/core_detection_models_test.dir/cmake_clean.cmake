@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_detection_models_test.dir/core/detection_models_test.cpp.o"
+  "CMakeFiles/core_detection_models_test.dir/core/detection_models_test.cpp.o.d"
+  "core_detection_models_test"
+  "core_detection_models_test.pdb"
+  "core_detection_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_detection_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_extended_models_test.dir/core/extended_models_test.cpp.o"
+  "CMakeFiles/core_extended_models_test.dir/core/extended_models_test.cpp.o.d"
+  "core_extended_models_test"
+  "core_extended_models_test.pdb"
+  "core_extended_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_extended_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

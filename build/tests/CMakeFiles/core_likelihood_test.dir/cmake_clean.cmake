@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_likelihood_test.dir/core/likelihood_test.cpp.o"
+  "CMakeFiles/core_likelihood_test.dir/core/likelihood_test.cpp.o.d"
+  "core_likelihood_test"
+  "core_likelihood_test.pdb"
+  "core_likelihood_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_likelihood_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_loo_test.dir/core/loo_test.cpp.o"
+  "CMakeFiles/core_loo_test.dir/core/loo_test.cpp.o.d"
+  "core_loo_test"
+  "core_loo_test.pdb"
+  "core_loo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_loo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

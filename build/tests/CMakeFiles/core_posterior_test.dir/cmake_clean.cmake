@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_posterior_test.dir/core/posterior_test.cpp.o"
+  "CMakeFiles/core_posterior_test.dir/core/posterior_test.cpp.o.d"
+  "core_posterior_test"
+  "core_posterior_test.pdb"
+  "core_posterior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_posterior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

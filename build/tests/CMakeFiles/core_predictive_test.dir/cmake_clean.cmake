@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_predictive_test.dir/core/predictive_test.cpp.o"
+  "CMakeFiles/core_predictive_test.dir/core/predictive_test.cpp.o.d"
+  "core_predictive_test"
+  "core_predictive_test.pdb"
+  "core_predictive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_predictive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

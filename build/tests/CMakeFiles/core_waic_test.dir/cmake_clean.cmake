@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_waic_test.dir/core/waic_test.cpp.o"
+  "CMakeFiles/core_waic_test.dir/core/waic_test.cpp.o.d"
+  "core_waic_test"
+  "core_waic_test.pdb"
+  "core_waic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_waic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

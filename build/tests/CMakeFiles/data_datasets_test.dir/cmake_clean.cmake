@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_datasets_test.dir/data/datasets_test.cpp.o"
+  "CMakeFiles/data_datasets_test.dir/data/datasets_test.cpp.o.d"
+  "data_datasets_test"
+  "data_datasets_test.pdb"
+  "data_datasets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_datasets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

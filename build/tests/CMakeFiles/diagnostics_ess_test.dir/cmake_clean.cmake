@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnostics_ess_test.dir/diagnostics/ess_test.cpp.o"
+  "CMakeFiles/diagnostics_ess_test.dir/diagnostics/ess_test.cpp.o.d"
+  "diagnostics_ess_test"
+  "diagnostics_ess_test.pdb"
+  "diagnostics_ess_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnostics_ess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnostics_gelman_rubin_test.dir/diagnostics/gelman_rubin_test.cpp.o"
+  "CMakeFiles/diagnostics_gelman_rubin_test.dir/diagnostics/gelman_rubin_test.cpp.o.d"
+  "diagnostics_gelman_rubin_test"
+  "diagnostics_gelman_rubin_test.pdb"
+  "diagnostics_gelman_rubin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnostics_gelman_rubin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

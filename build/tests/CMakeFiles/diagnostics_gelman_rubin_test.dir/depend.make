@@ -1,0 +1,2 @@
+# Empty dependencies file for diagnostics_gelman_rubin_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnostics_geweke_test.dir/diagnostics/geweke_test.cpp.o"
+  "CMakeFiles/diagnostics_geweke_test.dir/diagnostics/geweke_test.cpp.o.d"
+  "diagnostics_geweke_test"
+  "diagnostics_geweke_test.pdb"
+  "diagnostics_geweke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnostics_geweke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_cli_parity_test.dir/integration/cli_parity_test.cpp.o"
+  "CMakeFiles/integration_cli_parity_test.dir/integration/cli_parity_test.cpp.o.d"
+  "integration_cli_parity_test"
+  "integration_cli_parity_test.pdb"
+  "integration_cli_parity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_cli_parity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_paper_shape_test.dir/integration/paper_shape_test.cpp.o"
+  "CMakeFiles/integration_paper_shape_test.dir/integration/paper_shape_test.cpp.o.d"
+  "integration_paper_shape_test"
+  "integration_paper_shape_test.pdb"
+  "integration_paper_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_paper_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

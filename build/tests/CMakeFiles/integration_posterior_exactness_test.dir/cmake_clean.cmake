@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_posterior_exactness_test.dir/integration/posterior_exactness_test.cpp.o"
+  "CMakeFiles/integration_posterior_exactness_test.dir/integration/posterior_exactness_test.cpp.o.d"
+  "integration_posterior_exactness_test"
+  "integration_posterior_exactness_test.pdb"
+  "integration_posterior_exactness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_posterior_exactness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_scheme_equivalence_test.dir/integration/scheme_equivalence_test.cpp.o"
+  "CMakeFiles/integration_scheme_equivalence_test.dir/integration/scheme_equivalence_test.cpp.o.d"
+  "integration_scheme_equivalence_test"
+  "integration_scheme_equivalence_test.pdb"
+  "integration_scheme_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_scheme_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

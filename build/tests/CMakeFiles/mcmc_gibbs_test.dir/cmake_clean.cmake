@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcmc_gibbs_test.dir/mcmc/gibbs_test.cpp.o"
+  "CMakeFiles/mcmc_gibbs_test.dir/mcmc/gibbs_test.cpp.o.d"
+  "mcmc_gibbs_test"
+  "mcmc_gibbs_test.pdb"
+  "mcmc_gibbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcmc_gibbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

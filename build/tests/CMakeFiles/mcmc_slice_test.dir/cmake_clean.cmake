@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcmc_slice_test.dir/mcmc/slice_test.cpp.o"
+  "CMakeFiles/mcmc_slice_test.dir/mcmc/slice_test.cpp.o.d"
+  "mcmc_slice_test"
+  "mcmc_slice_test.pdb"
+  "mcmc_slice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcmc_slice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

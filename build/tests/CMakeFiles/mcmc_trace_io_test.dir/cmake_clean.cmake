@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcmc_trace_io_test.dir/mcmc/trace_io_test.cpp.o"
+  "CMakeFiles/mcmc_trace_io_test.dir/mcmc/trace_io_test.cpp.o.d"
+  "mcmc_trace_io_test"
+  "mcmc_trace_io_test.pdb"
+  "mcmc_trace_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcmc_trace_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mle_mle_fit_test.dir/mle/mle_fit_test.cpp.o"
+  "CMakeFiles/mle_mle_fit_test.dir/mle/mle_fit_test.cpp.o.d"
+  "mle_mle_fit_test"
+  "mle_mle_fit_test.pdb"
+  "mle_mle_fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mle_mle_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

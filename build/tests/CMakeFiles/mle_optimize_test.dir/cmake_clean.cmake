@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mle_optimize_test.dir/mle/optimize_test.cpp.o"
+  "CMakeFiles/mle_optimize_test.dir/mle/optimize_test.cpp.o.d"
+  "mle_optimize_test"
+  "mle_optimize_test.pdb"
+  "mle_optimize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mle_optimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

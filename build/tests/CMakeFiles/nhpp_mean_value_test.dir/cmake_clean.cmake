@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nhpp_mean_value_test.dir/nhpp/mean_value_test.cpp.o"
+  "CMakeFiles/nhpp_mean_value_test.dir/nhpp/mean_value_test.cpp.o.d"
+  "nhpp_mean_value_test"
+  "nhpp_mean_value_test.pdb"
+  "nhpp_mean_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nhpp_mean_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

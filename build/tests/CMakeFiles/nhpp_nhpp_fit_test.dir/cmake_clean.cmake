@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nhpp_nhpp_fit_test.dir/nhpp/nhpp_fit_test.cpp.o"
+  "CMakeFiles/nhpp_nhpp_fit_test.dir/nhpp/nhpp_fit_test.cpp.o.d"
+  "nhpp_nhpp_fit_test"
+  "nhpp_nhpp_fit_test.pdb"
+  "nhpp_nhpp_fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nhpp_nhpp_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_pcg_test.dir/random/pcg_test.cpp.o"
+  "CMakeFiles/random_pcg_test.dir/random/pcg_test.cpp.o.d"
+  "random_pcg_test"
+  "random_pcg_test.pdb"
+  "random_pcg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_pcg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

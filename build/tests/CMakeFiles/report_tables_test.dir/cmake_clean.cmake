@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_tables_test.dir/report/tables_test.cpp.o"
+  "CMakeFiles/report_tables_test.dir/report/tables_test.cpp.o.d"
+  "report_tables_test"
+  "report_tables_test.pdb"
+  "report_tables_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_binomial_test.dir/stats/binomial_test.cpp.o"
+  "CMakeFiles/stats_binomial_test.dir/stats/binomial_test.cpp.o.d"
+  "stats_binomial_test"
+  "stats_binomial_test.pdb"
+  "stats_binomial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_binomial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_continuous_test.dir/stats/continuous_test.cpp.o"
+  "CMakeFiles/stats_continuous_test.dir/stats/continuous_test.cpp.o.d"
+  "stats_continuous_test"
+  "stats_continuous_test.pdb"
+  "stats_continuous_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_continuous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

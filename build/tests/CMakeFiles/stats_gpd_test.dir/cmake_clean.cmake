@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_gpd_test.dir/stats/gpd_test.cpp.o"
+  "CMakeFiles/stats_gpd_test.dir/stats/gpd_test.cpp.o.d"
+  "stats_gpd_test"
+  "stats_gpd_test.pdb"
+  "stats_gpd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_gpd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

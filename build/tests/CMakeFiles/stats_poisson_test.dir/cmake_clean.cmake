@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_poisson_test.dir/stats/poisson_test.cpp.o"
+  "CMakeFiles/stats_poisson_test.dir/stats/poisson_test.cpp.o.d"
+  "stats_poisson_test"
+  "stats_poisson_test.pdb"
+  "stats_poisson_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_poisson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_error_test.dir/support/error_test.cpp.o"
+  "CMakeFiles/support_error_test.dir/support/error_test.cpp.o.d"
+  "support_error_test"
+  "support_error_test.pdb"
+  "support_error_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_error_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_math_test.dir/support/math_test.cpp.o"
+  "CMakeFiles/support_math_test.dir/support/math_test.cpp.o.d"
+  "support_math_test"
+  "support_math_test.pdb"
+  "support_math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

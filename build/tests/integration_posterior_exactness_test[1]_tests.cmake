@@ -1,0 +1,3 @@
+add_test([=[PosteriorExactness.GibbsMatchesBruteForceIntegration]=]  /root/repo/build/tests/integration_posterior_exactness_test [==[--gtest_filter=PosteriorExactness.GibbsMatchesBruteForceIntegration]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[PosteriorExactness.GibbsMatchesBruteForceIntegration]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_posterior_exactness_test_TESTS PosteriorExactness.GibbsMatchesBruteForceIntegration)
