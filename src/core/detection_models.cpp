@@ -246,6 +246,8 @@ std::string to_string(DetectionModelKind kind) {
 
 double DetectionModel::log_survival(std::size_t day,
                                     std::span<const double> zeta) const {
+  SRM_EXPECTS(day >= 1 && zeta.size() == parameter_count(),
+              "log_survival requires a 1-based day and a full zeta vector");
   const double p = probability(day, zeta);
   if (p >= 1.0) return -std::numeric_limits<double>::infinity();
   return std::log1p(-p);
@@ -253,6 +255,8 @@ double DetectionModel::log_survival(std::size_t day,
 
 std::vector<double> DetectionModel::log_survivals(
     std::size_t days, std::span<const double> zeta) const {
+  SRM_EXPECTS(zeta.size() == parameter_count(),
+              "log_survivals requires a full zeta vector");
   std::vector<double> log_q;
   log_q.reserve(days);
   for (std::size_t day = 1; day <= days; ++day) {
@@ -263,6 +267,8 @@ std::vector<double> DetectionModel::log_survivals(
 
 std::vector<double> DetectionModel::probabilities(
     std::size_t days, std::span<const double> zeta) const {
+  SRM_EXPECTS(zeta.size() == parameter_count(),
+              "probabilities requires a full zeta vector");
   std::vector<double> p;
   p.reserve(days);
   for (std::size_t day = 1; day <= days; ++day) {

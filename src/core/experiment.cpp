@@ -22,6 +22,7 @@ data::BugCountData dataset_at_observation(const data::BugCountData& base,
 ObservationResult run_observation(const data::BugCountData& base,
                                   const ExperimentSpec& spec,
                                   std::size_t observation_day) {
+  SRM_EXPECTS(observation_day >= 1, "observation day must be >= 1");
   const auto observed = dataset_at_observation(base, observation_day);
 
   BayesianSrm model(spec.prior, spec.model, observed, spec.config);

@@ -33,6 +33,8 @@ double log_pointwise_likelihood(const data::BugCountData& data,
 double log_likelihood(const data::BugCountData& data,
                       std::int64_t initial_bugs,
                       std::span<const double> probabilities) {
+  SRM_EXPECTS(probabilities.size() >= data.days(),
+              "need a probability for every testing day");
   double total = 0.0;
   for (std::size_t day = 1; day <= data.days(); ++day) {
     total += log_pointwise_likelihood(data, day, initial_bugs, probabilities);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/error.hpp"
+#include "support/fp.hpp"
 #include "support/math.hpp"
 
 namespace srm::random {
@@ -39,7 +40,7 @@ std::int64_t poisson_ptrs(Rng& rng, double mean) {
     if (us >= 0.07 && v <= v_r) return k;
     if (k < 0 || (us < 0.013 && v > us)) continue;
     if (std::log(v * inv_alpha / (a / (us * us) + b)) <=
-        -mean + k * log_mean - math::log_factorial(k)) {
+        -mean + static_cast<double>(k) * log_mean - math::log_factorial(k)) {
       return k;
     }
   }
@@ -49,7 +50,7 @@ std::int64_t poisson_ptrs(Rng& rng, double mean) {
 std::int64_t binomial_inversion(Rng& rng, std::int64_t n, double p) {
   const double q = 1.0 - p;
   const double s = p / q;
-  const double a = (n + 1) * s;
+  const double a = static_cast<double>(n + 1) * s;
   double r = std::pow(q, static_cast<double>(n));
   double u = rng.uniform_open();
   std::int64_t k = 0;
@@ -160,7 +161,7 @@ double sample_beta(Rng& rng, double a, double b) {
 std::int64_t sample_poisson(Rng& rng, double mean) {
   SRM_EXPECTS(mean >= 0.0 && std::isfinite(mean),
               "sample_poisson requires finite mean >= 0");
-  if (mean == 0.0) return 0;
+  if (fp::is_zero(mean)) return 0;
   if (mean < 30.0) return poisson_inversion(rng, mean);
   return poisson_ptrs(rng, mean);
 }
@@ -168,8 +169,8 @@ std::int64_t sample_poisson(Rng& rng, double mean) {
 std::int64_t sample_binomial(Rng& rng, std::int64_t n, double p) {
   SRM_EXPECTS(n >= 0, "sample_binomial requires n >= 0");
   SRM_EXPECTS(p >= 0.0 && p <= 1.0, "sample_binomial requires p in [0, 1]");
-  if (n == 0 || p == 0.0) return 0;
-  if (p == 1.0) return n;
+  if (n == 0 || fp::is_zero(p)) return 0;
+  if (fp::is_one(p)) return n;
   if (p > 0.5) return n - sample_binomial(rng, n, 1.0 - p);
   if (static_cast<double>(n) * p < 10.0) return binomial_inversion(rng, n, p);
   return binomial_btrs(rng, n, p);

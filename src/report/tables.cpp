@@ -135,7 +135,10 @@ std::string render_posterior_table(const SweepResult& sweep,
         if (with_deviation) {
           const double deviation =
               value - static_cast<double>(result.actual_residual);
-          cell += " " + support::format_deviation(deviation, digits);
+          // Separate appends: `+= " " + f()` trips gcc 12's -Wrestrict
+          // false positive (GCC PR105651) at -O2 and above.
+          cell += ' ';
+          cell += support::format_deviation(deviation, digits);
         }
         row.push_back(std::move(cell));
       }

@@ -15,20 +15,24 @@ Beta::Beta(double a, double b) : a_(a), b_(b) {
 }
 
 double Beta::log_pdf(double x) const {
+  SRM_EXPECTS(!std::isnan(x), "Beta::log_pdf requires non-NaN x");
   if (x <= 0.0 || x >= 1.0) return -std::numeric_limits<double>::infinity();
   return (a_ - 1.0) * std::log(x) + (b_ - 1.0) * std::log1p(-x) -
          math::log_beta(a_, b_);
 }
 
+// srm-lint: allow(expects) — delegates to log_pdf, which checks x
 double Beta::pdf(double x) const { return std::exp(log_pdf(x)); }
 
 double Beta::cdf(double x) const {
+  SRM_EXPECTS(!std::isnan(x), "Beta::cdf requires non-NaN x");
   if (x <= 0.0) return 0.0;
   if (x >= 1.0) return 1.0;
   return math::regularized_beta(a_, b_, x);
 }
 
 double Beta::quantile(double p) const {
+  SRM_EXPECTS(p >= 0.0 && p <= 1.0, "Beta::quantile requires p in [0, 1]");
   return math::inverse_regularized_beta(a_, b_, p);
 }
 

@@ -6,6 +6,7 @@
 
 #include "random/samplers.hpp"
 #include "support/error.hpp"
+#include "support/fp.hpp"
 #include "support/math.hpp"
 
 namespace srm::stats {
@@ -18,8 +19,8 @@ Binomial::Binomial(std::int64_t n, double p) : n_(n), p_(p) {
 double Binomial::log_pmf(std::int64_t k) const {
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   if (k < 0 || k > n_) return kNegInf;
-  if (p_ == 0.0) return k == 0 ? 0.0 : kNegInf;
-  if (p_ == 1.0) return k == n_ ? 0.0 : kNegInf;
+  if (fp::is_zero(p_)) return k == 0 ? 0.0 : kNegInf;
+  if (fp::is_one(p_)) return k == n_ ? 0.0 : kNegInf;
   return math::log_binomial(n_, k) + static_cast<double>(k) * std::log(p_) +
          static_cast<double>(n_ - k) * std::log1p(-p_);
 }
@@ -29,8 +30,8 @@ double Binomial::pmf(std::int64_t k) const { return std::exp(log_pmf(k)); }
 double Binomial::cdf(std::int64_t k) const {
   if (k < 0) return 0.0;
   if (k >= n_) return 1.0;
-  if (p_ == 0.0) return 1.0;
-  if (p_ == 1.0) return 0.0;  // k < n here
+  if (fp::is_zero(p_)) return 1.0;
+  if (fp::is_one(p_)) return 0.0;  // k < n here
   return math::regularized_beta(static_cast<double>(n_ - k),
                                 static_cast<double>(k) + 1.0, 1.0 - p_);
 }
@@ -38,8 +39,8 @@ double Binomial::cdf(std::int64_t k) const {
 std::int64_t Binomial::quantile(double prob) const {
   SRM_EXPECTS(prob >= 0.0 && prob <= 1.0,
               "Binomial::quantile requires p in [0, 1]");
-  if (prob == 0.0) return 0;
-  if (prob == 1.0) return n_;
+  if (fp::is_zero(prob)) return 0;
+  if (fp::is_one(prob)) return n_;
   const double guess = mean() + std::sqrt(std::max(variance(), 0.0)) *
                                     math::normal_quantile(prob);
   auto k = std::clamp<std::int64_t>(

@@ -13,9 +13,12 @@ class Binomial {
   /// n >= 0 trials, success probability p in [0, 1].
   Binomial(std::int64_t n, double p);
 
+  // srm-lint: allow(expects) — total domain: any k maps to a valid value
   [[nodiscard]] double log_pmf(std::int64_t k) const;
+  // srm-lint: allow(expects) — total domain: any k maps to a valid value
   [[nodiscard]] double pmf(std::int64_t k) const;
   /// P(K <= k) = I_{1-p}(n - k, k + 1).
+  // srm-lint: allow(expects) — total domain: any k maps to a valid value
   [[nodiscard]] double cdf(std::int64_t k) const;
   [[nodiscard]] std::int64_t quantile(double prob) const;
 

@@ -15,14 +15,17 @@ Gamma::Gamma(double shape, double rate) : shape_(shape), rate_(rate) {
 }
 
 double Gamma::log_pdf(double x) const {
+  SRM_EXPECTS(!std::isnan(x), "Gamma::log_pdf requires non-NaN x");
   if (x <= 0.0) return -std::numeric_limits<double>::infinity();
   return shape_ * std::log(rate_) + (shape_ - 1.0) * std::log(x) -
          rate_ * x - std::lgamma(shape_);
 }
 
+// srm-lint: allow(expects) — delegates to log_pdf, which checks x
 double Gamma::pdf(double x) const { return std::exp(log_pdf(x)); }
 
 double Gamma::cdf(double x) const {
+  SRM_EXPECTS(!std::isnan(x), "Gamma::cdf requires non-NaN x");
   if (x <= 0.0) return 0.0;
   return math::regularized_gamma_p(shape_, rate_ * x);
 }
@@ -42,6 +45,7 @@ TruncatedGamma::TruncatedGamma(double shape, double rate, double upper)
 }
 
 double TruncatedGamma::log_pdf(double x) const {
+  SRM_EXPECTS(!std::isnan(x), "TruncatedGamma::log_pdf requires non-NaN x");
   if (x <= 0.0 || x > upper_) {
     return -std::numeric_limits<double>::infinity();
   }
@@ -50,6 +54,7 @@ double TruncatedGamma::log_pdf(double x) const {
 }
 
 double TruncatedGamma::cdf(double x) const {
+  SRM_EXPECTS(!std::isnan(x), "TruncatedGamma::cdf requires non-NaN x");
   if (x <= 0.0) return 0.0;
   if (x >= upper_) return 1.0;
   if (mass_ <= 0.0) return 0.0;

@@ -17,6 +17,7 @@ GeneralizedPareto::GeneralizedPareto(double k, double sigma)
 }
 
 double GeneralizedPareto::cdf(double y) const {
+  SRM_EXPECTS(!std::isnan(y), "GeneralizedPareto::cdf requires non-NaN y");
   if (y <= 0.0) return 0.0;
   if (std::abs(k_) < 1e-12) return -std::expm1(-y / sigma_);
   const double z = 1.0 + k_ * y / sigma_;
@@ -32,6 +33,7 @@ double GeneralizedPareto::quantile(double p) const {
 }
 
 double GeneralizedPareto::log_pdf(double y) const {
+  SRM_EXPECTS(!std::isnan(y), "GeneralizedPareto::log_pdf requires non-NaN y");
   if (y < 0.0) return -std::numeric_limits<double>::infinity();
   if (std::abs(k_) < 1e-12) return -std::log(sigma_) - y / sigma_;
   const double z = 1.0 + k_ * y / sigma_;

@@ -5,6 +5,7 @@
 
 #include "random/samplers.hpp"
 #include "support/error.hpp"
+#include "support/fp.hpp"
 #include "support/math.hpp"
 
 namespace srm::stats {
@@ -36,8 +37,8 @@ double NegativeBinomial::cdf(std::int64_t k) const {
 std::int64_t NegativeBinomial::quantile(double p) const {
   SRM_EXPECTS(p >= 0.0 && p <= 1.0,
               "NegativeBinomial::quantile requires p in [0, 1]");
-  if (p == 0.0) return 0;
-  if (p == 1.0) return std::numeric_limits<std::int64_t>::max();
+  if (fp::is_zero(p)) return 0;
+  if (fp::is_one(p)) return std::numeric_limits<std::int64_t>::max();
   const double mu = mean();
   const double sd = std::sqrt(variance());
   const double guess = mu + sd * math::normal_quantile(p);

@@ -17,9 +17,12 @@ class NegativeBinomial {
  public:
   NegativeBinomial(double alpha, double beta);
 
+  // srm-lint: allow(expects) — total domain: any k maps to a valid value
   [[nodiscard]] double log_pmf(std::int64_t k) const;
+  // srm-lint: allow(expects) — total domain: any k maps to a valid value
   [[nodiscard]] double pmf(std::int64_t k) const;
   /// P(K <= k) = I_beta(alpha, k + 1) (regularized incomplete beta).
+  // srm-lint: allow(expects) — total domain: any k maps to a valid value
   [[nodiscard]] double cdf(std::int64_t k) const;
   /// Smallest k with cdf(k) >= p.
   [[nodiscard]] std::int64_t quantile(double p) const;

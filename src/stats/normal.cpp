@@ -14,17 +14,21 @@ Normal::Normal(double mean, double sd) : mean_(mean), sd_(sd) {
 }
 
 double Normal::log_pdf(double x) const {
+  SRM_EXPECTS(!std::isnan(x), "Normal::log_pdf requires non-NaN x");
   const double z = (x - mean_) / sd_;
   return -0.5 * z * z - std::log(sd_) - 0.5 * std::log(2.0 * M_PI);
 }
 
+// srm-lint: allow(expects) — delegates to log_pdf, which checks x
 double Normal::pdf(double x) const { return std::exp(log_pdf(x)); }
 
 double Normal::cdf(double x) const {
+  SRM_EXPECTS(!std::isnan(x), "Normal::cdf requires non-NaN x");
   return math::normal_cdf((x - mean_) / sd_);
 }
 
 double Normal::quantile(double p) const {
+  SRM_EXPECTS(p > 0.0 && p < 1.0, "Normal::quantile requires p in (0, 1)");
   return mean_ + sd_ * math::normal_quantile(p);
 }
 

@@ -5,6 +5,7 @@
 
 #include "random/samplers.hpp"
 #include "support/error.hpp"
+#include "support/fp.hpp"
 #include "support/math.hpp"
 
 namespace srm::stats {
@@ -16,7 +17,7 @@ Poisson::Poisson(double mean) : mean_(mean) {
 
 double Poisson::log_pmf(std::int64_t k) const {
   if (k < 0) return -std::numeric_limits<double>::infinity();
-  if (mean_ == 0.0) {
+  if (fp::is_zero(mean_)) {
     return k == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
   }
   return static_cast<double>(k) * std::log(mean_) - mean_ -
@@ -27,15 +28,15 @@ double Poisson::pmf(std::int64_t k) const { return std::exp(log_pmf(k)); }
 
 double Poisson::cdf(std::int64_t k) const {
   if (k < 0) return 0.0;
-  if (mean_ == 0.0) return 1.0;
+  if (fp::is_zero(mean_)) return 1.0;
   // P(X <= k) = Q(k + 1, mean).
   return math::regularized_gamma_q(static_cast<double>(k) + 1.0, mean_);
 }
 
 std::int64_t Poisson::quantile(double p) const {
   SRM_EXPECTS(p >= 0.0 && p <= 1.0, "Poisson::quantile requires p in [0, 1]");
-  if (mean_ == 0.0 || p == 0.0) return 0;
-  if (p == 1.0) return std::numeric_limits<std::int64_t>::max();
+  if (fp::is_zero(mean_) || fp::is_zero(p)) return 0;
+  if (fp::is_one(p)) return std::numeric_limits<std::int64_t>::max();
   // Normal start then exact step search on the CDF.
   const double guess =
       mean_ + std::sqrt(mean_) * math::normal_quantile(p);

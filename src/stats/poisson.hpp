@@ -15,9 +15,12 @@ class Poisson {
   /// the paper when virtual testing drives the residual count to zero).
   explicit Poisson(double mean);
 
+  // srm-lint: allow(expects) — total domain: any k maps to a valid value
   [[nodiscard]] double log_pmf(std::int64_t k) const;
+  // srm-lint: allow(expects) — total domain: any k maps to a valid value
   [[nodiscard]] double pmf(std::int64_t k) const;
   /// P(X <= k); regularized upper incomplete gamma identity.
+  // srm-lint: allow(expects) — total domain: any k maps to a valid value
   [[nodiscard]] double cdf(std::int64_t k) const;
   /// Smallest k with cdf(k) >= p.
   [[nodiscard]] std::int64_t quantile(double p) const;

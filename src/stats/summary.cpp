@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "support/error.hpp"
+#include "support/fp.hpp"
 
 namespace srm::stats {
 
@@ -135,7 +136,7 @@ std::int64_t integer_quantile(std::span<const std::int64_t> values,
   SRM_EXPECTS(p >= 0.0 && p <= 1.0, "integer_quantile requires p in [0, 1]");
   std::vector<std::int64_t> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
-  if (p == 1.0) return sorted.back();
+  if (fp::is_one(p)) return sorted.back();
   // Smallest value whose empirical CDF reaches p.
   const auto rank = static_cast<std::size_t>(
       std::ceil(p * static_cast<double>(sorted.size())));
@@ -154,6 +155,8 @@ double autocovariance(std::span<const double> values, std::size_t lag) {
 }
 
 double autocorrelation(std::span<const double> values, std::size_t lag) {
+  SRM_EXPECTS(values.size() > lag,
+              "autocorrelation requires more samples than the lag");
   const double c0 = autocovariance(values, 0);
   if (c0 <= 0.0) return lag == 0 ? 1.0 : 0.0;  // constant chain
   return autocovariance(values, lag) / c0;

@@ -13,15 +13,18 @@ Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
 }
 
 double Uniform::log_pdf(double x) const {
+  SRM_EXPECTS(!std::isnan(x), "Uniform::log_pdf requires non-NaN x");
   if (x < lo_ || x > hi_) return -std::numeric_limits<double>::infinity();
   return -std::log(hi_ - lo_);
 }
 
 double Uniform::pdf(double x) const {
+  SRM_EXPECTS(!std::isnan(x), "Uniform::pdf requires non-NaN x");
   return (x < lo_ || x > hi_) ? 0.0 : 1.0 / (hi_ - lo_);
 }
 
 double Uniform::cdf(double x) const {
+  SRM_EXPECTS(!std::isnan(x), "Uniform::cdf requires non-NaN x");
   if (x <= lo_) return 0.0;
   if (x >= hi_) return 1.0;
   return (x - lo_) / (hi_ - lo_);

@@ -5,25 +5,27 @@
 namespace srm::detail {
 
 namespace {
-std::string format(const char* kind, const char* condition, const char* file,
-                   int line, const std::string& message) {
+std::string format(const char* macro, const char* kind, const char* condition,
+                   const char* file, int line, const std::string& message) {
   std::ostringstream out;
-  out << kind << ": " << message << " [condition `" << condition << "` at "
-      << file << ':' << line << ']';
+  out << macro << ": " << kind << ": " << message << " [condition `"
+      << condition << "` at " << file << ':' << line << ']';
   return out.str();
 }
 }  // namespace
 
-void throw_invalid_argument(const char* condition, const char* file, int line,
+void throw_invalid_argument(const char* macro, const char* condition,
+                            const char* file, int line,
                             const std::string& message) {
-  throw InvalidArgument(
-      format("precondition violated", condition, file, line, message));
+  throw InvalidArgument(format(macro, "precondition violated", condition, file,
+                               line, message));
 }
 
-void throw_logic_error(const char* condition, const char* file, int line,
+void throw_logic_error(const char* macro, const char* condition,
+                       const char* file, int line,
                        const std::string& message) {
-  throw LogicError(
-      format("internal invariant violated", condition, file, line, message));
+  throw LogicError(format(macro, "internal invariant violated", condition,
+                          file, line, message));
 }
 
 }  // namespace srm::detail

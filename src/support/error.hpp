@@ -40,10 +40,16 @@ class NumericError : public Error {
 };
 
 namespace detail {
-[[noreturn]] void throw_invalid_argument(const char* condition, const char* file,
-                                         int line, const std::string& message);
-[[noreturn]] void throw_logic_error(const char* condition, const char* file,
-                                    int line, const std::string& message);
+// Each thrower receives the name of the macro that fired so the exception
+// message attributes the failure to the check the source actually used
+// (SRM_ASSERT must not masquerade as SRM_ENSURES).
+[[noreturn]] void throw_invalid_argument(const char* macro,
+                                         const char* condition,
+                                         const char* file, int line,
+                                         const std::string& message);
+[[noreturn]] void throw_logic_error(const char* macro, const char* condition,
+                                    const char* file, int line,
+                                    const std::string& message);
 }  // namespace detail
 
 }  // namespace srm
@@ -52,8 +58,8 @@ namespace detail {
 #define SRM_EXPECTS(cond, message)                                          \
   do {                                                                      \
     if (!(cond)) {                                                          \
-      ::srm::detail::throw_invalid_argument(#cond, __FILE__, __LINE__,      \
-                                            (message));                    \
+      ::srm::detail::throw_invalid_argument("SRM_EXPECTS", #cond, __FILE__, \
+                                            __LINE__, (message));           \
     }                                                                       \
   } while (false)
 
@@ -61,10 +67,17 @@ namespace detail {
 #define SRM_ENSURES(cond, message)                                          \
   do {                                                                      \
     if (!(cond)) {                                                          \
-      ::srm::detail::throw_logic_error(#cond, __FILE__, __LINE__,           \
-                                       (message));                         \
+      ::srm::detail::throw_logic_error("SRM_ENSURES", #cond, __FILE__,      \
+                                       __LINE__, (message));                \
     }                                                                       \
   } while (false)
 
-/// Alias for mid-function invariant checks.
-#define SRM_ASSERT(cond, message) SRM_ENSURES(cond, message)
+/// Mid-function invariant check. Same contract as SRM_ENSURES (throws
+/// srm::LogicError) but reports itself as SRM_ASSERT in the message.
+#define SRM_ASSERT(cond, message)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::srm::detail::throw_logic_error("SRM_ASSERT", #cond, __FILE__,       \
+                                       __LINE__, (message));                \
+    }                                                                       \
+  } while (false)

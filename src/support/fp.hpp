@@ -1,0 +1,48 @@
+// Approved floating-point comparison helpers.
+//
+// Raw `==`/`!=` on floating-point values is banned in library code by the
+// repo linter (tools/srm-lint, rule `float-compare`): most such comparisons
+// are accidental and silently wrong after any rounding. The helpers here are
+// the sanctioned escape hatches — each call site documents whether it means
+// a *bitwise-exact sentinel test* (legitimate for values that were assigned,
+// not computed: a zero mean, a probability endpoint) or a
+// *tolerance comparison*.
+//
+// This file itself is on the linter's allow-list; everything else goes
+// through these functions.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace srm::fp {
+
+/// Bitwise-exact comparison, for sentinel values that were stored, never
+/// computed (e.g. `mean == 0.0` selecting a degenerate distribution, or
+/// `p == 1.0` at a quantile endpoint). Intent marker for the linter.
+[[nodiscard]] constexpr bool exactly(double x, double y) noexcept {
+  return x == y;  // srm-lint: allow(float-compare) — the approved helper
+}
+
+/// x is exactly +0.0 or -0.0.
+[[nodiscard]] constexpr bool is_zero(double x) noexcept {
+  return exactly(x, 0.0);
+}
+
+/// x is exactly 1.0.
+[[nodiscard]] constexpr bool is_one(double x) noexcept {
+  return exactly(x, 1.0);
+}
+
+/// Tolerance comparison: |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+/// NaN compares unequal to everything; two infinities of the same sign
+/// compare equal.
+[[nodiscard]] inline bool approx(double a, double b, double rel_tol = 1e-12,
+                                 double abs_tol = 0.0) noexcept {
+  if (exactly(a, b)) return true;  // covers equal infinities
+  const double diff = std::abs(a - b);
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return diff <= abs_tol + rel_tol * scale;
+}
+
+}  // namespace srm::fp

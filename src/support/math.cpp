@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "support/error.hpp"
+#include "support/fp.hpp"
 
 namespace srm::math {
 
@@ -21,7 +22,7 @@ const std::array<double, kFactorialTableSize>& log_factorial_table() {
   static const auto table = [] {
     std::array<double, kFactorialTableSize> t{};
     t[0] = 0.0;
-    for (int n = 1; n < kFactorialTableSize; ++n) {
+    for (std::size_t n = 1; n < kFactorialTableSize; ++n) {
       t[n] = t[n - 1] + std::log(static_cast<double>(n));
     }
     return t;
@@ -154,7 +155,7 @@ double log1mexp(double x) {
 double regularized_gamma_p(double a, double x) {
   SRM_EXPECTS(a > 0.0, "regularized_gamma_p requires a > 0");
   SRM_EXPECTS(x >= 0.0, "regularized_gamma_p requires x >= 0");
-  if (x == 0.0) return 0.0;
+  if (fp::is_zero(x)) return 0.0;
   if (x < a + 1.0) return gamma_p_series(a, x);
   return 1.0 - gamma_q_continued_fraction(a, x);
 }
@@ -162,7 +163,7 @@ double regularized_gamma_p(double a, double x) {
 double regularized_gamma_q(double a, double x) {
   SRM_EXPECTS(a > 0.0, "regularized_gamma_q requires a > 0");
   SRM_EXPECTS(x >= 0.0, "regularized_gamma_q requires x >= 0");
-  if (x == 0.0) return 1.0;
+  if (fp::is_zero(x)) return 1.0;
   if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
   return gamma_q_continued_fraction(a, x);
 }
@@ -170,7 +171,7 @@ double regularized_gamma_q(double a, double x) {
 double log_regularized_gamma_p(double a, double x) {
   SRM_EXPECTS(a > 0.0, "log_regularized_gamma_p requires a > 0");
   SRM_EXPECTS(x >= 0.0, "log_regularized_gamma_p requires x >= 0");
-  if (x == 0.0) return -kInf;
+  if (fp::is_zero(x)) return -kInf;
   if (x >= a + 1.0) {
     // P is not small here; the direct value is accurate.
     return std::log(regularized_gamma_p(a, x));
@@ -193,7 +194,7 @@ double inverse_regularized_gamma_p(double a, double p) {
   SRM_EXPECTS(a > 0.0, "inverse_regularized_gamma_p requires a > 0");
   SRM_EXPECTS(p >= 0.0 && p < 1.0,
               "inverse_regularized_gamma_p requires p in [0, 1)");
-  if (p == 0.0) return 0.0;
+  if (fp::is_zero(p)) return 0.0;
 
   // Initial guess (Abramowitz & Stegun 26.4.17 via the Wilson-Hilferty
   // normal approximation), then Newton with bisection safeguard.
@@ -241,8 +242,8 @@ double inverse_regularized_gamma_p(double a, double p) {
 double regularized_beta(double a, double b, double x) {
   SRM_EXPECTS(a > 0.0 && b > 0.0, "regularized_beta requires a, b > 0");
   SRM_EXPECTS(x >= 0.0 && x <= 1.0, "regularized_beta requires x in [0, 1]");
-  if (x == 0.0) return 0.0;
-  if (x == 1.0) return 1.0;
+  if (fp::is_zero(x)) return 0.0;
+  if (fp::is_one(x)) return 1.0;
   const double log_front = a * std::log(x) + b * std::log1p(-x) - log_beta(a, b);
   if (x < (a + 1.0) / (a + b + 2.0)) {
     return std::exp(log_front) * beta_continued_fraction(a, b, x) / a;
@@ -254,8 +255,8 @@ double inverse_regularized_beta(double a, double b, double p) {
   SRM_EXPECTS(a > 0.0 && b > 0.0, "inverse_regularized_beta requires a, b > 0");
   SRM_EXPECTS(p >= 0.0 && p <= 1.0,
               "inverse_regularized_beta requires p in [0, 1]");
-  if (p == 0.0) return 0.0;
-  if (p == 1.0) return 1.0;
+  if (fp::is_zero(p)) return 0.0;
+  if (fp::is_one(p)) return 1.0;
 
   // Bisection with Newton acceleration; the beta CDF is monotone on [0,1].
   double lo = 0.0;

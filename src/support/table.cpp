@@ -109,7 +109,8 @@ std::string render_box_plots(const std::vector<BoxStats>& boxes, int width) {
     out << b.label << std::string(label_width - b.label.size(), ' ') << " |"
         << line << "|\n";
   }
-  out << std::string(label_width, ' ') << " +" << std::string(width, '-')
+  out << std::string(label_width, ' ') << " +"
+      << std::string(static_cast<std::size_t>(width), '-')
       << "+\n";
   std::ostringstream axis;
   const std::string lo_str = format_double(lo, 1);

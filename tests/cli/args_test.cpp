@@ -28,7 +28,7 @@ TEST(Args, FallbacksWhenAbsent) {
 
 TEST(Args, NumericValidation) {
   const auto args = Args::parse({"--days", "abc", "--rate", "1.5"});
-  EXPECT_THROW(args.get_int("days", 0), srm::InvalidArgument);
+  EXPECT_THROW((void)args.get_int("days", 0), srm::InvalidArgument);
   EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 1.5);
 }
 

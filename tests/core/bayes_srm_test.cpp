@@ -94,12 +94,12 @@ INSTANTIATE_TEST_SUITE_P(
                           DetectionModelKind::kLogLogistic,
                           DetectionModelKind::kPareto,
                           DetectionModelKind::kWeibull)),
-    [](const auto& info) {
-      return core::to_string(std::get<0>(info.param)) + "_" +
-             (std::get<1>(info.param) == core::SamplerScheme::kCollapsed
+    [](const auto& param_info) {
+      return core::to_string(std::get<0>(param_info.param)) + "_" +
+             (std::get<1>(param_info.param) == core::SamplerScheme::kCollapsed
                   ? "collapsed"
                   : "vanilla") +
-             "_" + core::to_string(std::get<2>(info.param));
+             "_" + core::to_string(std::get<2>(param_info.param));
     });
 
 TEST(BayesianSrm, PointwiseLogLikelihoodSumsToJointLikelihood) {
@@ -138,7 +138,7 @@ TEST(BayesianSrm, WrongStateSizeThrows) {
   std::vector<double> bad{1.0, 2.0};
   srm::random::Rng rng(1);
   EXPECT_THROW(model.update(bad, rng), srm::InvalidArgument);
-  EXPECT_THROW(model.log_joint(bad), srm::InvalidArgument);
+  EXPECT_THROW((void)model.log_joint(bad), srm::InvalidArgument);
   EXPECT_THROW(model.pointwise_log_likelihood(bad), srm::InvalidArgument);
 }
 

@@ -170,7 +170,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::ValuesIn(std::vector<DetectionModelKind>(
         core::all_detection_model_kinds().begin(),
         core::all_detection_model_kinds().end())),
-    [](const auto& info) { return core::to_string(info.param); });
+    [](const auto& param_info) { return core::to_string(param_info.param); });
 
 TEST(DetectionModels, SupportsReflectLimits) {
   core::DetectionModelLimits limits;

@@ -103,6 +103,6 @@ INSTANTIATE_TEST_SUITE_P(
     Extensions, ExtendedModelGibbs,
     ::testing::Values(DetectionModelKind::kRayleigh,
                       DetectionModelKind::kLearningCurve),
-    [](const auto& info) { return core::to_string(info.param); });
+    [](const auto& param_info) { return core::to_string(param_info.param); });
 
 }  // namespace

@@ -56,7 +56,7 @@ TEST_P(LogSurvivalAgreement, MatchesNaiveFormulaWhereAccurate) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllModels, LogSurvivalAgreement, ::testing::ValuesIn(every_kind()),
-    [](const auto& info) { return core::to_string(info.param); });
+    [](const auto& param_info) { return core::to_string(param_info.param); });
 
 TEST(LogSurvival, StableWhereNaiveUnderflows) {
   // model5 with mu = 0.1 at day 96: q = 0.1^191 ~ 1e-191 underflows the

@@ -52,8 +52,8 @@ TEST(ResidualPosterior, ProbabilityAtMostMatchesEmpiricalCdf) {
 TEST(ResidualPosterior, CredibleLevelValidation) {
   const auto posterior =
       core::summarize_residual_posterior(run_with_residuals({1, 2, 3}));
-  EXPECT_THROW(posterior.credible_interval(0.0), srm::InvalidArgument);
-  EXPECT_THROW(posterior.credible_interval(1.0), srm::InvalidArgument);
+  EXPECT_THROW((void)posterior.credible_interval(0.0), srm::InvalidArgument);
+  EXPECT_THROW((void)posterior.credible_interval(1.0), srm::InvalidArgument);
 }
 
 }  // namespace

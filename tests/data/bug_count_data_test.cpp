@@ -31,9 +31,9 @@ TEST(BugCountData, RejectsInvalidInput) {
 
 TEST(BugCountData, DayAccessorsValidateRange) {
   const BugCountData data("t", {1, 2});
-  EXPECT_THROW(data.count_on_day(0), srm::InvalidArgument);
-  EXPECT_THROW(data.count_on_day(3), srm::InvalidArgument);
-  EXPECT_THROW(data.cumulative_through(3), srm::InvalidArgument);
+  EXPECT_THROW((void)data.count_on_day(0), srm::InvalidArgument);
+  EXPECT_THROW((void)data.count_on_day(3), srm::InvalidArgument);
+  EXPECT_THROW((void)data.cumulative_through(3), srm::InvalidArgument);
 }
 
 TEST(BugCountData, TruncatedKeepsPrefix) {

@@ -17,7 +17,7 @@ std::vector<double> normal_chain(std::uint64_t seed, int n, double mean,
                                  double sd) {
   srm::random::Rng rng(seed);
   std::vector<double> chain;
-  chain.reserve(n);
+  chain.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     chain.push_back(srm::random::sample_normal(rng, mean, sd));
   }

@@ -71,9 +71,9 @@ INSTANTIATE_TEST_SUITE_P(
                           core::PriorKind::kNegativeBinomial),
         ::testing::Values(core::DetectionModelKind::kConstant,
                           core::DetectionModelKind::kPadgettSpurrier)),
-    [](const auto& info) {
-      return core::to_string(std::get<0>(info.param)) + "_" +
-             core::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return core::to_string(std::get<0>(param_info.param)) + "_" +
+             core::to_string(std::get<1>(param_info.param));
     });
 
 }  // namespace

@@ -23,7 +23,7 @@ std::vector<double> run_chain(Rng& rng, double x0,
                               const std::function<double(double)>& log_density,
                               const SliceOptions& options, int n) {
   std::vector<double> chain;
-  chain.reserve(n);
+  chain.reserve(static_cast<std::size_t>(n));
   double x = x0;
   for (int i = 0; i < n; ++i) {
     x = slice_sample(rng, x, log_density, options);
@@ -45,8 +45,9 @@ TEST(SliceSampler, StandardNormalMoments) {
     sum += x;
     sum_sq += x * x;
   }
-  EXPECT_NEAR(sum / chain.size(), 0.0, 0.03);
-  EXPECT_NEAR(sum_sq / chain.size(), 1.0, 0.05);
+  const double n_samples = static_cast<double>(chain.size());
+  EXPECT_NEAR(sum / n_samples, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n_samples, 1.0, 0.05);
 }
 
 TEST(SliceSampler, BetaTargetMomentsAndSupport) {
@@ -66,9 +67,10 @@ TEST(SliceSampler, BetaTargetMomentsAndSupport) {
     sum += x;
     sum_sq += x * x;
   }
-  const double mean = sum / chain.size();
+  const double mean = sum / static_cast<double>(chain.size());
   EXPECT_NEAR(mean, target.mean(), 0.01);
-  EXPECT_NEAR(sum_sq / chain.size() - mean * mean, target.variance(),
+  EXPECT_NEAR(sum_sq / static_cast<double>(chain.size()) - mean * mean,
+              target.variance(),
               0.15 * target.variance());
 }
 
@@ -114,7 +116,7 @@ TEST(SliceSampler, TruncatedExponentialRespectsBounds) {
   // E[X] for Exp(3) truncated to [0,2]: 1/3 - 2 e^{-6}/(1-e^{-6}).
   const double expected =
       1.0 / 3.0 - 2.0 * std::exp(-6.0) / (1.0 - std::exp(-6.0));
-  EXPECT_NEAR(sum / chain.size(), expected, 0.01);
+  EXPECT_NEAR(sum / static_cast<double>(chain.size()), expected, 0.01);
 }
 
 TEST(SliceSampler, SpikeDensityDoesNotHang) {

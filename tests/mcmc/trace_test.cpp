@@ -30,7 +30,7 @@ TEST(ChainTrace, WrongWidthThrows) {
 
 TEST(ChainTrace, OutOfRangeParameterThrows) {
   ChainTrace trace(2);
-  EXPECT_THROW(trace.parameter(2), srm::InvalidArgument);
+  EXPECT_THROW((void)trace.parameter(2), srm::InvalidArgument);
 }
 
 TEST(McmcRun, PooledConcatenatesChainsInOrder) {
@@ -49,7 +49,8 @@ TEST(McmcRun, PooledConcatenatesChainsInOrder) {
 TEST(McmcRun, ParameterIndexLookup) {
   McmcRun run({"residual", "lambda0", "mu"}, 1);
   EXPECT_EQ(run.parameter_index("lambda0"), 1u);
-  EXPECT_THROW(run.parameter_index("nonexistent"), srm::InvalidArgument);
+  EXPECT_THROW((void)run.parameter_index("nonexistent"),
+               srm::InvalidArgument);
 }
 
 TEST(McmcRun, RequiresParametersAndChains) {

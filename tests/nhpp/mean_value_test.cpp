@@ -89,8 +89,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::ValuesIn(std::vector<NhppModelKind>(
         nhpp::all_nhpp_model_kinds().begin(),
         nhpp::all_nhpp_model_kinds().end())),
-    [](const auto& info) {
-      auto name = nhpp::to_string(info.param);
+    [](const auto& param_info) {
+      auto name = nhpp::to_string(param_info.param);
       for (auto& c : name) {
         if (c == '-') c = '_';
       }
@@ -117,8 +117,9 @@ TEST(MeanValue, ContractViolationsThrow) {
   const std::vector<double> wrong{0.2, 0.3};
   EXPECT_THROW(mvf->growth(1.0, wrong), srm::InvalidArgument);
   EXPECT_THROW(mvf->growth(-1.0, phi), srm::InvalidArgument);
-  EXPECT_THROW(mvf->mean_value(1.0, 0.0, phi), srm::InvalidArgument);
-  EXPECT_THROW(mvf->reliability(1.0, -1.0, 10.0, phi), srm::InvalidArgument);
+  EXPECT_THROW((void)mvf->mean_value(1.0, 0.0, phi), srm::InvalidArgument);
+  EXPECT_THROW((void)mvf->reliability(1.0, -1.0, 10.0, phi),
+               srm::InvalidArgument);
 }
 
 }  // namespace

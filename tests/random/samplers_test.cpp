@@ -185,8 +185,8 @@ TEST(BinomialSampler, MomentsAcrossRegimes) {
     const auto m = sample_moments(rng, 100000, [&](Rng& r) {
       return srm::random::sample_binomial(r, c.n, c.p);
     });
-    const double true_mean = c.n * c.p;
-    const double true_var = c.n * c.p * (1.0 - c.p);
+    const double true_mean = static_cast<double>(c.n) * c.p;
+    const double true_var = static_cast<double>(c.n) * c.p * (1.0 - c.p);
     EXPECT_NEAR(m.mean, true_mean,
                 5.0 * std::sqrt(true_var / 100000.0) + 0.01)
         << c.n << "," << c.p;

@@ -106,7 +106,7 @@ TEST(Render, DatasetFigureListsEveryDay) {
 
 TEST(Sweep, UnknownCellThrows) {
   report::SweepResult empty;
-  EXPECT_THROW(empty.cell(core::PriorKind::kPoisson,
+  EXPECT_THROW((void)empty.cell(core::PriorKind::kPoisson,
                           core::DetectionModelKind::kConstant),
                srm::InvalidArgument);
 }

@@ -86,8 +86,8 @@ TEST(Poisson, RejectsInvalidConstruction) {
 }
 
 TEST(Poisson, QuantileRejectsOutOfRange) {
-  EXPECT_THROW(Poisson(1.0).quantile(-0.1), srm::InvalidArgument);
-  EXPECT_THROW(Poisson(1.0).quantile(1.5), srm::InvalidArgument);
+  EXPECT_THROW((void)Poisson(1.0).quantile(-0.1), srm::InvalidArgument);
+  EXPECT_THROW((void)Poisson(1.0).quantile(1.5), srm::InvalidArgument);
 }
 
 }  // namespace

@@ -30,14 +30,67 @@ TEST(Contracts, ExpectsMessageNamesConditionAndLocation) {
   }
 }
 
+TEST(Contracts, ExpectsMessageNamesItsOwnMacro) {
+  try {
+    checked_sqrt(-1.0);
+    FAIL() << "expected InvalidArgument";
+  } catch (const srm::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("SRM_EXPECTS"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Contracts, EnsuresThrowsLogicError) {
   const auto broken = [] { SRM_ENSURES(1 == 2, "internal bug"); };
   EXPECT_THROW(broken(), srm::LogicError);
 }
 
-TEST(Contracts, AssertAliasesEnsures) {
+TEST(Contracts, EnsuresMessageNamesMacroConditionAndLocation) {
+  try {
+    SRM_ENSURES(1 == 2, "ensures detail");
+    FAIL() << "expected LogicError";
+  } catch (const srm::LogicError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("SRM_ENSURES"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 == 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("ensures detail"), std::string::npos) << what;
+  }
+}
+
+TEST(Contracts, AssertThrowsLogicError) {
   const auto broken = [] { SRM_ASSERT(false, "assert fired"); };
   EXPECT_THROW(broken(), srm::LogicError);
+}
+
+TEST(Contracts, AssertReportsItselfNotEnsures) {
+  // Regression: SRM_ASSERT used to expand to SRM_ENSURES and masquerade as
+  // it in exception messages, pointing debuggers at the wrong macro.
+  try {
+    SRM_ASSERT(2 + 2 == 5, "assert detail");
+    FAIL() << "expected LogicError";
+  } catch (const srm::LogicError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("SRM_ASSERT"), std::string::npos) << what;
+    EXPECT_EQ(what.find("SRM_ENSURES"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("assert detail"), std::string::npos) << what;
+  }
+}
+
+TEST(Contracts, MessagesCarryTheThrowingLineNumber) {
+  int expected_line = 0;
+  try {
+    expected_line = __LINE__ + 1;
+    SRM_ENSURES(false, "line check");
+    FAIL() << "expected LogicError";
+  } catch (const srm::LogicError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(":" + std::to_string(expected_line)),
+              std::string::npos)
+        << what;
+  }
 }
 
 TEST(Contracts, ExceptionHierarchy) {
@@ -46,6 +99,47 @@ TEST(Contracts, ExceptionHierarchy) {
   EXPECT_THROW(throw srm::LogicError("x"), srm::Error);
   EXPECT_THROW(throw srm::NumericError("x"), srm::Error);
   EXPECT_THROW(throw srm::Error("x"), std::runtime_error);
+}
+
+TEST(Contracts, HierarchyCatchableAtEveryLevel) {
+  // InvalidArgument must be catchable as itself, srm::Error,
+  // std::runtime_error and std::exception — and analogously for the other
+  // leaf types. Each catch must see the original message.
+  const auto thrower = [] { SRM_EXPECTS(false, "layered"); };
+  try {
+    thrower();
+    FAIL();
+  } catch (const srm::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("layered"), std::string::npos);
+  }
+  try {
+    thrower();
+    FAIL();
+  } catch (const srm::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("layered"), std::string::npos);
+  }
+  try {
+    thrower();
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("layered"), std::string::npos);
+  }
+  try {
+    thrower();
+    FAIL();
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("layered"), std::string::npos);
+  }
+  // A LogicError is NOT an InvalidArgument: internal-invariant failures
+  // must not be swallowed by precondition handlers.
+  bool wrong_handler = false;
+  try {
+    SRM_ASSERT(false, "not an argument error");
+  } catch (const srm::InvalidArgument&) {
+    wrong_handler = true;
+  } catch (const srm::LogicError&) {
+  }
+  EXPECT_FALSE(wrong_handler);
 }
 
 TEST(Contracts, NoThrowWhenConditionHolds) {

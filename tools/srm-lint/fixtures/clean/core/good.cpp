@@ -1,0 +1,18 @@
+#include "core/good.hpp"
+
+namespace srm::core {
+
+Model::Model(double rate) : rate_(rate) {
+  SRM_EXPECTS(rate > 0.0, "rate must be positive");
+}
+
+double Model::log_pdf(double x) const {
+  SRM_EXPECTS(x >= 0.0, "x must be nonnegative");
+  return -rate_ * x;
+}
+
+double Model::helper(double x) const { return x + rate_; }
+
+double summarize(const Model& m) { return m.rate(); }
+
+}  // namespace srm::core

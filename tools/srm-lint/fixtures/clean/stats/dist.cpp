@@ -1,0 +1,17 @@
+#include "stats/dist.hpp"
+
+namespace srm::stats {
+
+double mean_of(std::span<const double> values) {
+  double s = 0.0;
+  for (double v : values) s += v;
+  return values.empty() ? 0.0 : s / static_cast<double>(values.size());
+}
+
+double total(const std::vector<double>& values) {
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s;
+}
+
+}  // namespace srm::stats

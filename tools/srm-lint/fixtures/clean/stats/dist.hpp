@@ -1,0 +1,11 @@
+#pragma once
+#include <span>
+#include <vector>
+
+namespace srm::stats {
+
+// Span/vector parameters are not scalar numerics: rule does not apply.
+double mean_of(std::span<const double> values);
+double total(const std::vector<double>& values);
+
+}  // namespace srm::stats

@@ -1,0 +1,20 @@
+#include <cmath>
+#include <iostream>
+
+namespace srm::core {
+
+double special_case(double a) {
+  // srm-lint: allow(log-domain) — a is bounded in (0, 2) by the caller
+  return std::tgamma(a);
+}
+
+void debug_dump(int step) {
+  std::cout << step << "\n";  // srm-lint: allow(iostream) — debug hook
+}
+
+bool endpoint(double p) {
+  // srm-lint: allow(float-compare) — p is assigned, never computed
+  return p == 1.0;
+}
+
+}  // namespace srm::core

@@ -1,0 +1,9 @@
+#pragma once
+
+namespace srm::core {
+
+// Total-domain function: every k is valid, so no precondition exists.
+// srm-lint: allow(expects) — domain is all of Z, negative k yields -inf
+double total_domain_pmf(double k);
+
+}  // namespace srm::core

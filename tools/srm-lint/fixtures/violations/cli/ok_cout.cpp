@@ -1,0 +1,8 @@
+#include <iostream>
+
+namespace srm::cli {
+
+// CLI layer is exempt from the iostream rule.
+void banner() { std::cout << "bayes-srm\n"; }
+
+}  // namespace srm::cli

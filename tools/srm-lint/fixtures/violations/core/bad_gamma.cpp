@@ -1,0 +1,17 @@
+#include <cmath>
+
+namespace srm::core {
+
+double naked_gamma(double a) {
+  return std::tgamma(a);  // line 6: log-domain
+}
+
+double naked_exp_lgamma(double a) {
+  return std::exp(std::lgamma(a));  // line 10: log-domain
+}
+
+double fine(double a) {
+  return std::lgamma(a);  // lgamma alone is fine
+}
+
+}  // namespace srm::core

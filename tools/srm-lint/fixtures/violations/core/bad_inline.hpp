@@ -1,0 +1,10 @@
+#pragma once
+
+namespace srm::core {
+
+struct Knobs {
+  // Inline body without SRM_EXPECTS: flagged at the declaration.
+  double set_tolerance(double tol) { return tol; }
+};
+
+}  // namespace srm::core

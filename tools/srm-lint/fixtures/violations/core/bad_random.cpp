@@ -1,0 +1,13 @@
+#include <cstdlib>
+
+namespace srm::core {
+
+double jitter() {
+  return static_cast<double>(std::rand()) / RAND_MAX;  // line 6: banned
+}
+
+double jitter48() {
+  return drand48();  // line 10: banned
+}
+
+}  // namespace srm::core

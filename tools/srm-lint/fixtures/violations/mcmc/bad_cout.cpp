@@ -1,0 +1,9 @@
+#include <iostream>
+
+namespace srm::mcmc {
+
+void chatter(int step) {
+  std::cout << "step " << step << "\n";  // line 6: iostream
+}
+
+}  // namespace srm::mcmc

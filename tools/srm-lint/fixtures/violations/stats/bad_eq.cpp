@@ -1,0 +1,15 @@
+namespace srm::stats {
+
+bool degenerate(double mean) {
+  return mean == 0.0;  // line 4: float-compare
+}
+
+bool saturated(double p) {
+  return 1.0 != p;  // line 8: float-compare (literal on the left)
+}
+
+bool int_ok(int k) {
+  return k == 0;  // integer compare: fine
+}
+
+}  // namespace srm::stats

@@ -1,0 +1,18 @@
+#include "stats/bad_expects.hpp"
+
+namespace srm::stats {
+
+Weibull::Weibull(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  SRM_EXPECTS(shape > 0.0 && scale > 0.0, "Weibull requires positive params");
+}
+
+double Weibull::cdf(double x) const {
+  return x < 0.0 ? 0.0 : 1.0;  // line 10: expects missing
+}
+
+double log_halfnormal(double sigma, double x) {
+  return -x * x / (2.0 * sigma * sigma);  // line 14: expects missing
+}
+
+}  // namespace srm::stats

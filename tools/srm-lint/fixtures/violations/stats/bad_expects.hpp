@@ -1,0 +1,21 @@
+#pragma once
+
+namespace srm::stats {
+
+class Weibull {
+ public:
+  Weibull(double shape, double scale);
+  [[nodiscard]] double cdf(double x) const;  // impl lacks SRM_EXPECTS
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+// Free function whose definition lacks SRM_EXPECTS.
+double log_halfnormal(double sigma, double x);
+
+// Declared but never defined anywhere.
+double phantom_quantile(double p);
+
+}  // namespace srm::stats

@@ -1,0 +1,63 @@
+// srm-lint — repo-specific static checks that generic tools cannot express.
+//
+// The linter scans the library source tree (src/) and enforces the
+// numerical-contract rules documented in README.md "Correctness tooling":
+//
+//   banned-random   No std::rand/srand or the *rand48 family anywhere in
+//                   library code; only the srm::random generators are
+//                   reproducible and seedable per chain.
+//   log-domain      No tgamma and no exp(lgamma(...)) composition in
+//                   src/core/ or src/stats/: likelihood/posterior code must
+//                   stay in the log domain (tgamma overflows beyond ~171!).
+//   iostream        No std::cout/std::cerr outside the CLI and report
+//                   layers; library code reports through return values and
+//                   exceptions.
+//   float-compare   No floating-point ==/!= against floating literals
+//                   outside the approved helpers in support/fp.hpp.
+//   expects         Every public function in src/core/ and src/stats/
+//                   headers that takes scalar numeric parameters must
+//                   execute an SRM_EXPECTS precondition in its
+//                   implementation (inline body or the sibling .cpp).
+//
+// Any rule can be suppressed at a specific site with a justification
+// comment on the flagged line or the line above:
+//
+//   // srm-lint: allow(<rule>) — <reason>
+//
+// The scanner is heuristic (no real C++ parser): it strips comments and
+// string literals, then works on tokens and balanced delimiters. The
+// heuristics are tuned to this codebase's style and unit-tested against
+// fixture trees in tools/srm-lint/fixtures/.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace srm::lint {
+
+struct Finding {
+  std::string file;  ///< path relative to the linted root
+  int line = 0;      ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Replaces //, /* */ comments and string/char literal contents with spaces,
+/// preserving offsets and newlines so line numbers survive.
+std::string strip_comments_and_strings(const std::string& text);
+
+/// Returns true if `raw_text` carries `// srm-lint: allow(<rule>)` on
+/// `line` or the line above it.
+bool is_suppressed(const std::string& raw_text, int line,
+                   const std::string& rule);
+
+/// Lints every .hpp/.cpp under `root` (expected to be the repo's src/
+/// directory, or a fixture tree with the same layout). Findings are sorted
+/// by file, then line.
+std::vector<Finding> run_lint(const std::filesystem::path& root);
+
+/// Formats one finding as "file:line: [rule] message".
+std::string format_finding(const Finding& f);
+
+}  // namespace srm::lint

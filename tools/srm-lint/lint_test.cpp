@@ -1,0 +1,150 @@
+// Unit tests for srm-lint against the fixture trees in fixtures/.
+//
+// SRM_LINT_FIXTURE_DIR is injected by CMake and points at the checked-in
+// fixtures directory.
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace {
+
+using srm::lint::Finding;
+using srm::lint::run_lint;
+
+std::filesystem::path fixture(const std::string& name) {
+  return std::filesystem::path(SRM_LINT_FIXTURE_DIR) / name;
+}
+
+std::vector<Finding> findings_for_rule(const std::vector<Finding>& all,
+                                       const std::string& rule) {
+  std::vector<Finding> out;
+  std::copy_if(all.begin(), all.end(), std::back_inserter(out),
+               [&](const Finding& f) { return f.rule == rule; });
+  return out;
+}
+
+bool has_finding(const std::vector<Finding>& all, const std::string& file,
+                 int line, const std::string& rule) {
+  return std::any_of(all.begin(), all.end(), [&](const Finding& f) {
+    return f.file == file && f.line == line && f.rule == rule;
+  });
+}
+
+TEST(SrmLint, CleanTreeHasNoFindings) {
+  const auto all = run_lint(fixture("clean"));
+  EXPECT_TRUE(all.empty()) << "unexpected findings:\n"
+                           << [&] {
+                                std::string s;
+                                for (const auto& f : all) {
+                                  s += srm::lint::format_finding(f) + "\n";
+                                }
+                                return s;
+                              }();
+}
+
+TEST(SrmLint, SuppressionsSilenceEveryRule) {
+  const auto all = run_lint(fixture("suppressed"));
+  EXPECT_TRUE(all.empty()) << "suppressed tree should be clean; got "
+                           << all.size() << " finding(s), first: "
+                           << (all.empty()
+                                   ? std::string()
+                                   : srm::lint::format_finding(all.front()));
+}
+
+TEST(SrmLint, DetectsBannedRandom) {
+  const auto all = run_lint(fixture("violations"));
+  const auto hits = findings_for_rule(all, "banned-random");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_TRUE(has_finding(all, "core/bad_random.cpp", 6, "banned-random"));
+  EXPECT_TRUE(has_finding(all, "core/bad_random.cpp", 10, "banned-random"));
+}
+
+TEST(SrmLint, DetectsLogDomainViolations) {
+  const auto all = run_lint(fixture("violations"));
+  const auto hits = findings_for_rule(all, "log-domain");
+  ASSERT_EQ(hits.size(), 2u) << "tgamma and exp(lgamma) should both fire";
+  EXPECT_TRUE(has_finding(all, "core/bad_gamma.cpp", 6, "log-domain"));
+  EXPECT_TRUE(has_finding(all, "core/bad_gamma.cpp", 10, "log-domain"));
+}
+
+TEST(SrmLint, DetectsIostreamOutsideCliAndReport) {
+  const auto all = run_lint(fixture("violations"));
+  const auto hits = findings_for_rule(all, "iostream");
+  ASSERT_EQ(hits.size(), 1u) << "cli/ and report/ must stay exempt";
+  EXPECT_TRUE(has_finding(all, "mcmc/bad_cout.cpp", 6, "iostream"));
+}
+
+TEST(SrmLint, DetectsFloatLiteralComparisons) {
+  const auto all = run_lint(fixture("violations"));
+  const auto hits = findings_for_rule(all, "float-compare");
+  ASSERT_EQ(hits.size(), 2u) << "fp.hpp must stay exempt; int == is fine";
+  EXPECT_TRUE(has_finding(all, "stats/bad_eq.cpp", 4, "float-compare"));
+  EXPECT_TRUE(has_finding(all, "stats/bad_eq.cpp", 8, "float-compare"));
+}
+
+TEST(SrmLint, DetectsMissingExpectsInSiblingImpl) {
+  const auto all = run_lint(fixture("violations"));
+  // Weibull::cdf and log_halfnormal definitions lack SRM_EXPECTS; the
+  // constructor has one and must not fire.
+  EXPECT_TRUE(has_finding(all, "stats/bad_expects.cpp", 10, "expects"));
+  EXPECT_TRUE(has_finding(all, "stats/bad_expects.cpp", 14, "expects"));
+}
+
+TEST(SrmLint, DetectsDeclarationWithNoImplementation) {
+  const auto all = run_lint(fixture("violations"));
+  EXPECT_TRUE(has_finding(all, "stats/bad_expects.hpp", 19, "expects"));
+}
+
+TEST(SrmLint, DetectsInlineBodyWithoutExpects) {
+  const auto all = run_lint(fixture("violations"));
+  EXPECT_TRUE(has_finding(all, "core/bad_inline.hpp", 7, "expects"));
+}
+
+TEST(SrmLint, ExpectsRuleScopedToCoreAndStats) {
+  const auto all = run_lint(fixture("violations"));
+  for (const auto& f : findings_for_rule(all, "expects")) {
+    const bool in_scope = f.file.rfind("core/", 0) == 0 ||
+                          f.file.rfind("stats/", 0) == 0;
+    EXPECT_TRUE(in_scope) << srm::lint::format_finding(f);
+  }
+}
+
+TEST(SrmLint, StripPreservesLineStructure) {
+  const std::string text =
+      "int a; // trailing == 1.0 comment\n"
+      "/* block\n   spanning == 2.0 lines */ int b;\n"
+      "const char* s = \"== 3.0\";\n";
+  const std::string stripped = srm::lint::strip_comments_and_strings(text);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'),
+            std::count(stripped.begin(), stripped.end(), '\n'));
+  EXPECT_EQ(stripped.find("1.0"), std::string::npos);
+  EXPECT_EQ(stripped.find("2.0"), std::string::npos);
+  EXPECT_EQ(stripped.find("3.0"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+}
+
+TEST(SrmLint, SuppressionMatchesExactRuleOnly) {
+  const std::string text =
+      "line one\n"
+      "x = y;  // srm-lint: allow(float-compare) — sentinel\n";
+  EXPECT_TRUE(srm::lint::is_suppressed(text, 2, "float-compare"));
+  EXPECT_FALSE(srm::lint::is_suppressed(text, 2, "iostream"));
+  // The line below a suppression comment is also covered.
+  const std::string above =
+      "// srm-lint: allow(expects) — total domain\n"
+      "double f(double x);\n";
+  EXPECT_TRUE(srm::lint::is_suppressed(above, 2, "expects"));
+  EXPECT_FALSE(srm::lint::is_suppressed(above, 1, "float-compare"));
+}
+
+TEST(SrmLint, FormatFindingIsGrepFriendly) {
+  const Finding f{"core/x.cpp", 12, "iostream", "message"};
+  EXPECT_EQ(srm::lint::format_finding(f), "core/x.cpp:12: [iostream] message");
+}
+
+}  // namespace

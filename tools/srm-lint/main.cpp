@@ -1,0 +1,37 @@
+// srm-lint CLI. Usage: srm-lint <src-dir>
+//
+// Exit status: 0 when the tree is clean, 1 when findings were reported,
+// 2 on usage/IO errors. Registered as the `lint.srm_lint` ctest.
+#include <exception>
+#include <filesystem>
+#include <iostream>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: srm-lint <src-dir>\n";
+    return 2;
+  }
+  const std::filesystem::path root(argv[1]);
+  if (!std::filesystem::is_directory(root)) {
+    std::cerr << "srm-lint: not a directory: " << root << "\n";
+    return 2;
+  }
+  try {
+    const auto findings = srm::lint::run_lint(root);
+    for (const auto& f : findings) {
+      std::cout << srm::lint::format_finding(f) << "\n";
+    }
+    if (!findings.empty()) {
+      std::cout << findings.size() << " finding(s). Fix them or suppress "
+                << "with `// srm-lint: allow(<rule>) — <reason>`.\n";
+      return 1;
+    }
+    std::cout << "srm-lint: clean\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "srm-lint: " << e.what() << "\n";
+    return 2;
+  }
+}
