@@ -1,0 +1,131 @@
+// Wall-clock scaling of the paper sweep on the execution runtime.
+//
+// Runs the 2 priors x 5 detection models x 9 observation points sweep at
+// 1, 2, 4 and hardware_concurrency worker threads (deduplicated) and
+// reports the speedup over the single-worker baseline. Because the runtime
+// is deterministic by construction, every configuration produces the same
+// bit-identical tables — only the wall clock changes.
+//
+// Output: a human-readable summary on stdout plus machine-readable JSON in
+// BENCH_runtime.json (or the path given as argv[1]). Pass `--scale small`
+// to run a reduced grid (2 observation days, shorter chains) when timing on
+// constrained machines.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/datasets.hpp"
+#include "report/sweep.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+struct Sample {
+  std::size_t threads = 0;
+  double wall_ms = 0.0;
+  double speedup = 1.0;
+};
+
+srm::report::SweepOptions options_for_scale(const std::string& scale) {
+  auto options = srm::report::paper_sweep_options();
+  if (scale == "small") {
+    options.observation_days = {48, 96};
+    options.gibbs.burn_in = 100;
+    options.gibbs.iterations = 400;
+  }
+  return options;
+}
+
+double time_sweep_ms(const srm::data::BugCountData& data,
+                     const srm::report::SweepOptions& options,
+                     std::size_t threads) {
+  srm::runtime::ThreadPool::set_global_thread_count(threads);
+  const auto start = std::chrono::steady_clock::now();
+  const auto sweep = srm::report::run_sweep(data, options);
+  const auto stop = std::chrono::steady_clock::now();
+  if (sweep.cells.size() != 10) {
+    throw std::runtime_error("sweep produced an unexpected cell count");
+  }
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+std::string to_json(const std::vector<Sample>& samples,
+                    const std::string& scale,
+                    const srm::report::SweepOptions& options) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"benchmark\": \"parallel_sweep\",\n"
+      << "  \"scale\": \"" << scale << "\",\n"
+      << "  \"hardware_concurrency\": "
+      << srm::runtime::ThreadPool::default_thread_count() << ",\n"
+      << "  \"sweep\": {\"cells\": 10, \"observation_days\": "
+      << options.observation_days.size() << ", \"chains\": "
+      << options.gibbs.chain_count << ", \"burn_in\": "
+      << options.gibbs.burn_in << ", \"iterations\": "
+      << options.gibbs.iterations << "},\n"
+      << "  \"samples\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    out << "    {\"threads\": " << samples[i].threads << ", \"wall_ms\": "
+        << samples[i].wall_ms << ", \"speedup\": " << samples[i].speedup
+        << "}" << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string output_path = "BENCH_runtime.json";
+  std::string scale = "paper";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scale" && i + 1 < argc) {
+      scale = argv[++i];
+    } else if (arg.rfind("--", 0) != 0) {
+      output_path = arg;
+    }
+  }
+
+  const auto data = srm::data::sys1_grouped();
+  const auto options = options_for_scale(scale);
+
+  std::vector<std::size_t> thread_counts = {
+      1, 2, 4, srm::runtime::ThreadPool::default_thread_count()};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  std::cout << "parallel sweep scaling (scale=" << scale
+            << ", hardware_concurrency="
+            << srm::runtime::ThreadPool::default_thread_count() << ")\n";
+
+  std::vector<Sample> samples;
+  double baseline_ms = 0.0;
+  for (const std::size_t threads : thread_counts) {
+    const double ms = time_sweep_ms(data, options, threads);
+    if (samples.empty()) baseline_ms = ms;
+    Sample s;
+    s.threads = threads;
+    s.wall_ms = ms;
+    s.speedup = baseline_ms / ms;
+    samples.push_back(s);
+    std::cout << "  threads=" << threads << "  wall=" << ms / 1000.0
+              << "s  speedup=" << s.speedup << "x\n";
+  }
+  srm::runtime::ThreadPool::set_global_thread_count(0);
+
+  std::ofstream out(output_path);
+  if (!out) {
+    std::cerr << "cannot write " << output_path << "\n";
+    return 1;
+  }
+  out << to_json(samples, scale, options);
+  std::cout << "wrote " << output_path << "\n";
+  return 0;
+}

@@ -77,6 +77,16 @@ std::int64_t Args::get_int(const std::string& name,
   return value;
 }
 
+std::size_t Args::get_size(const std::string& name,
+                           std::size_t fallback) const {
+  const std::int64_t value =
+      get_int(name, static_cast<std::int64_t>(fallback));
+  SRM_EXPECTS(value >= 0,
+              "flag --" + name + " expects a non-negative integer, got " +
+                  std::to_string(value));
+  return static_cast<std::size_t>(value);
+}
+
 std::vector<std::string> Args::unused() const {
   std::vector<std::string> names;
   for (const auto& [name, value] : values_) {

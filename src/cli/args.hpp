@@ -28,6 +28,10 @@ class Args {
                                   double fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
+  /// Non-negative integer flag (counts, sizes, thread counts). Rejects
+  /// negative values with an error naming the flag.
+  [[nodiscard]] std::size_t get_size(const std::string& name,
+                                     std::size_t fallback) const;
 
   /// Names that were never read — used to reject typos.
   [[nodiscard]] std::vector<std::string> unused() const;

@@ -13,6 +13,7 @@
 #include "data/generator.hpp"
 #include "mle/mle_fit.hpp"
 #include "nhpp/nhpp_fit.hpp"
+#include "runtime/thread_pool.hpp"
 #include "support/csv.hpp"
 #include "support/error.hpp"
 #include "support/table.hpp"
@@ -63,13 +64,20 @@ core::DetectionModelKind parse_model(const Args& args,
 
 mcmc::GibbsOptions parse_gibbs(const Args& args) {
   mcmc::GibbsOptions gibbs;
-  gibbs.chain_count =
-      static_cast<std::size_t>(args.get_int("chains", 2));
-  gibbs.burn_in = static_cast<std::size_t>(args.get_int("burn-in", 500));
-  gibbs.iterations =
-      static_cast<std::size_t>(args.get_int("iterations", 2500));
+  gibbs.chain_count = args.get_size("chains", 2);
+  gibbs.burn_in = args.get_size("burn-in", 500);
+  gibbs.iterations = args.get_size("iterations", 2500);
   gibbs.seed = static_cast<std::uint64_t>(args.get_int("seed", 20240624));
   return gibbs;
+}
+
+// --threads N sizes the shared execution pool every parallel stage runs on
+// (MCMC chains, sweep cells, WAIC/LOO scoring). 0 = all hardware threads
+// (or the SRM_THREADS environment override). Results are bit-identical for
+// any value; the flag only changes wall-clock time.
+void configure_runtime(const Args& args) {
+  if (!args.has("threads")) return;
+  runtime::ThreadPool::set_global_thread_count(args.get_size("threads", 0));
 }
 
 core::HyperPriorConfig parse_config(const Args& args) {
@@ -322,7 +330,10 @@ std::string usage() {
       "  release   cost-optimal release day from the residual posterior\n"
       "common flags: --csv FILE|sys1|ntds, --days N, --prior poisson|negbin,\n"
       "  --model model0..model4, --chains, --burn-in, --iterations, --seed,\n"
-      "  --lambda-max, --alpha-max, --theta-max, --jeffreys\n";
+      "  --lambda-max, --alpha-max, --theta-max, --jeffreys,\n"
+      "  --threads N  worker threads for chains/sweeps/scoring\n"
+      "               (0 = all hardware threads; SRM_THREADS env also works;\n"
+      "               results are identical for every N)\n";
 }
 
 int dispatch(const std::string& command,
@@ -330,6 +341,7 @@ int dispatch(const std::string& command,
              std::ostream& err) {
   try {
     const auto args = Args::parse(flags);
+    configure_runtime(args);
     if (command == "fit") return run_fit(args, out);
     if (command == "select") return run_select(args, out);
     if (command == "predict") return run_predict(args, out);

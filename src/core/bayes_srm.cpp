@@ -139,7 +139,7 @@ void BayesianSrm::update_hyperparameters(std::vector<double>& state,
     const double nd = static_cast<double>(n);
     const auto log_density = [nd, beta0](double a) {
       if (a <= 0.0) return kNegInf;
-      return std::lgamma(nd + a) - std::lgamma(a) + a * std::log(beta0);
+      return math::lgamma(nd + a) - math::lgamma(a) + a * std::log(beta0);
     };
     mcmc::SliceOptions options;
     options.lower = 1e-10;
@@ -220,7 +220,7 @@ void BayesianSrm::update_hyperparameters_collapsed(
       const double log_one_minus_z = std::log1p(-z);
       const auto log_density = [&](double a) {
         if (a <= 0.0) return kNegInf;
-        return std::lgamma(s_k + a) - std::lgamma(a) + a * std::log(beta0) -
+        return math::lgamma(s_k + a) - math::lgamma(a) + a * std::log(beta0) -
                (s_k + a) * log_one_minus_z;
       };
       mcmc::SliceOptions options;
@@ -241,7 +241,7 @@ void BayesianSrm::update_hyperparameters_collapsed(
           return kNegInf;
         }
         const double z = std::clamp((1.0 - b) * q, 0.0, 1.0 - 1e-16);
-        return std::lgamma(s_k + a) - std::lgamma(a) + a * std::log(b) +
+        return math::lgamma(s_k + a) - math::lgamma(a) + a * std::log(b) +
                s_k * std::log1p(-b) - (s_k + a) * std::log1p(-z);
       };
       double current = log_joint_hyper(state[1], state[2]);

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "core/pointwise.hpp"
+#include "runtime/parallel_for.hpp"
 #include "stats/gpd.hpp"
 #include "support/error.hpp"
 #include "support/math.hpp"
@@ -62,24 +64,15 @@ LooResult compute_psis_loo(const BayesianSrm& model,
   SRM_EXPECTS(run.parameter_names().size() == model.state_size(),
               "McmcRun does not match the model's state layout");
 
-  // Collect log p(x_i | omega_s) for all (i, s).
-  std::vector<std::vector<double>> log_lik(k);
-  for (auto& v : log_lik) v.reserve(total_samples);
-  std::vector<double> state(model.state_size());
-  for (std::size_t c = 0; c < run.chain_count(); ++c) {
-    const auto& chain = run.chain(c);
-    for (std::size_t s = 0; s < chain.sample_count(); ++s) {
-      for (std::size_t p = 0; p < state.size(); ++p) {
-        state[p] = chain.parameter(p)[s];
-      }
-      const auto terms = model.pointwise_log_likelihood(state);
-      for (std::size_t i = 0; i < k; ++i) log_lik[i].push_back(terms[i]);
-    }
-  }
+  // Collect log p(x_i | omega_s) for all (i, s), in parallel over draws.
+  const auto log_lik = pointwise_log_likelihood_matrix(model, run);
 
   LooResult result;
   result.pointwise.resize(k);
-  for (std::size_t i = 0; i < k; ++i) {
+  // Each data point's PSIS fit is independent and writes only its own
+  // result slot; the summary accumulation below stays serial (and thus
+  // deterministic) in data-point order.
+  runtime::parallel_for(0, k, [&](std::size_t i) {
     // Raw log ratios r_s = -log p, shifted for stability.
     std::vector<double> log_w(total_samples);
     for (std::size_t s = 0; s < total_samples; ++s) {
@@ -90,9 +83,6 @@ LooResult compute_psis_loo(const BayesianSrm& model,
 
     const double k_hat = pareto_smooth_log_weights(log_w);
     result.pointwise[i].pareto_k = k_hat;
-    if (std::isfinite(k_hat) && k_hat > kParetoKThreshold) {
-      ++result.high_k_count;
-    }
 
     // elpd_i = log( sum_s w_s p_s / sum_s w_s ).
     std::vector<double> log_num(total_samples);
@@ -101,6 +91,12 @@ LooResult compute_psis_loo(const BayesianSrm& model,
     }
     result.pointwise[i].elpd =
         math::log_sum_exp(log_num) - math::log_sum_exp(log_w);
+  });
+  for (std::size_t i = 0; i < k; ++i) {
+    const double k_hat = result.pointwise[i].pareto_k;
+    if (std::isfinite(k_hat) && k_hat > kParetoKThreshold) {
+      ++result.high_k_count;
+    }
     result.elpd_loo += result.pointwise[i].elpd;
   }
   result.looic = -2.0 * result.elpd_loo;

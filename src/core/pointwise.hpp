@@ -1,0 +1,23 @@
+// Shared pointwise log-predictive evaluation for WAIC and PSIS-LOO.
+//
+// Both criteria need log p(x_i | omega_s) for every (data point i,
+// posterior draw s) — by far the hot loop of model scoring, and perfectly
+// data-parallel over draws. The matrix builder below runs sample chunks on
+// the shared srm::runtime pool; every draw writes only its own column
+// (disjoint slots), so the result is bit-identical for any worker count.
+#pragma once
+
+#include <vector>
+
+#include "core/bayes_srm.hpp"
+#include "mcmc/trace.hpp"
+
+namespace srm::core {
+
+/// log p(x_i | omega_s) with layout [i][s]: one row per data point, columns
+/// indexed by the flattened sample index (chain 0's draws first, matching
+/// McmcRun::pooled). Evaluated in parallel over posterior draws.
+std::vector<std::vector<double>> pointwise_log_likelihood_matrix(
+    const BayesianSrm& model, const mcmc::McmcRun& run);
+
+}  // namespace srm::core

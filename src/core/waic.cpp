@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "core/pointwise.hpp"
+#include "runtime/parallel_for.hpp"
 #include "support/error.hpp"
 #include "support/math.hpp"
 
@@ -15,53 +17,55 @@ WaicResult compute_waic(const BayesianSrm& model, const mcmc::McmcRun& run) {
   SRM_EXPECTS(run.parameter_names().size() == model.state_size(),
               "McmcRun does not match the model's state layout");
 
-  // log p(x_i | omega_s) for every (day i, sample s). Built one sample at a
-  // time; per-day accumulators avoid materializing the k x S matrix twice.
-  std::vector<std::vector<double>> log_terms(
-      k, std::vector<double>{});
-  for (auto& v : log_terms) v.reserve(total_samples);
+  // log p(x_i | omega_s) for every (day i, sample s), evaluated in parallel
+  // over samples (each sample fills its own column of the k x S matrix).
+  const auto log_terms = pointwise_log_likelihood_matrix(model, run);
 
-  std::vector<double> state(model.state_size());
-  for (std::size_t c = 0; c < run.chain_count(); ++c) {
-    const auto& chain = run.chain(c);
-    for (std::size_t s = 0; s < chain.sample_count(); ++s) {
-      for (std::size_t p = 0; p < state.size(); ++p) {
-        state[p] = chain.parameter(p)[s];
-      }
-      const auto pointwise = model.pointwise_log_likelihood(state);
-      SRM_ASSERT(pointwise.size() == k, "pointwise term count mismatch");
-      for (std::size_t i = 0; i < k; ++i) {
-        log_terms[i].push_back(pointwise[i]);
-      }
-    }
-  }
-
+  // Per-point T_k / V_k contributions, reduced in parallel. Chunks of data
+  // points accumulate into private buffers that are combined serially in
+  // ascending chunk order — no atomics on the hot path, and bit-identical
+  // totals for any worker count.
+  struct Acc {
+    double learning_loss = 0.0;
+    double functional_variance = 0.0;
+  };
   const double log_s = std::log(static_cast<double>(total_samples));
-  double learning_loss = 0.0;
-  double functional_variance = 0.0;
-  for (std::size_t i = 0; i < k; ++i) {
-    const auto& terms = log_terms[i];
-    // T_k contribution: -log( (1/S) sum_s exp(log p) ).
-    learning_loss -= math::log_sum_exp(terms) - log_s;
-    // V_k contribution: sample variance of log p over s. A -inf draw (a
-    // sampled state that cannot produce x_i) would make the variance
-    // infinite; such states have posterior probability zero up to MCMC
-    // noise and are excluded, matching how loo/WAIC software treats them.
-    double mean = 0.0;
-    double m2 = 0.0;
-    std::size_t count = 0;
-    for (const double t : terms) {
-      if (!std::isfinite(t)) continue;
-      ++count;
-      const double delta = t - mean;
-      mean += delta / static_cast<double>(count);
-      m2 += delta * (t - mean);
-    }
-    if (count >= 2) {
-      functional_variance += m2 / static_cast<double>(count - 1);
-    }
-  }
-  learning_loss /= static_cast<double>(k);
+  const Acc totals = runtime::parallel_reduce(
+      k, /*grain=*/8, Acc{},
+      [&](std::size_t lo, std::size_t hi) {
+        Acc acc;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto& terms = log_terms[i];
+          // T_k contribution: -log( (1/S) sum_s exp(log p) ).
+          acc.learning_loss -= math::log_sum_exp(terms) - log_s;
+          // V_k contribution: sample variance of log p over s. A -inf draw
+          // (a sampled state that cannot produce x_i) would make the
+          // variance infinite; such states have posterior probability zero
+          // up to MCMC noise and are excluded, matching how loo/WAIC
+          // software treats them.
+          double mean = 0.0;
+          double m2 = 0.0;
+          std::size_t count = 0;
+          for (const double t : terms) {
+            if (!std::isfinite(t)) continue;
+            ++count;
+            const double delta = t - mean;
+            mean += delta / static_cast<double>(count);
+            m2 += delta * (t - mean);
+          }
+          if (count >= 2) {
+            acc.functional_variance += m2 / static_cast<double>(count - 1);
+          }
+        }
+        return acc;
+      },
+      [](Acc a, const Acc& b) {
+        a.learning_loss += b.learning_loss;
+        a.functional_variance += b.functional_variance;
+        return a;
+      });
+  const double learning_loss = totals.learning_loss / static_cast<double>(k);
+  const double functional_variance = totals.functional_variance;
 
   WaicResult result;
   result.learning_loss = learning_loss;

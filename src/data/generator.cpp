@@ -1,6 +1,10 @@
 #include "data/generator.hpp"
 
+#include <optional>
+
 #include "random/samplers.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/seed_sequence.hpp"
 #include "support/error.hpp"
 
 namespace srm::data {
@@ -25,6 +29,29 @@ BugCountData simulate_detection_process(
     remaining -= found;
   }
   return BugCountData(name, std::move(counts));
+}
+
+std::vector<BugCountData> simulate_replications(
+    std::int64_t initial_bugs, std::size_t days,
+    const DetectionProbabilityFn& detection_probability,
+    std::uint64_t master_seed, std::size_t replications,
+    const std::string& name_prefix) {
+  SRM_EXPECTS(replications >= 1,
+              "simulate_replications requires replications >= 1");
+  // Substreams are keyed by replicate index, and each replicate fills its
+  // own slot: the batch is reproducible independent of scheduling.
+  runtime::SeedSequence seeds(master_seed);
+  auto rngs = seeds.streams(replications);
+  std::vector<std::optional<BugCountData>> slots(replications);
+  runtime::parallel_for(0, replications, [&](std::size_t r) {
+    slots[r] = simulate_detection_process(
+        initial_bugs, days, detection_probability, rngs[r],
+        name_prefix + "-" + std::to_string(r));
+  });
+  std::vector<BugCountData> out;
+  out.reserve(replications);
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
 }
 
 }  // namespace srm::data

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "data/bug_count_data.hpp"
 #include "random/rng.hpp"
@@ -24,5 +25,17 @@ BugCountData simulate_detection_process(
     std::int64_t initial_bugs, std::size_t days,
     const DetectionProbabilityFn& detection_probability, random::Rng& rng,
     const std::string& name = "synthetic");
+
+/// Simulates `replications` independent datasets from the same detection
+/// process, in parallel on the shared srm::runtime pool. Replicate r draws
+/// from a substream derived from (master_seed, r) via runtime::SeedSequence,
+/// so the batch is bit-identical for any worker count and replicate r of a
+/// batch of n equals replicate r of any larger batch. Names are
+/// "<name_prefix>-<r>".
+std::vector<BugCountData> simulate_replications(
+    std::int64_t initial_bugs, std::size_t days,
+    const DetectionProbabilityFn& detection_probability,
+    std::uint64_t master_seed, std::size_t replications,
+    const std::string& name_prefix = "replicate");
 
 }  // namespace srm::data

@@ -1,7 +1,7 @@
 #include "mcmc/gibbs.hpp"
 
-#include <thread>
-
+#include "runtime/seed_sequence.hpp"
+#include "runtime/task_group.hpp"
 #include "support/error.hpp"
 
 namespace srm::mcmc {
@@ -33,22 +33,17 @@ McmcRun run_gibbs(const GibbsModel& model, const GibbsOptions& options) {
 
   // Derive one independent deterministic stream per chain up front, so the
   // result is identical whether chains run serially or in parallel.
-  random::Rng master(options.seed);
-  std::vector<random::Rng> chain_rngs;
-  chain_rngs.reserve(options.chain_count);
-  for (std::size_t c = 0; c < options.chain_count; ++c) {
-    chain_rngs.push_back(master.split());
-  }
+  runtime::SeedSequence seeds(options.seed);
+  auto chain_rngs = seeds.streams(options.chain_count);
 
   if (options.parallel_chains && options.chain_count > 1) {
-    std::vector<std::thread> workers;
-    workers.reserve(options.chain_count);
+    runtime::TaskGroup group;
     for (std::size_t c = 0; c < options.chain_count; ++c) {
-      workers.emplace_back([&, c] {
+      group.run([&model, &options, &chain_rngs, &run, c] {
         run_one_chain(model, options, chain_rngs[c], run.chain(c));
       });
     }
-    for (auto& worker : workers) worker.join();
+    group.wait();
   } else {
     for (std::size_t c = 0; c < options.chain_count; ++c) {
       run_one_chain(model, options, chain_rngs[c], run.chain(c));

@@ -2,8 +2,10 @@
 //
 // A model exposes its parameter names, an over-dispersed initializer and a
 // full Gibbs scan; the driver owns burn-in, thinning, per-chain seeding and
-// (optionally) running the chains on separate threads. Everything is
-// deterministic given the master seed.
+// (optionally) fanning the chains out on the shared srm::runtime pool.
+// Everything is deterministic given the master seed: chains draw from
+// substreams derived by runtime::SeedSequence, so the retained traces are
+// bit-identical for any worker count (and for serial execution).
 #pragma once
 
 #include <string>
@@ -37,7 +39,7 @@ struct GibbsOptions {
   std::size_t iterations = 4000; ///< retained scans per chain (before thinning)
   std::size_t thin = 1;          ///< keep every thin-th scan
   std::uint64_t seed = 20240624; ///< master seed; chains derive substreams
-  bool parallel_chains = true;   ///< run chains on std::thread workers
+  bool parallel_chains = true;   ///< schedule chains on the runtime pool
 };
 
 /// Runs the sampler and returns all retained traces.

@@ -1,6 +1,7 @@
 #include "report/sweep.hpp"
 
 #include "data/datasets.hpp"
+#include "runtime/task_group.hpp"
 #include "support/error.hpp"
 
 namespace srm::report {
@@ -40,6 +41,13 @@ SweepResult run_sweep(const data::BugCountData& base,
               "sweep requires observation days");
   SweepResult sweep;
   sweep.observation_days = options.observation_days;
+
+  // Lay out every cell (and its per-day result slots) up front, then
+  // schedule each independent (prior, model, observation day) posterior as
+  // one task on the shared runtime pool. Each task writes only its own
+  // pre-sized slot and the cell order is fixed before anything runs, so the
+  // result is bit-identical to the serial sweep for any worker count.
+  std::vector<core::ExperimentSpec> specs;
   for (const auto prior :
        {core::PriorKind::kPoisson, core::PriorKind::kNegativeBinomial}) {
     for (const auto model : core::all_detection_model_kinds()) {
@@ -47,18 +55,30 @@ SweepResult run_sweep(const data::BugCountData& base,
       cell.prior = prior;
       cell.model = model;
       cell.config = options.config_for(prior, model);
+      cell.results.resize(options.observation_days.size());
+      sweep.cells.push_back(std::move(cell));
 
       core::ExperimentSpec spec;
       spec.prior = prior;
       spec.model = model;
-      spec.config = cell.config;
+      spec.config = sweep.cells.back().config;
       spec.gibbs = options.gibbs;
       spec.observation_days = options.observation_days;
       spec.eventual_total = options.eventual_total;
-      cell.results = core::run_experiment(base, spec);
-      sweep.cells.push_back(std::move(cell));
+      specs.push_back(std::move(spec));
     }
   }
+
+  runtime::TaskGroup group;
+  for (std::size_t ci = 0; ci < sweep.cells.size(); ++ci) {
+    for (std::size_t di = 0; di < options.observation_days.size(); ++di) {
+      group.run([&base, &sweep, &specs, &options, ci, di] {
+        sweep.cells[ci].results[di] = core::run_observation(
+            base, specs[ci], options.observation_days[di]);
+      });
+    }
+  }
+  group.wait();
   return sweep;
 }
 

@@ -49,7 +49,10 @@ struct SweepResult {
                                       core::DetectionModelKind model) const;
 };
 
-/// Runs every (prior, model, observation day) combination.
+/// Runs every (prior, model, observation day) combination. The cells are
+/// independent posteriors and are scheduled on the shared srm::runtime
+/// pool; the output is bit-identical for any worker count (size the pool
+/// with --threads / SRM_THREADS / ThreadPool::set_global_thread_count).
 SweepResult run_sweep(const data::BugCountData& base,
                       const SweepOptions& options);
 

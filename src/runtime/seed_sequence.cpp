@@ -1,0 +1,35 @@
+#include "runtime/seed_sequence.hpp"
+
+#include "random/pcg.hpp"
+
+namespace srm::runtime {
+
+SeedSequence::SeedSequence(std::uint64_t master_seed)
+    : master_seed_(master_seed), master_(master_seed) {}
+
+void SeedSequence::extend(std::size_t count) {
+  while (derived_.size() < count) {
+    // One Rng::split() step: feed the next master draw through SplitMix64.
+    random::SplitMix64 mix(master_.next_u64());
+    derived_.push_back(mix.next());
+  }
+}
+
+random::Rng SeedSequence::stream(std::size_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  extend(index + 1);
+  return random::Rng(derived_[index]);
+}
+
+std::vector<random::Rng> SeedSequence::streams(std::size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  extend(count);
+  std::vector<random::Rng> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.emplace_back(derived_[i]);
+  }
+  return out;
+}
+
+}  // namespace srm::runtime

@@ -1,0 +1,62 @@
+#include "runtime/task_group.hpp"
+
+namespace srm::runtime {
+
+TaskGroup::TaskGroup(ThreadPool& pool)
+    : state_(std::make_shared<State>()), pool_(&pool) {}
+
+TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {
+    // Destructors must not throw; an unobserved task error is dropped here.
+    // Callers that care (all library call sites) invoke wait() themselves.
+  }
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->pending.push_back(std::move(task));
+    ++state_->unfinished;
+  }
+  // A claim ticket, not the task itself: whichever thread gets there first
+  // (a pool worker or the helping wait()) runs the task exactly once.
+  pool_->submit([state = state_] { execute_one(state); });
+}
+
+bool TaskGroup::execute_one(const std::shared_ptr<State>& state) {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->pending.empty()) return false;
+    task = std::move(state->pending.front());
+    state->pending.pop_front();
+  }
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (!state->error) state->error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (--state->unfinished == 0) state->idle_cv.notify_all();
+  }
+  return true;
+}
+
+void TaskGroup::wait() {
+  while (execute_one(state_)) {
+  }
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->idle_cv.wait(lock, [&] { return state_->unfinished == 0; });
+  if (state_->error) {
+    const std::exception_ptr error = state_->error;
+    state_->error = nullptr;  // observed once; the group is reusable
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace srm::runtime

@@ -1,0 +1,65 @@
+// Structured fork-join on top of the shared ThreadPool.
+//
+// A TaskGroup owns a batch of tasks: run() enqueues, wait() blocks until
+// every task has finished. wait() *helps* — it executes the group's
+// not-yet-started tasks inline instead of sleeping — so groups nest freely
+// (a pool worker running a sweep cell can open a group for that cell's MCMC
+// chains) and make progress even on a single-worker pool.
+//
+// Exceptions thrown by tasks are captured; the first one (in completion
+// order) is rethrown from wait() after ALL tasks have finished — a failing
+// task never leaves siblings running detached.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "runtime/thread_pool.hpp"
+
+namespace srm::runtime {
+
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool = ThreadPool::global());
+
+  /// Blocks until outstanding tasks finish (equivalent to wait(), with any
+  /// task exception swallowed — call wait() explicitly to observe it).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues one task. May be called from any thread, including from
+  /// inside another of the group's tasks.
+  void run(std::function<void()> task);
+
+  /// Helps execute pending tasks, then blocks until the group is empty.
+  /// Rethrows the first captured task exception. The group is reusable
+  /// after wait() returns.
+  void wait();
+
+ private:
+  // Shared with the claim-tickets submitted to the pool, which may outlive
+  // the TaskGroup object itself (a ticket whose task was already helped to
+  // completion is a harmless no-op).
+  struct State {
+    std::mutex mutex;
+    std::deque<std::function<void()>> pending;  // not yet started
+    std::size_t unfinished = 0;                 // pending + running
+    std::condition_variable idle_cv;
+    std::exception_ptr error;
+  };
+
+  /// Pops and runs one pending task; returns false when none was pending.
+  static bool execute_one(const std::shared_ptr<State>& state);
+
+  std::shared_ptr<State> state_;
+  ThreadPool* pool_;
+};
+
+}  // namespace srm::runtime

@@ -1,0 +1,141 @@
+#include "runtime/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace srm::runtime {
+
+namespace {
+
+// Identifies the pool (and worker slot) owning the current thread so
+// submit() can use the fast worker-local deque and blocking joins can tell
+// they must help instead of sleeping.
+thread_local ThreadPool* t_pool = nullptr;
+thread_local std::size_t t_worker = 0;
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global;        // NOLINT(cert-err58-cpp)
+std::size_t g_requested_workers = 0;         // 0 = default_thread_count()
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t worker_count) {
+  const std::size_t n =
+      worker_count == 0 ? default_thread_count() : worker_count;
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<Deque>());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stopping_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+bool ThreadPool::on_worker_thread() const { return t_pool == this; }
+
+void ThreadPool::submit(std::function<void()> task) {
+  Deque* queue = &injection_;
+  if (on_worker_thread()) queue = queues_[t_worker].get();
+  {
+    std::lock_guard<std::mutex> lock(queue->mutex);
+    queue->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    ++ready_;
+  }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::try_acquire(std::size_t index, std::function<void()>& task) {
+  const auto pop_back = [&](Deque& q) {
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty()) return false;
+    task = std::move(q.tasks.back());
+    q.tasks.pop_back();
+    return true;
+  };
+  const auto steal_front = [&](Deque& q) {
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty()) return false;
+    task = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    return true;
+  };
+
+  bool acquired = pop_back(*queues_[index]) || steal_front(injection_);
+  for (std::size_t k = 1; !acquired && k < queues_.size(); ++k) {
+    acquired = steal_front(*queues_[(index + k) % queues_.size()]);
+  }
+  if (acquired) {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    --ready_;
+  }
+  return acquired;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  t_pool = this;
+  t_worker = index;
+  std::function<void()> task;
+  for (;;) {
+    if (try_acquire(index, task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [&] { return ready_ > 0 || stopping_; });
+    if (stopping_ && ready_ == 0) return;
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!g_global) {
+    g_global = std::make_unique<ThreadPool>(g_requested_workers);
+  }
+  return *g_global;
+}
+
+void ThreadPool::set_global_thread_count(std::size_t worker_count) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_requested_workers = worker_count;
+  const std::size_t effective =
+      worker_count == 0 ? default_thread_count() : worker_count;
+  if (g_global && g_global->worker_count() != effective) {
+    g_global.reset();  // drained + joined; rebuilt lazily at next global()
+  }
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("SRM_THREADS")) {
+    const std::string text(env);
+    try {
+      const long long parsed = std::stoll(text);
+      SRM_EXPECTS(parsed >= 1, "SRM_THREADS must be a positive integer, got '" +
+                                   text + "'");
+      return static_cast<std::size_t>(parsed);
+    } catch (const std::invalid_argument&) {
+      throw InvalidArgument("SRM_THREADS is not an integer: '" + text + "'");
+    } catch (const std::out_of_range&) {
+      throw InvalidArgument("SRM_THREADS is out of range: '" + text + "'");
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace srm::runtime

@@ -18,7 +18,7 @@ double Gamma::log_pdf(double x) const {
   SRM_EXPECTS(!std::isnan(x), "Gamma::log_pdf requires non-NaN x");
   if (x <= 0.0) return -std::numeric_limits<double>::infinity();
   return shape_ * std::log(rate_) + (shape_ - 1.0) * std::log(x) -
-         rate_ * x - std::lgamma(shape_);
+         rate_ * x - math::lgamma(shape_);
 }
 
 // srm-lint: allow(expects) — delegates to log_pdf, which checks x

@@ -41,7 +41,7 @@ double gamma_p_series(double a, double x) {
     del *= x / ap;
     sum += del;
     if (std::abs(del) < std::abs(sum) * kEps) {
-      return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+      return sum * std::exp(-x + a * std::log(x) - lgamma(a));
     }
   }
   throw NumericError("regularized_gamma_p: series failed to converge");
@@ -65,7 +65,7 @@ double gamma_q_continued_fraction(double a, double x) {
     const double del = d * c;
     h *= del;
     if (std::abs(del - 1.0) < kEps) {
-      return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+      return std::exp(-x + a * std::log(x) - lgamma(a)) * h;
     }
   }
   throw NumericError("regularized_gamma_q: continued fraction failed");
@@ -111,7 +111,7 @@ double log_factorial(std::int64_t n) {
   if (n < kFactorialTableSize) {
     return log_factorial_table()[static_cast<std::size_t>(n)];
   }
-  return std::lgamma(static_cast<double>(n) + 1.0);
+  return lgamma(static_cast<double>(n) + 1.0);
 }
 
 double log_binomial(std::int64_t n, std::int64_t k) {
@@ -124,7 +124,7 @@ double log_negbinomial_coefficient(double a, std::int64_t k) {
   SRM_EXPECTS(a > 0.0, "log_negbinomial_coefficient requires a > 0");
   SRM_EXPECTS(k >= 0, "log_negbinomial_coefficient requires k >= 0");
   if (k == 0) return 0.0;
-  return std::lgamma(a + static_cast<double>(k)) - std::lgamma(a) -
+  return lgamma(a + static_cast<double>(k)) - lgamma(a) -
          log_factorial(k);
 }
 
@@ -187,7 +187,7 @@ double log_regularized_gamma_p(double a, double x) {
     rest += term;
     if (term < rest * kEps + kEps) break;
   }
-  return a * std::log(x) - x - std::lgamma(a + 1.0) + std::log1p(rest);
+  return a * std::log(x) - x - lgamma(a + 1.0) + std::log1p(rest);
 }
 
 double inverse_regularized_gamma_p(double a, double p) {
@@ -198,7 +198,7 @@ double inverse_regularized_gamma_p(double a, double p) {
 
   // Initial guess (Abramowitz & Stegun 26.4.17 via the Wilson-Hilferty
   // normal approximation), then Newton with bisection safeguard.
-  const double g = std::lgamma(a);
+  const double g = lgamma(a);
   double x;
   if (a > 1.0) {
     const double z = normal_quantile(p);
@@ -364,7 +364,7 @@ double normal_quantile(double p) {
 
 double log_beta(double a, double b) {
   SRM_EXPECTS(a > 0.0 && b > 0.0, "log_beta requires a, b > 0");
-  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  return lgamma(a) + lgamma(b) - lgamma(a + b);
 }
 
 }  // namespace srm::math

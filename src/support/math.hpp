@@ -7,10 +7,24 @@
 // tests/support/math_test.cpp).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <span>
 
 namespace srm::math {
+
+/// Thread-safe log |Gamma(x)|. glibc's lgamma writes the global `signgam`,
+/// which is a data race once Gibbs chains run concurrently on the runtime
+/// pool; the _r variant keeps the sign in a local. Library code must call
+/// this instead of std::lgamma.
+inline double lgamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 /// Natural log of n! — exact table lookup for n < 256, lgamma otherwise.
 double log_factorial(std::int64_t n);

@@ -32,6 +32,18 @@ TEST(Args, NumericValidation) {
   EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 1.5);
 }
 
+TEST(Args, GetSizeParsesNonNegativeCounts) {
+  const auto args = Args::parse({"--threads", "4", "--zero", "0"});
+  EXPECT_EQ(args.get_size("threads", 1), 4u);
+  EXPECT_EQ(args.get_size("zero", 1), 0u);
+  EXPECT_EQ(args.get_size("absent", 7), 7u);
+}
+
+TEST(Args, GetSizeRejectsNegativeValues) {
+  const auto args = Args::parse({"--threads", "-2"});
+  EXPECT_THROW((void)args.get_size("threads", 0), srm::InvalidArgument);
+}
+
 TEST(Args, RequiredFlagMissingThrows) {
   const auto args = Args::parse({"--other", "x"});
   EXPECT_THROW(args.require_string("csv"), srm::InvalidArgument);

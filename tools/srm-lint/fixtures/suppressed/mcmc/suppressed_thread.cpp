@@ -1,0 +1,11 @@
+#include <thread>
+
+namespace srm::mcmc {
+
+void legacy_fan_out() {
+  // srm-lint: allow(raw-thread) — transitional shim scheduled for removal
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace srm::mcmc

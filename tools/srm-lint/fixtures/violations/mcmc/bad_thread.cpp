@@ -1,0 +1,14 @@
+#include <future>
+#include <thread>
+
+namespace srm::mcmc {
+
+void fan_out(int chains) {
+  std::thread worker([chains] { (void)chains; });  // line 7: raw-thread
+  worker.join();
+  auto token =
+      std::async(std::launch::async, [] { return 1; });  // line 10: raw-thread
+  (void)token.get();
+}
+
+}  // namespace srm::mcmc

@@ -1,0 +1,13 @@
+#include <thread>
+
+namespace srm::runtime {
+
+// The runtime layer is the one place allowed to own std::thread workers.
+void spawn_worker() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+unsigned probe_hardware() { return std::thread::hardware_concurrency(); }
+
+}  // namespace srm::runtime

@@ -281,6 +281,26 @@ void check_log_domain(const FileText& f, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: raw-thread
+// ---------------------------------------------------------------------------
+
+void check_raw_thread(const FileText& f, std::vector<Finding>& out) {
+  for_each_identifier(f.stripped, [&](std::string_view name, std::size_t i) {
+    if (name != "thread" && name != "jthread" && name != "async") return;
+    // Only the std-qualified entities: `std::thread`, `std::jthread`,
+    // `std::async` (so members like `pool.async(...)` or a local named
+    // `thread` stay legal).
+    if (i < 2 || f.stripped[i - 1] != ':' || f.stripped[i - 2] != ':') return;
+    if (ident_before(f.stripped, i - 2) != "std") return;
+    report(out, f, i, "raw-thread",
+           "std::" + std::string(name) +
+               " outside src/runtime/; use the runtime pool "
+               "(runtime::TaskGroup / parallel_for) so execution stays "
+               "deterministic and bounded");
+  });
+}
+
+// ---------------------------------------------------------------------------
 // Rule: iostream
 // ---------------------------------------------------------------------------
 
@@ -640,6 +660,7 @@ std::vector<Finding> run_lint(const fs::path& root) {
     if (is_core_or_stats) check_log_domain(f, out);
     if (!is_cli_or_report) check_iostream(f, out);
     if (f.rel != "support/fp.hpp") check_float_compare(f, out);
+    if (!in_dir(f, "runtime/")) check_raw_thread(f, out);
 
     if (is_core_or_stats && p.extension() == ".hpp") {
       std::vector<PublicDecl> needs_impl;

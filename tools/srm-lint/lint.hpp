@@ -14,6 +14,10 @@
 //                   exceptions.
 //   float-compare   No floating-point ==/!= against floating literals
 //                   outside the approved helpers in support/fp.hpp.
+//   raw-thread      No std::thread / std::jthread / std::async outside
+//                   src/runtime/: all parallelism goes through the shared
+//                   runtime pool (task_group / parallel_for), which is what
+//                   keeps results bit-identical for any worker count.
 //   expects         Every public function in src/core/ and src/stats/
 //                   headers that takes scalar numeric parameters must
 //                   execute an SRM_EXPECTS precondition in its

@@ -79,6 +79,22 @@ TEST(SrmLint, DetectsIostreamOutsideCliAndReport) {
   EXPECT_TRUE(has_finding(all, "mcmc/bad_cout.cpp", 6, "iostream"));
 }
 
+TEST(SrmLint, DetectsRawThreadOutsideRuntime) {
+  const auto all = run_lint(fixture("violations"));
+  const auto hits = findings_for_rule(all, "raw-thread");
+  ASSERT_EQ(hits.size(), 2u) << "runtime/ must stay exempt";
+  EXPECT_TRUE(has_finding(all, "mcmc/bad_thread.cpp", 7, "raw-thread"));
+  EXPECT_TRUE(has_finding(all, "mcmc/bad_thread.cpp", 10, "raw-thread"));
+}
+
+TEST(SrmLint, RawThreadRuleExemptsRuntimeDirectory) {
+  const auto all = run_lint(fixture("violations"));
+  for (const auto& f : findings_for_rule(all, "raw-thread")) {
+    EXPECT_NE(f.file.rfind("runtime/", 0), 0u)
+        << srm::lint::format_finding(f);
+  }
+}
+
 TEST(SrmLint, DetectsFloatLiteralComparisons) {
   const auto all = run_lint(fixture("violations"));
   const auto hits = findings_for_rule(all, "float-compare");
