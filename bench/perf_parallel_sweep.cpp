@@ -53,6 +53,22 @@ double time_sweep_ms(const srm::data::BugCountData& data,
   return std::chrono::duration<double, std::milli>(stop - start).count();
 }
 
+/// One oversubscription note per sample whose thread count exceeds the
+/// machine's core count — those timings are not comparable across machines.
+std::vector<std::string> oversubscription_warnings(
+    const std::vector<Sample>& samples) {
+  const std::size_t cores = srm::runtime::ThreadPool::default_thread_count();
+  std::vector<std::string> warnings;
+  for (const Sample& s : samples) {
+    if (s.threads <= cores) continue;
+    std::ostringstream w;
+    w << "threads=" << s.threads << " exceeds hardware_concurrency=" << cores
+      << "; oversubscribed timing";
+    warnings.push_back(w.str());
+  }
+  return warnings;
+}
+
 std::string to_json(const std::vector<Sample>& samples,
                     const std::string& scale,
                     const srm::report::SweepOptions& options) {
@@ -73,7 +89,12 @@ std::string to_json(const std::vector<Sample>& samples,
         << samples[i].wall_ms << ", \"speedup\": " << samples[i].speedup
         << "}" << (i + 1 < samples.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n  \"warnings\": [";
+  const auto warnings = oversubscription_warnings(samples);
+  for (std::size_t i = 0; i < warnings.size(); ++i) {
+    out << "\"" << warnings[i] << "\"" << (i + 1 < warnings.size() ? ", " : "");
+  }
+  out << "]\n}\n";
   return out.str();
 }
 
@@ -119,6 +140,9 @@ int main(int argc, char** argv) {
               << "s  speedup=" << s.speedup << "x\n";
   }
   srm::runtime::ThreadPool::set_global_thread_count(0);
+  for (const auto& warning : oversubscription_warnings(samples)) {
+    std::cout << "warning: " << warning << "\n";
+  }
 
   std::ofstream out(output_path);
   if (!out) {

@@ -6,6 +6,7 @@
 
 #include "core/conjugate.hpp"
 #include "core/likelihood.hpp"
+#include "mcmc/metropolis.hpp"
 #include "mcmc/slice.hpp"
 #include "random/samplers.hpp"
 #include "stats/beta.hpp"
@@ -41,6 +42,17 @@ BayesianSrm::BayesianSrm(PriorKind prior, DetectionModelKind model_kind,
   SRM_EXPECTS(config.limits.gamma_bound > 0.0, "gamma_bound must be positive");
 }
 
+BayesianSrm::Workspace::Workspace(const BayesianSrm& model)
+    : zeta(model.model_->parameter_count(), 0.0),
+      probe(model.model_->parameter_count(), 0.0),
+      proposal(model.model_->parameter_count(), 0.0),
+      probabilities(model.data_.days(), 0.0),
+      log_survivals(model.data_.days(), 0.0) {}
+
+std::unique_ptr<mcmc::GibbsWorkspace> BayesianSrm::make_workspace() const {
+  return std::make_unique<Workspace>(*this);
+}
+
 std::vector<std::string> BayesianSrm::parameter_names() const {
   std::vector<std::string> names{"residual"};
   if (prior_ == PriorKind::kPoisson) {
@@ -66,28 +78,42 @@ std::vector<double> BayesianSrm::initial_state(random::Rng& rng) const {
         interior_uniform(rng, zeta_supports_[j].lower, zeta_supports_[j].upper);
   }
   // Draw the residual from its exact conditional so the state is coherent.
+  Workspace scratch(*this);
   const auto zeta =
       std::span<const double>(state).subspan(zeta_offset());
-  update_residual(state, rng, stable_survival(zeta));
+  update_residual(state, rng, stable_survival(zeta, scratch));
   return state;
 }
 
-void BayesianSrm::update(std::vector<double>& state,
-                         random::Rng& rng) const {
+void BayesianSrm::update(std::vector<double>& state, random::Rng& rng,
+                         mcmc::GibbsWorkspace* workspace) const {
   SRM_EXPECTS(state.size() == state_size(), "state vector has wrong size");
+  if (workspace != nullptr) {
+    auto* ws = dynamic_cast<Workspace*>(workspace);
+    SRM_EXPECTS(ws != nullptr,
+                "update() requires a workspace from make_workspace()");
+    update_with(state, rng, *ws);
+    return;
+  }
+  Workspace scratch(*this);
+  update_with(state, rng, scratch);
+}
+
+void BayesianSrm::update_with(std::vector<double>& state, random::Rng& rng,
+                              Workspace& ws) const {
   if (config_.scheme == SamplerScheme::kCollapsed) {
     // R is integrated out of the zeta and hyperparameter conditionals and
     // re-drawn exactly at the end of the scan, eliminating the R-scale
     // coupling that slows the vanilla scheme.
-    update_zeta_collapsed(state, rng);
-    update_hyperparameters_collapsed(state, rng);
+    update_zeta_collapsed(state, rng, ws);
+    update_hyperparameters_collapsed(state, rng, ws);
     const auto zeta = std::span<const double>(state).subspan(zeta_offset());
-    update_residual(state, rng, stable_survival(zeta));
+    update_residual(state, rng, stable_survival(zeta, ws));
   } else {
     const auto zeta = std::span<const double>(state).subspan(zeta_offset());
-    update_residual(state, rng, stable_survival(zeta));
+    update_residual(state, rng, stable_survival(zeta, ws));
     update_hyperparameters(state, rng);
-    update_zeta(state, rng);
+    update_zeta(state, rng, ws);
   }
 }
 
@@ -105,12 +131,17 @@ void BayesianSrm::update_residual(std::vector<double>& state,
   }
 }
 
-double BayesianSrm::stable_survival(std::span<const double> zeta) const {
+double BayesianSrm::stable_survival(std::span<const double> zeta,
+                                    Workspace& ws) const {
   // prod q_i via the models' stable log-survival channel; a result that
   // underflows to 0 is the correct limit (residual posterior collapses).
+  // One batch virtual call fills the workspace buffer, then the summation
+  // runs in the exact day order the per-day loop used.
+  const std::size_t days = data_.days();
+  model_->log_survivals_into(days, zeta, ws.log_survivals);
   double sum = 0.0;
-  for (std::size_t day = 1; day <= data_.days(); ++day) {
-    const double log_q = model_->log_survival(day, zeta);
+  for (std::size_t i = 0; i < days; ++i) {
+    const double log_q = ws.log_survivals[i];
     if (log_q == kNegInf) return 0.0;
     sum += log_q;
   }
@@ -151,20 +182,26 @@ void BayesianSrm::update_hyperparameters(std::vector<double>& state,
   }
 }
 
-void BayesianSrm::update_zeta(std::vector<double>& state,
-                              random::Rng& rng) const {
+void BayesianSrm::update_zeta(std::vector<double>& state, random::Rng& rng,
+                              Workspace& ws) const {
   const std::int64_t n = initial_bugs_of(state);
-  std::vector<double> zeta(state.begin() + static_cast<long>(zeta_offset()),
-                           state.end());
+  const std::size_t days = data_.days();
+  auto& zeta = ws.zeta;
+  zeta.assign(state.begin() + static_cast<long>(zeta_offset()), state.end());
+  // The probe buffer mirrors zeta except at the coordinate under update:
+  // each density evaluation writes only probe[j] instead of copying the
+  // whole vector, and the coordinate is restored after its slice move.
+  auto& probe = ws.probe;
+  probe.assign(zeta.begin(), zeta.end());
   for (std::size_t j = 0; j < zeta.size(); ++j) {
     const auto& support = zeta_supports_[j];
     const auto log_density = [&](double value) {
       if (value <= support.lower || value >= support.upper) return kNegInf;
-      std::vector<double> probe = zeta;
       probe[j] = value;
-      return log_likelihood_zeta_kernel(
-          data_, n, detection_probabilities(probe),
-          model_->log_survivals(data_.days(), probe));
+      model_->detection_into(days, probe, ws.probabilities,
+                             ws.log_survivals);
+      return log_likelihood_zeta_kernel(data_, n, ws.probabilities,
+                                        ws.log_survivals);
     };
     mcmc::SliceOptions options;
     options.lower = support.lower;
@@ -174,14 +211,15 @@ void BayesianSrm::update_zeta(std::vector<double>& state,
         rng,
         std::clamp(zeta[j], support.lower + 1e-12, support.upper - 1e-12),
         log_density, options);
+    probe[j] = zeta[j];
     state[zeta_offset() + j] = zeta[j];
   }
 }
 
 void BayesianSrm::update_hyperparameters_collapsed(
-    std::vector<double>& state, random::Rng& rng) const {
+    std::vector<double>& state, random::Rng& rng, Workspace& ws) const {
   const auto zeta = std::span<const double>(state).subspan(zeta_offset());
-  const double survival = stable_survival(zeta);
+  const double survival = stable_survival(zeta, ws);
   const double s_k = static_cast<double>(data_.total());
   if (prior_ == PriorKind::kPoisson) {
     // p(lambda0 | zeta, x) ∝ pi(lambda0) lambda0^{s_k} e^{-lambda0 (1-Q)}:
@@ -244,28 +282,33 @@ void BayesianSrm::update_hyperparameters_collapsed(
         return math::lgamma(s_k + a) - math::lgamma(a) + a * std::log(b) +
                s_k * std::log1p(-b) - (s_k + a) * std::log1p(-z);
       };
-      double current = log_joint_hyper(state[1], state[2]);
-      for (int attempt = 0; attempt < 5; ++attempt) {
-        const double a = rng.uniform(0.0, config_.alpha_max);
-        const double b = rng.uniform(0.0, 1.0);
-        const double proposed = log_joint_hyper(a, b);
-        if (std::log(rng.uniform_open()) < proposed - current) {
-          state[1] = a;
-          state[2] = std::clamp(b, 1e-12, 1.0 - 1e-12);
-          current = proposed;
-        }
-      }
+      double a = 0.0;
+      double b = 0.0;
+      mcmc::independence_metropolis(
+          rng, 5, log_joint_hyper(state[1], state[2]),
+          [&](random::Rng& proposal_rng) {
+            a = proposal_rng.uniform(0.0, config_.alpha_max);
+            b = proposal_rng.uniform(0.0, 1.0);
+            return log_joint_hyper(a, b);
+          },
+          [&] {
+            state[1] = a;
+            state[2] = std::clamp(b, 1e-12, 1.0 - 1e-12);
+          });
     }
   }
 }
 
 void BayesianSrm::update_zeta_collapsed(std::vector<double>& state,
-                                        random::Rng& rng) const {
-  std::vector<double> zeta(state.begin() + static_cast<long>(zeta_offset()),
-                           state.end());
+                                        random::Rng& rng,
+                                        Workspace& ws) const {
+  auto& zeta = ws.zeta;
+  zeta.assign(state.begin() + static_cast<long>(zeta_offset()), state.end());
   const double s_k = static_cast<double>(data_.total());
+  const std::size_t days = data_.days();
 
-  // Collapsed marginal log-density of a full zeta vector.
+  // Collapsed marginal log-density of a full zeta vector, evaluated through
+  // the workspace's probability/log-survival buffers (no allocation).
   const auto log_density_of = [&](std::span<const double> probe) {
     for (std::size_t j = 0; j < probe.size(); ++j) {
       if (probe[j] <= zeta_supports_[j].lower ||
@@ -273,13 +316,12 @@ void BayesianSrm::update_zeta_collapsed(std::vector<double>& state,
         return kNegInf;
       }
     }
-    const auto probabilities = detection_probabilities(probe);
-    const auto log_q = model_->log_survivals(data_.days(), probe);
-    const double base =
-        log_likelihood_collapsed_base(data_, probabilities, log_q);
+    model_->detection_into(days, probe, ws.probabilities, ws.log_survivals);
+    const double base = log_likelihood_collapsed_base(data_, ws.probabilities,
+                                                      ws.log_survivals);
     if (base == kNegInf) return kNegInf;
     double log_q_sum = 0.0;
-    for (const double v : log_q) log_q_sum += v;
+    for (std::size_t i = 0; i < days; ++i) log_q_sum += ws.log_survivals[i];
     const double survival =
         std::isfinite(log_q_sum) ? std::exp(log_q_sum) : 0.0;
     if (prior_ == PriorKind::kPoisson) {
@@ -298,10 +340,13 @@ void BayesianSrm::update_zeta_collapsed(std::vector<double>& state,
     return base - (s_k + state[1]) * std::log1p(-z);
   };
 
+  // Probe buffer mirrors zeta outside the coordinate under update, exactly
+  // as in the vanilla path.
+  auto& probe = ws.probe;
+  probe.assign(zeta.begin(), zeta.end());
   for (std::size_t j = 0; j < zeta.size(); ++j) {
     const auto& support = zeta_supports_[j];
     const auto log_density = [&](double value) {
-      std::vector<double> probe = zeta;
       probe[j] = value;
       return log_density_of(probe);
     };
@@ -313,6 +358,7 @@ void BayesianSrm::update_zeta_collapsed(std::vector<double>& state,
         rng,
         std::clamp(zeta[j], support.lower + 1e-12, support.upper - 1e-12),
         log_density, options);
+    probe[j] = zeta[j];
     state[zeta_offset() + j] = zeta[j];
   }
 
@@ -322,24 +368,24 @@ void BayesianSrm::update_zeta_collapsed(std::vector<double>& state,
   // independence-Metropolis proposal drawn uniformly from the prior box.
   // The move targets the same collapsed marginal, so correctness is
   // unaffected; acceptance is rare but sufficient to mix across modes.
+  // Uniform prior => the proposal density cancels in the MH ratio.
   constexpr int kModeJumpProposals = 5;
-  double current_density = log_density_of(zeta);
-  std::vector<double> proposal(zeta.size());
-  for (int attempt = 0; attempt < kModeJumpProposals; ++attempt) {
-    for (std::size_t j = 0; j < zeta.size(); ++j) {
-      proposal[j] =
-          rng.uniform(zeta_supports_[j].lower, zeta_supports_[j].upper);
-    }
-    const double proposal_density = log_density_of(proposal);
-    // Uniform prior => the proposal density cancels in the MH ratio.
-    if (std::log(rng.uniform_open()) < proposal_density - current_density) {
-      zeta = proposal;
-      current_density = proposal_density;
-      for (std::size_t j = 0; j < zeta.size(); ++j) {
-        state[zeta_offset() + j] = zeta[j];
-      }
-    }
-  }
+  auto& proposal = ws.proposal;
+  mcmc::independence_metropolis(
+      rng, kModeJumpProposals, log_density_of(zeta),
+      [&](random::Rng& proposal_rng) {
+        for (std::size_t j = 0; j < zeta.size(); ++j) {
+          proposal[j] = proposal_rng.uniform(zeta_supports_[j].lower,
+                                             zeta_supports_[j].upper);
+        }
+        return log_density_of(proposal);
+      },
+      [&] {
+        zeta = proposal;  // equal sizes: copies in place, no allocation
+        for (std::size_t j = 0; j < zeta.size(); ++j) {
+          state[zeta_offset() + j] = zeta[j];
+        }
+      });
 }
 
 std::int64_t BayesianSrm::initial_bugs_of(
@@ -355,16 +401,24 @@ std::vector<double> BayesianSrm::detection_probabilities(
 
 std::vector<double> BayesianSrm::pointwise_log_likelihood(
     std::span<const double> state) const {
-  SRM_EXPECTS(state.size() == state_size(), "state vector has wrong size");
-  const std::int64_t n = initial_bugs_of(state);
-  const auto probabilities =
-      detection_probabilities(state.subspan(zeta_offset()));
-  std::vector<double> terms;
-  terms.reserve(data_.days());
-  for (std::size_t day = 1; day <= data_.days(); ++day) {
-    terms.push_back(log_pointwise_likelihood(data_, day, n, probabilities));
-  }
+  Workspace scratch(*this);
+  std::vector<double> terms(data_.days());
+  pointwise_log_likelihood_into(state, scratch, terms);
   return terms;
+}
+
+void BayesianSrm::pointwise_log_likelihood_into(std::span<const double> state,
+                                                Workspace& ws,
+                                                std::span<double> out) const {
+  SRM_EXPECTS(state.size() == state_size(), "state vector has wrong size");
+  SRM_EXPECTS(out.size() >= data_.days(),
+              "pointwise output needs one slot per testing day");
+  const std::int64_t n = initial_bugs_of(state);
+  model_->probabilities_into(data_.days(), state.subspan(zeta_offset()),
+                             ws.probabilities);
+  for (std::size_t day = 1; day <= data_.days(); ++day) {
+    out[day - 1] = log_pointwise_likelihood(data_, day, n, ws.probabilities);
+  }
 }
 
 double BayesianSrm::log_joint(std::span<const double> state) const {

@@ -75,11 +75,32 @@ class BayesianSrm final : public mcmc::GibbsModel {
   BayesianSrm(PriorKind prior, DetectionModelKind model_kind,
               data::BugCountData data, HyperPriorConfig config = {});
 
+  /// Per-chain scratch buffers for a full Gibbs scan, sized once from
+  /// days() and parameter_count(). Threading one of these through update()
+  /// makes steady-state sampling allocation-free; the buffers carry no
+  /// sampler state, so draws are bit-identical with or without one.
+  class Workspace final : public mcmc::GibbsWorkspace {
+   public:
+    explicit Workspace(const BayesianSrm& model);
+
+   private:
+    friend class BayesianSrm;
+    std::vector<double> zeta;           ///< zeta block under update
+    std::vector<double> probe;          ///< zeta with one coordinate probed
+    std::vector<double> proposal;       ///< mode-jump candidate
+    std::vector<double> probabilities;  ///< p_1..p_k channel
+    std::vector<double> log_survivals;  ///< log q_1..log q_k channel
+  };
+
   // --- mcmc::GibbsModel -------------------------------------------------
   [[nodiscard]] std::vector<std::string> parameter_names() const override;
   [[nodiscard]] std::vector<double> initial_state(
       random::Rng& rng) const override;
-  void update(std::vector<double>& state, random::Rng& rng) const override;
+  [[nodiscard]] std::unique_ptr<mcmc::GibbsWorkspace> make_workspace()
+      const override;
+  void update(std::vector<double>& state, random::Rng& rng,
+              mcmc::GibbsWorkspace* workspace) const override;
+  using mcmc::GibbsModel::update;
 
   // --- state-vector layout ----------------------------------------------
   /// Index of the residual bug count R in the state vector (always 0).
@@ -110,23 +131,36 @@ class BayesianSrm final : public mcmc::GibbsModel {
   [[nodiscard]] std::vector<double> pointwise_log_likelihood(
       std::span<const double> state) const;
 
+  /// Allocation-free variant: fills out[i-1] for day i = 1..days() reusing
+  /// the workspace's probability buffer. The WAIC matrix evaluates this per
+  /// (draw, day); one workspace per worker keeps the pass allocation-free.
+  void pointwise_log_likelihood_into(std::span<const double> state,
+                                     Workspace& workspace,
+                                     std::span<double> out) const;
+
   /// Unnormalized log joint density of (state, data) — prior * likelihood.
   /// Exposed for testing the Gibbs conditionals against brute force.
   [[nodiscard]] double log_joint(std::span<const double> state) const;
 
  private:
+  void update_with(std::vector<double>& state, random::Rng& rng,
+                   Workspace& workspace) const;
   void update_residual(std::vector<double>& state, random::Rng& rng,
                        double survival) const;
-  /// prod q_i computed through the detection model's stable log-survival
-  /// channel (exact even where q_i underflows).
-  [[nodiscard]] double stable_survival(std::span<const double> zeta) const;
+  /// prod q_i computed through the detection model's batch log-survival
+  /// channel (exact even where q_i underflows); one virtual call per
+  /// evaluation, buffered in the workspace.
+  [[nodiscard]] double stable_survival(std::span<const double> zeta,
+                                       Workspace& workspace) const;
   void update_hyperparameters(std::vector<double>& state,
                               random::Rng& rng) const;
-  void update_zeta(std::vector<double>& state, random::Rng& rng) const;
+  void update_zeta(std::vector<double>& state, random::Rng& rng,
+                   Workspace& workspace) const;
   void update_hyperparameters_collapsed(std::vector<double>& state,
-                                        random::Rng& rng) const;
-  void update_zeta_collapsed(std::vector<double>& state,
-                             random::Rng& rng) const;
+                                        random::Rng& rng,
+                                        Workspace& workspace) const;
+  void update_zeta_collapsed(std::vector<double>& state, random::Rng& rng,
+                             Workspace& workspace) const;
 
   [[nodiscard]] std::int64_t initial_bugs_of(
       std::span<const double> state) const;

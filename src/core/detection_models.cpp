@@ -15,6 +15,38 @@ void check_zeta(const DetectionModel& model, std::span<const double> zeta) {
               "zeta size must match the detection model's parameter count");
 }
 
+void check_batch(const DetectionModel& model, std::size_t days,
+                 std::span<const double> zeta, std::span<const double> out) {
+  check_zeta(model, zeta);
+  SRM_EXPECTS(out.size() >= days,
+              "batch detection output buffer is smaller than `days`");
+}
+
+// Day-indexed constants shared across probes. The tables are thread_local
+// (concurrent chains must not contend) and grow on demand, so any day count
+// seen during warm-up is served allocation-free in steady state. Entries
+// are computed by the exact expressions the scalar channel uses, so the
+// cached values are bit-identical to the inline ones.
+
+/// log(1), log(2), ..., log(days) — model2's day term.
+const std::vector<double>& cached_log_days(std::size_t days) {
+  thread_local std::vector<double> cache;
+  for (std::size_t d = cache.size() + 1; d <= days; ++d) {
+    cache.push_back(std::log(static_cast<double>(d)));
+  }
+  return cache;
+}
+
+/// log(d + 2) / (d + 1) for d = 1..days — model3's hazard exponent.
+const std::vector<double>& cached_pareto_exponents(std::size_t days) {
+  thread_local std::vector<double> cache;
+  for (std::size_t i = cache.size() + 1; i <= days; ++i) {
+    const double d = static_cast<double>(i);
+    cache.push_back(std::log(d + 2.0) / (d + 1.0));
+  }
+  return cache;
+}
+
 class ConstantModel final : public DetectionModel {
  public:
   DetectionModelKind kind() const override {
@@ -31,6 +63,27 @@ class ConstantModel final : public DetectionModel {
     check_zeta(*this, zeta);
     SRM_EXPECTS(day >= 1, "day must be >= 1");
     return zeta[0];  // Eq (3)
+  }
+  void probabilities_into(std::size_t days, std::span<const double> zeta,
+                          std::span<double> out) const override {
+    check_batch(*this, days, zeta, out);
+    const double mu = zeta[0];
+    for (std::size_t day = 1; day <= days; ++day) out[day - 1] = mu;
+  }
+  void log_survivals_into(std::size_t days, std::span<const double> zeta,
+                          std::span<double> out) const override {
+    check_batch(*this, days, zeta, out);
+    const double mu = zeta[0];
+    const double log_q = mu >= 1.0
+                             ? -std::numeric_limits<double>::infinity()
+                             : std::log1p(-mu);
+    for (std::size_t day = 1; day <= days; ++day) out[day - 1] = log_q;
+  }
+  void detection_into(std::size_t days, std::span<const double> zeta,
+                      std::span<double> probabilities_out,
+                      std::span<double> log_survivals_out) const override {
+    probabilities_into(days, zeta, probabilities_out);
+    log_survivals_into(days, zeta, log_survivals_out);
   }
 };
 
@@ -60,6 +113,39 @@ class PadgettSpurrierModel final : public DetectionModel {
     // q_i = mu / (theta i + 1) exactly.
     return std::log(zeta[0]) -
            std::log(zeta[1] * static_cast<double>(day) + 1.0);
+  }
+  void probabilities_into(std::size_t days, std::span<const double> zeta,
+                          std::span<double> out) const override {
+    check_batch(*this, days, zeta, out);
+    const double mu = zeta[0];
+    const double theta = zeta[1];
+    for (std::size_t day = 1; day <= days; ++day) {
+      out[day - 1] = 1.0 - mu / (theta * static_cast<double>(day) + 1.0);
+    }
+  }
+  void log_survivals_into(std::size_t days, std::span<const double> zeta,
+                          std::span<double> out) const override {
+    check_batch(*this, days, zeta, out);
+    const double log_mu = std::log(zeta[0]);
+    const double theta = zeta[1];
+    for (std::size_t day = 1; day <= days; ++day) {
+      out[day - 1] =
+          log_mu - std::log(theta * static_cast<double>(day) + 1.0);
+    }
+  }
+  void detection_into(std::size_t days, std::span<const double> zeta,
+                      std::span<double> probabilities_out,
+                      std::span<double> log_survivals_out) const override {
+    check_batch(*this, days, zeta, probabilities_out);
+    check_batch(*this, days, zeta, log_survivals_out);
+    const double mu = zeta[0];
+    const double theta = zeta[1];
+    const double log_mu = std::log(mu);
+    for (std::size_t day = 1; day <= days; ++day) {
+      const double denom = theta * static_cast<double>(day) + 1.0;
+      probabilities_out[day - 1] = 1.0 - mu / denom;
+      log_survivals_out[day - 1] = log_mu - std::log(denom);
+    }
   }
 };
 
@@ -96,6 +182,49 @@ class LogLogisticModel final : public DetectionModel {
     if (!std::isfinite(t)) return 0.0;
     return std::log(t + mu) - std::log1p(t);
   }
+  void probabilities_into(std::size_t days, std::span<const double> zeta,
+                          std::span<double> out) const override {
+    check_batch(*this, days, zeta, out);
+    const auto& log_day = cached_log_days(days);
+    const double mu = zeta[0];
+    const double gamma = zeta[1];
+    const double one_minus_mu = 1.0 - mu;
+    for (std::size_t day = 1; day <= days; ++day) {
+      const double exponent = log_day[day - 1] - gamma + 1.0;
+      out[day - 1] = one_minus_mu / (std::pow(mu, exponent) + 1.0);
+    }
+  }
+  void log_survivals_into(std::size_t days, std::span<const double> zeta,
+                          std::span<double> out) const override {
+    check_batch(*this, days, zeta, out);
+    const auto& log_day = cached_log_days(days);
+    const double mu = zeta[0];
+    const double gamma = zeta[1];
+    for (std::size_t day = 1; day <= days; ++day) {
+      const double exponent = log_day[day - 1] - gamma + 1.0;
+      const double t = std::pow(mu, exponent);
+      out[day - 1] =
+          !std::isfinite(t) ? 0.0 : std::log(t + mu) - std::log1p(t);
+    }
+  }
+  void detection_into(std::size_t days, std::span<const double> zeta,
+                      std::span<double> probabilities_out,
+                      std::span<double> log_survivals_out) const override {
+    check_batch(*this, days, zeta, probabilities_out);
+    check_batch(*this, days, zeta, log_survivals_out);
+    const auto& log_day = cached_log_days(days);
+    const double mu = zeta[0];
+    const double gamma = zeta[1];
+    const double one_minus_mu = 1.0 - mu;
+    // Both channels need mu^e for the same exponent; compute it once.
+    for (std::size_t day = 1; day <= days; ++day) {
+      const double exponent = log_day[day - 1] - gamma + 1.0;
+      const double t = std::pow(mu, exponent);
+      probabilities_out[day - 1] = one_minus_mu / (t + 1.0);
+      log_survivals_out[day - 1] =
+          !std::isfinite(t) ? 0.0 : std::log(t + mu) - std::log1p(t);
+    }
+  }
 };
 
 class ParetoModel final : public DetectionModel {
@@ -124,6 +253,38 @@ class ParetoModel final : public DetectionModel {
     SRM_EXPECTS(day >= 1, "day must be >= 1");
     const double d = static_cast<double>(day);
     return std::log(d + 2.0) / (d + 1.0) * std::log(zeta[0]);
+  }
+  void probabilities_into(std::size_t days, std::span<const double> zeta,
+                          std::span<double> out) const override {
+    check_batch(*this, days, zeta, out);
+    const auto& exponents = cached_pareto_exponents(days);
+    const double mu = zeta[0];
+    for (std::size_t day = 1; day <= days; ++day) {
+      out[day - 1] = 1.0 - std::pow(mu, exponents[day - 1]);
+    }
+  }
+  void log_survivals_into(std::size_t days, std::span<const double> zeta,
+                          std::span<double> out) const override {
+    check_batch(*this, days, zeta, out);
+    const auto& exponents = cached_pareto_exponents(days);
+    const double log_mu = std::log(zeta[0]);
+    for (std::size_t day = 1; day <= days; ++day) {
+      out[day - 1] = exponents[day - 1] * log_mu;
+    }
+  }
+  void detection_into(std::size_t days, std::span<const double> zeta,
+                      std::span<double> probabilities_out,
+                      std::span<double> log_survivals_out) const override {
+    check_batch(*this, days, zeta, probabilities_out);
+    check_batch(*this, days, zeta, log_survivals_out);
+    const auto& exponents = cached_pareto_exponents(days);
+    const double mu = zeta[0];
+    const double log_mu = std::log(mu);
+    for (std::size_t day = 1; day <= days; ++day) {
+      const double exponent = exponents[day - 1];
+      probabilities_out[day - 1] = 1.0 - std::pow(mu, exponent);
+      log_survivals_out[day - 1] = exponent * log_mu;
+    }
   }
 };
 
@@ -157,6 +318,51 @@ class WeibullModel final : public DetectionModel {
         std::pow(d, zeta[1]) - std::pow(d - 1.0, zeta[1]);
     return exponent * std::log(zeta[0]);
   }
+  // The batch channels carry pow(day, omega) across loop iterations:
+  // pow(d - 1, omega) at day d is exactly pow(d, omega) from day d - 1
+  // (integer days are exact doubles), so each day costs one day-power
+  // instead of two. Bit-identical by the identical-inputs rule.
+  void probabilities_into(std::size_t days, std::span<const double> zeta,
+                          std::span<double> out) const override {
+    check_batch(*this, days, zeta, out);
+    const double mu = zeta[0];
+    const double omega = zeta[1];
+    double prev = std::pow(0.0, omega);
+    for (std::size_t day = 1; day <= days; ++day) {
+      const double cur = std::pow(static_cast<double>(day), omega);
+      out[day - 1] = 1.0 - std::pow(mu, cur - prev);
+      prev = cur;
+    }
+  }
+  void log_survivals_into(std::size_t days, std::span<const double> zeta,
+                          std::span<double> out) const override {
+    check_batch(*this, days, zeta, out);
+    const double omega = zeta[1];
+    const double log_mu = std::log(zeta[0]);
+    double prev = std::pow(0.0, omega);
+    for (std::size_t day = 1; day <= days; ++day) {
+      const double cur = std::pow(static_cast<double>(day), omega);
+      out[day - 1] = (cur - prev) * log_mu;
+      prev = cur;
+    }
+  }
+  void detection_into(std::size_t days, std::span<const double> zeta,
+                      std::span<double> probabilities_out,
+                      std::span<double> log_survivals_out) const override {
+    check_batch(*this, days, zeta, probabilities_out);
+    check_batch(*this, days, zeta, log_survivals_out);
+    const double mu = zeta[0];
+    const double omega = zeta[1];
+    const double log_mu = std::log(mu);
+    double prev = std::pow(0.0, omega);
+    for (std::size_t day = 1; day <= days; ++day) {
+      const double cur = std::pow(static_cast<double>(day), omega);
+      const double exponent = cur - prev;
+      probabilities_out[day - 1] = 1.0 - std::pow(mu, exponent);
+      log_survivals_out[day - 1] = exponent * log_mu;
+      prev = cur;
+    }
+  }
 };
 
 class RayleighModel final : public DetectionModel {
@@ -184,6 +390,36 @@ class RayleighModel final : public DetectionModel {
     check_zeta(*this, zeta);
     SRM_EXPECTS(day >= 1, "day must be >= 1");
     return (2.0 * static_cast<double>(day) - 1.0) * std::log(zeta[0]);
+  }
+  void probabilities_into(std::size_t days, std::span<const double> zeta,
+                          std::span<double> out) const override {
+    check_batch(*this, days, zeta, out);
+    const double mu = zeta[0];
+    for (std::size_t day = 1; day <= days; ++day) {
+      const double exponent = 2.0 * static_cast<double>(day) - 1.0;
+      out[day - 1] = 1.0 - std::pow(mu, exponent);
+    }
+  }
+  void log_survivals_into(std::size_t days, std::span<const double> zeta,
+                          std::span<double> out) const override {
+    check_batch(*this, days, zeta, out);
+    const double log_mu = std::log(zeta[0]);
+    for (std::size_t day = 1; day <= days; ++day) {
+      out[day - 1] = (2.0 * static_cast<double>(day) - 1.0) * log_mu;
+    }
+  }
+  void detection_into(std::size_t days, std::span<const double> zeta,
+                      std::span<double> probabilities_out,
+                      std::span<double> log_survivals_out) const override {
+    check_batch(*this, days, zeta, probabilities_out);
+    check_batch(*this, days, zeta, log_survivals_out);
+    const double mu = zeta[0];
+    const double log_mu = std::log(mu);
+    for (std::size_t day = 1; day <= days; ++day) {
+      const double exponent = 2.0 * static_cast<double>(day) - 1.0;
+      probabilities_out[day - 1] = 1.0 - std::pow(mu, exponent);
+      log_survivals_out[day - 1] = exponent * log_mu;
+    }
   }
 };
 
@@ -216,6 +452,42 @@ class LearningCurveModel final : public DetectionModel {
     const double theta_i = zeta[1] * static_cast<double>(day);
     // q = (theta i (1 - mu) + 1) / (theta i + 1) exactly.
     return std::log(theta_i * (1.0 - zeta[0]) + 1.0) - std::log1p(theta_i);
+  }
+  void probabilities_into(std::size_t days, std::span<const double> zeta,
+                          std::span<double> out) const override {
+    check_batch(*this, days, zeta, out);
+    const double mu = zeta[0];
+    const double theta = zeta[1];
+    for (std::size_t day = 1; day <= days; ++day) {
+      const double theta_i = theta * static_cast<double>(day);
+      out[day - 1] = mu * theta_i / (theta_i + 1.0);
+    }
+  }
+  void log_survivals_into(std::size_t days, std::span<const double> zeta,
+                          std::span<double> out) const override {
+    check_batch(*this, days, zeta, out);
+    const double one_minus_mu = 1.0 - zeta[0];
+    const double theta = zeta[1];
+    for (std::size_t day = 1; day <= days; ++day) {
+      const double theta_i = theta * static_cast<double>(day);
+      out[day - 1] =
+          std::log(theta_i * one_minus_mu + 1.0) - std::log1p(theta_i);
+    }
+  }
+  void detection_into(std::size_t days, std::span<const double> zeta,
+                      std::span<double> probabilities_out,
+                      std::span<double> log_survivals_out) const override {
+    check_batch(*this, days, zeta, probabilities_out);
+    check_batch(*this, days, zeta, log_survivals_out);
+    const double mu = zeta[0];
+    const double one_minus_mu = 1.0 - mu;
+    const double theta = zeta[1];
+    for (std::size_t day = 1; day <= days; ++day) {
+      const double theta_i = theta * static_cast<double>(day);
+      probabilities_out[day - 1] = mu * theta_i / (theta_i + 1.0);
+      log_survivals_out[day - 1] =
+          std::log(theta_i * one_minus_mu + 1.0) - std::log1p(theta_i);
+    }
   }
 };
 
@@ -253,15 +525,46 @@ double DetectionModel::log_survival(std::size_t day,
   return std::log1p(-p);
 }
 
+void DetectionModel::probabilities_into(std::size_t days,
+                                        std::span<const double> zeta,
+                                        std::span<double> out) const {
+  SRM_EXPECTS(zeta.size() == parameter_count() && out.size() >= days,
+              "probabilities_into requires a full zeta vector and "
+              "out.size() >= days");
+  for (std::size_t day = 1; day <= days; ++day) {
+    out[day - 1] = probability(day, zeta);
+  }
+}
+
+void DetectionModel::log_survivals_into(std::size_t days,
+                                        std::span<const double> zeta,
+                                        std::span<double> out) const {
+  SRM_EXPECTS(zeta.size() == parameter_count() && out.size() >= days,
+              "log_survivals_into requires a full zeta vector and "
+              "out.size() >= days");
+  for (std::size_t day = 1; day <= days; ++day) {
+    out[day - 1] = log_survival(day, zeta);
+  }
+}
+
+void DetectionModel::detection_into(std::size_t days,
+                                    std::span<const double> zeta,
+                                    std::span<double> probabilities_out,
+                                    std::span<double> log_survivals_out)
+    const {
+  SRM_EXPECTS(probabilities_out.size() >= days &&
+                  log_survivals_out.size() >= days,
+              "detection_into requires both out buffers >= days");
+  probabilities_into(days, zeta, probabilities_out);
+  log_survivals_into(days, zeta, log_survivals_out);
+}
+
 std::vector<double> DetectionModel::log_survivals(
     std::size_t days, std::span<const double> zeta) const {
   SRM_EXPECTS(zeta.size() == parameter_count(),
               "log_survivals requires a full zeta vector");
-  std::vector<double> log_q;
-  log_q.reserve(days);
-  for (std::size_t day = 1; day <= days; ++day) {
-    log_q.push_back(log_survival(day, zeta));
-  }
+  std::vector<double> log_q(days);
+  log_survivals_into(days, zeta, log_q);
   return log_q;
 }
 
@@ -269,11 +572,8 @@ std::vector<double> DetectionModel::probabilities(
     std::size_t days, std::span<const double> zeta) const {
   SRM_EXPECTS(zeta.size() == parameter_count(),
               "probabilities requires a full zeta vector");
-  std::vector<double> p;
-  p.reserve(days);
-  for (std::size_t day = 1; day <= days; ++day) {
-    p.push_back(probability(day, zeta));
-  }
+  std::vector<double> p(days);
+  probabilities_into(days, zeta, p);
   return p;
 }
 

@@ -92,11 +92,43 @@ class DetectionModel {
                                             std::span<const double> zeta)
       const;
 
-  /// Convenience: p_1..p_days.
+  // --- batch channels (one virtual call per probe) ----------------------
+  //
+  // The Gibbs kernel evaluates a full p_1..p_k / log q_1..log q_k sweep per
+  // slice-sampler probe; the scalar channel pays one virtual dispatch per
+  // day for that. The batch channel fills a caller-owned buffer in a single
+  // virtual call, and the per-model overrides hoist the day-invariant
+  // subexpressions (log mu, 1 - mu, day-indexed exponent tables).
+  //
+  // Bit-identity contract: every value written is bit-identical to the
+  // scalar channel's result for the same (day, zeta) — overrides may only
+  // hoist/cache/share subexpressions that the scalar formulas compute from
+  // identical inputs, never reassociate them.
+
+  /// Fills out[i-1] = probability(i, zeta) for i = 1..days.
+  /// Preconditions: zeta.size() == parameter_count(), out.size() >= days.
+  virtual void probabilities_into(std::size_t days,
+                                  std::span<const double> zeta,
+                                  std::span<double> out) const;
+
+  /// Fills out[i-1] = log_survival(i, zeta) for i = 1..days.
+  virtual void log_survivals_into(std::size_t days,
+                                  std::span<const double> zeta,
+                                  std::span<double> out) const;
+
+  /// Both channels in one pass, sharing the per-day powers they have in
+  /// common (the dominant cost for the power-form hazards). Same contract.
+  virtual void detection_into(std::size_t days, std::span<const double> zeta,
+                              std::span<double> probabilities_out,
+                              std::span<double> log_survivals_out) const;
+
+  /// Convenience: p_1..p_days (allocates; prefer probabilities_into in
+  /// hot paths).
   [[nodiscard]] std::vector<double> probabilities(
       std::size_t days, std::span<const double> zeta) const;
 
-  /// Convenience: log q_1..log q_days via log_survival.
+  /// Convenience: log q_1..log q_days (allocates; prefer log_survivals_into
+  /// in hot paths).
   [[nodiscard]] std::vector<double> log_survivals(
       std::size_t days, std::span<const double> zeta) const;
 };

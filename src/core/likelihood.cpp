@@ -122,8 +122,13 @@ double log_likelihood_zeta_kernel(const data::BugCountData& data,
       if (after != 0) return kNegInf;
       continue;
     }
-    total += static_cast<double>(x) * std::log(p) +
-             static_cast<double>(after) * log_q;
+    // log(p) dominates the loop and is pointless on zero-count days (the
+    // virtual-testing extension appends many); skip it, substituting the
+    // exact bits of the skipped product: 0 * log(p) is -0.0 for p < 1.
+    const double x_term = x != 0
+                              ? static_cast<double>(x) * std::log(p)
+                              : (p < 1.0 ? -0.0 : 0.0);
+    total += x_term + static_cast<double>(after) * log_q;
   }
   return total;
 }
@@ -178,8 +183,12 @@ double log_likelihood_collapsed_base(const data::BugCountData& data,
       if (exponent != 0) return kNegInf;
       continue;
     }
-    total += static_cast<double>(x) * std::log(p) +
-             static_cast<double>(exponent) * log_q;
+    // Same zero-count shortcut (and -0.0 bit preservation) as the zeta
+    // kernel above.
+    const double x_term = x != 0
+                              ? static_cast<double>(x) * std::log(p)
+                              : (p < 1.0 ? -0.0 : 0.0);
+    total += x_term + static_cast<double>(exponent) * log_q;
   }
   return total;
 }

@@ -27,7 +27,11 @@ std::vector<std::vector<double>> pointwise_log_likelihood_matrix(
   runtime::parallel_for_chunks(
       total_samples, kGrain,
       [&](std::size_t, std::size_t lo, std::size_t hi) {
+        // One state buffer, workspace and output row per chunk: the inner
+        // per-draw evaluation is allocation-free.
         std::vector<double> state(model.state_size());
+        BayesianSrm::Workspace workspace(model);
+        std::vector<double> pointwise(k);
         std::size_t chain_index = 0;
         for (std::size_t s = lo; s < hi; ++s) {
           while (s >= offsets[chain_index + 1]) ++chain_index;
@@ -36,8 +40,7 @@ std::vector<std::vector<double>> pointwise_log_likelihood_matrix(
           for (std::size_t p = 0; p < state.size(); ++p) {
             state[p] = chain.parameter(p)[within];
           }
-          const auto pointwise = model.pointwise_log_likelihood(state);
-          SRM_ASSERT(pointwise.size() == k, "pointwise term count mismatch");
+          model.pointwise_log_likelihood_into(state, workspace, pointwise);
           for (std::size_t i = 0; i < k; ++i) {
             log_terms[i][s] = pointwise[i];
           }

@@ -10,13 +10,16 @@ namespace {
 
 void run_one_chain(const GibbsModel& model, const GibbsOptions& options,
                    random::Rng rng, ChainTrace& trace) {
+  // One workspace per chain: chains share the const model concurrently, so
+  // reusable scratch has to be chain-local.
+  const auto workspace = model.make_workspace();
   std::vector<double> state = model.initial_state(rng);
   for (std::size_t i = 0; i < options.burn_in; ++i) {
-    model.update(state, rng);
+    model.update(state, rng, workspace.get());
   }
   for (std::size_t i = 0; i < options.iterations; ++i) {
     for (std::size_t t = 0; t < options.thin; ++t) {
-      model.update(state, rng);
+      model.update(state, rng, workspace.get());
     }
     trace.append(state);
   }

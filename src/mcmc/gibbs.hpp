@@ -8,6 +8,7 @@
 // bit-identical for any worker count (and for serial execution).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,19 @@
 #include "random/rng.hpp"
 
 namespace srm::mcmc {
+
+/// Opaque per-chain scratch storage a model may request from the driver.
+///
+/// The driver creates one workspace per chain (chains run concurrently on
+/// the shared pool against a single const model, so scratch cannot live in
+/// the model itself) and passes it back into every update() call on that
+/// chain. Models that buffer per-scan temporaries here run allocation-free
+/// in steady state. The workspace only caches buffers — it carries no
+/// sampler state, so its contents never affect the sampled values.
+class GibbsWorkspace {
+ public:
+  virtual ~GibbsWorkspace() = default;
+};
 
 /// Interface every Gibbs-sampled model implements.
 class GibbsModel {
@@ -29,8 +43,24 @@ class GibbsModel {
   [[nodiscard]] virtual std::vector<double> initial_state(
       random::Rng& rng) const = 0;
 
-  /// One full Gibbs scan updating `state` in place.
-  virtual void update(std::vector<double>& state, random::Rng& rng) const = 0;
+  /// Creates the per-chain scratch workspace for this model, or nullptr if
+  /// the model keeps no reusable buffers.
+  [[nodiscard]] virtual std::unique_ptr<GibbsWorkspace> make_workspace()
+      const {
+    return nullptr;
+  }
+
+  /// One full Gibbs scan updating `state` in place. `workspace` is either
+  /// nullptr or the result of this model's make_workspace(); updates must
+  /// produce bit-identical draws either way.
+  virtual void update(std::vector<double>& state, random::Rng& rng,
+                      GibbsWorkspace* workspace) const = 0;
+
+  /// Convenience scan without a reusable workspace (tests, one-off scans).
+  /// Derived classes re-expose it with `using GibbsModel::update;`.
+  void update(std::vector<double>& state, random::Rng& rng) const {
+    update(state, rng, nullptr);
+  }
 };
 
 struct GibbsOptions {

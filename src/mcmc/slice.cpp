@@ -7,8 +7,7 @@
 
 namespace srm::mcmc {
 
-double slice_sample(random::Rng& rng, double x0,
-                    const std::function<double(double)>& log_density,
+double slice_sample(random::Rng& rng, double x0, LogDensityRef log_density,
                     const SliceOptions& options) {
   SRM_EXPECTS(options.initial_width > 0.0,
               "slice_sample requires a positive initial width");
@@ -30,12 +29,15 @@ double slice_sample(random::Rng& rng, double x0,
   left = std::max(left, options.lower);
   right = std::min(right, options.upper);
 
+  // An endpoint clamped to a support bound cannot step out any further, so
+  // the bound check comes first: the density is never evaluated at a bound,
+  // where bounded conditionals typically return -inf anyway.
   int j = options.max_step_out;
   int k = options.max_step_out;
-  while (j-- > 0 && left > options.lower && log_density(left) > log_y) {
+  while (left > options.lower && j-- > 0 && log_density(left) > log_y) {
     left = std::max(left - w, options.lower);
   }
-  while (k-- > 0 && right < options.upper && log_density(right) > log_y) {
+  while (right < options.upper && k-- > 0 && log_density(right) > log_y) {
     right = std::min(right + w, options.upper);
   }
 

@@ -4,13 +4,21 @@
 // conjugate conditional; we use it for the detection-probability parameters
 // (mu, theta, gamma, omega) and the negative-binomial shape alpha_0, whose
 // full conditionals are log-concave-ish but nonstandard.
+//
+// The density is taken by support::function_ref: the sampler is called
+// thousands of times per Gibbs scan with a fresh closure each time, and a
+// std::function parameter would heap-allocate and type-erase every one of
+// them. The closure only needs to live for the duration of the call, which
+// is exactly what function_ref expresses.
 #pragma once
 
-#include <functional>
-
 #include "random/rng.hpp"
+#include "support/function_ref.hpp"
 
 namespace srm::mcmc {
+
+/// Signature of a log target density evaluation.
+using LogDensityRef = support::function_ref<double(double)>;
 
 struct SliceOptions {
   double initial_width = 1.0;  ///< w: initial bracket width
@@ -25,8 +33,12 @@ struct SliceOptions {
 /// `log_density` may return -inf outside the support; `x0` must have finite
 /// density. The invariant distribution of the transition is exactly the
 /// target, so chaining calls yields a correct MCMC kernel.
-double slice_sample(random::Rng& rng, double x0,
-                    const std::function<double(double)>& log_density,
+///
+/// The density is never evaluated at a bracket endpoint that sits exactly
+/// on a support bound: the bound is known to terminate stepping-out, so the
+/// evaluation would be wasted (and on the bounded conditionals used here it
+/// would just return -inf).
+double slice_sample(random::Rng& rng, double x0, LogDensityRef log_density,
                     const SliceOptions& options);
 
 }  // namespace srm::mcmc

@@ -1,0 +1,66 @@
+// Non-owning callable reference — the hot-path alternative to
+// std::function.
+//
+// std::function type-erases with an owned copy of the target: constructing
+// one from a capturing lambda heap-allocates once the closure outgrows the
+// small-buffer optimization, and every MCMC density evaluation then pays an
+// indirect call through that owned state. The Gibbs/slice hot path creates
+// thousands of short-lived closures per scan, so those allocations dominate
+// the sampler's cost on top of the math.
+//
+// function_ref stores only {pointer to the callable, invoke thunk}: it is
+// trivially copyable, never allocates, and binds to any callable (function,
+// lambda, functor) with a matching signature. The referenced callable must
+// outlive every call — which is exactly the slice-sampler contract, where
+// the closure lives in the caller's frame for the duration of
+// slice_sample. Do NOT store a function_ref beyond the statement that
+// created it when bound to a temporary.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace srm::support {
+
+template <typename Signature>
+class function_ref;  // NOLINT(readability-identifier-naming)
+
+template <typename R, typename... Args>
+class function_ref<R(Args...)> {
+ public:
+  /// Binds to any callable invocable as R(Args...). Intentionally implicit
+  /// so call sites can pass lambdas directly, mirroring std::function.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, function_ref> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor,hicpp-explicit-conversions)
+  function_ref(F&& callable) noexcept {
+    using T = std::remove_reference_t<F>;
+    if constexpr (std::is_function_v<T>) {
+      // Function-to-object pointer conversion is conditionally supported;
+      // every POSIX target guarantees it (it is what dlsym relies on).
+      object_ = reinterpret_cast<void*>(std::addressof(callable));
+      invoke_ = [](void* object, Args... args) -> R {
+        return (*reinterpret_cast<T*>(object))(std::forward<Args>(args)...);
+      };
+    } else {
+      object_ = const_cast<void*>(
+          static_cast<const void*>(std::addressof(callable)));
+      invoke_ = [](void* object, Args... args) -> R {
+        return (*static_cast<T*>(object))(std::forward<Args>(args)...);
+      };
+    }
+  }
+
+  R operator()(Args... args) const {
+    return invoke_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace srm::support

@@ -15,15 +15,31 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kEps = std::numeric_limits<double>::epsilon();
 
-// Table of log(n!) for small n; filled on first use (thread-safe static init).
-constexpr int kFactorialTableSize = 256;
+// Table of log(n!); filled on first use (thread-safe static init).
+//
+// The size is anchored to the data scale the samplers actually probe: the
+// WAIC/LOO pointwise kernel evaluates log C(N - s_{i-1}, x_i) for every
+// (draw, day), and N is bounded by s_k plus the lambda_max = 2000 hyperprior
+// support — comfortably under 4096. With the table covering that range the
+// kernel never reaches lgamma.
+//
+// Entries below the original 256-entry cutoff keep the running-sum
+// recurrence (their historical values, relied on bit-for-bit by fixed-seed
+// traces); entries above are exactly what the old lgamma fallback returned
+// for them, so growing the table changes no result anywhere.
+constexpr int kFactorialTableSize = 4096;
+constexpr int kFactorialRecurrenceSize = 256;
 
 const std::array<double, kFactorialTableSize>& log_factorial_table() {
   static const auto table = [] {
     std::array<double, kFactorialTableSize> t{};
     t[0] = 0.0;
-    for (std::size_t n = 1; n < kFactorialTableSize; ++n) {
+    for (std::size_t n = 1; n < kFactorialRecurrenceSize; ++n) {
       t[n] = t[n - 1] + std::log(static_cast<double>(n));
+    }
+    for (std::size_t n = kFactorialRecurrenceSize; n < kFactorialTableSize;
+         ++n) {
+      t[n] = lgamma(static_cast<double>(n) + 1.0);
     }
     return t;
   }();
@@ -117,6 +133,14 @@ double log_factorial(std::int64_t n) {
 double log_binomial(std::int64_t n, std::int64_t k) {
   SRM_EXPECTS(n >= 0 && k >= 0 && k <= n,
               "log_binomial requires 0 <= k <= n");
+  if (n < kFactorialTableSize) {
+    // 0 <= k <= n, so all three arguments hit the table: three loads and
+    // two subtractions — the WAIC kernel's per-(draw, day) cost.
+    const auto& table = log_factorial_table();
+    return table[static_cast<std::size_t>(n)] -
+           table[static_cast<std::size_t>(k)] -
+           table[static_cast<std::size_t>(n - k)];
+  }
   return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
 }
 

@@ -26,10 +26,14 @@ inline double lgamma(double x) {
 #endif
 }
 
-/// Natural log of n! — exact table lookup for n < 256, lgamma otherwise.
+/// Natural log of n! — exact table lookup for n < 4096 (covering the
+/// initial-bug-content range the samplers probe under the default
+/// hyperpriors), lgamma otherwise.
 double log_factorial(std::int64_t n);
 
 /// Natural log of the binomial coefficient C(n, k) for integer 0 <= k <= n.
+/// Fast path: three table lookups (no lgamma) whenever n is inside the
+/// log_factorial table — true for every WAIC/LOO pointwise evaluation.
 double log_binomial(std::int64_t n, std::int64_t k);
 
 /// Natural log of the generalized binomial coefficient

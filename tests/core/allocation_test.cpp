@@ -1,0 +1,161 @@
+// Zero-allocation regression test for the steady-state Gibbs kernel.
+//
+// This binary replaces the global allocation operators with counting
+// versions. After a warm-up phase (which fills the per-chain workspace, the
+// thread_local day-constant caches in the detection models and the lazy
+// static tables in support/math), a full Gibbs scan through
+// BayesianSrm::update() must perform ZERO heap allocations — that is the
+// tentpole guarantee of the workspace/batch/function_ref kernel, and any
+// regression (a std::function creeping back in, a vector copy in a density
+// lambda, a buffer sized per scan) trips the counter immediately.
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "core/bayes_srm.hpp"
+#include "data/datasets.hpp"
+#include "random/rng.hpp"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocation_count{0};
+
+void* counted_alloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);  // NOLINT
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::align_val_t alignment) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(alignment),
+                     size == 0 ? 1 : size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+// NOLINTBEGIN(misc-new-delete-overloads)
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return counted_aligned_alloc(size, alignment);
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return counted_aligned_alloc(size, alignment);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+// NOLINTEND(misc-new-delete-overloads)
+
+namespace {
+
+using srm::core::BayesianSrm;
+using srm::core::DetectionModelKind;
+using srm::core::HyperPriorConfig;
+using srm::core::PriorKind;
+using srm::core::SamplerScheme;
+
+/// Allocations performed by `updates` steady-state scans after `warmup`
+/// warm-up scans on the full sys1 dataset.
+std::uint64_t count_update_allocations(PriorKind prior, int model_id,
+                                       SamplerScheme scheme, int warmup,
+                                       int updates) {
+  const auto data = srm::data::sys1_grouped();
+  HyperPriorConfig config;
+  config.scheme = scheme;
+  const BayesianSrm model(prior, static_cast<DetectionModelKind>(model_id),
+                          data, config);
+  srm::random::Rng rng(20240624);
+  auto state = model.initial_state(rng);
+  const auto workspace = model.make_workspace();
+  for (int i = 0; i < warmup; ++i) {
+    model.update(state, rng, workspace.get());
+  }
+  g_allocation_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  for (int i = 0; i < updates; ++i) {
+    model.update(state, rng, workspace.get());
+  }
+  g_counting.store(false, std::memory_order_relaxed);
+  return g_allocation_count.load(std::memory_order_relaxed);
+}
+
+TEST(ZeroAllocationKernel, CollapsedSchemeAllModelsBothPriors) {
+  for (const auto prior :
+       {PriorKind::kPoisson, PriorKind::kNegativeBinomial}) {
+    for (int model_id = 0; model_id <= 6; ++model_id) {
+      EXPECT_EQ(count_update_allocations(prior, model_id,
+                                         SamplerScheme::kCollapsed, 50, 100),
+                0u)
+          << srm::core::to_string(prior) << " model" << model_id;
+    }
+  }
+}
+
+TEST(ZeroAllocationKernel, VanillaSchemeAllModelsBothPriors) {
+  for (const auto prior :
+       {PriorKind::kPoisson, PriorKind::kNegativeBinomial}) {
+    for (int model_id = 0; model_id <= 6; ++model_id) {
+      EXPECT_EQ(count_update_allocations(prior, model_id,
+                                         SamplerScheme::kVanilla, 50, 100),
+                0u)
+          << srm::core::to_string(prior) << " model" << model_id;
+    }
+  }
+}
+
+TEST(ZeroAllocationKernel, PointwiseLikelihoodIntoIsAllocationFree) {
+  const auto data = srm::data::sys1_grouped();
+  const BayesianSrm model(PriorKind::kPoisson, DetectionModelKind::kWeibull,
+                          data, {});
+  srm::random::Rng rng(7);
+  auto state = model.initial_state(rng);
+  BayesianSrm::Workspace workspace(model);
+  std::vector<double> out(data.days());
+  model.pointwise_log_likelihood_into(state, workspace, out);  // warm-up
+  g_allocation_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  for (int i = 0; i < 50; ++i) {
+    model.pointwise_log_likelihood_into(state, workspace, out);
+  }
+  g_counting.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(g_allocation_count.load(std::memory_order_relaxed), 0u);
+}
+
+/// The counter itself must work, or the zero expectations above are
+/// vacuous: a plain vector construction inside the window has to register.
+TEST(ZeroAllocationKernel, CounterDetectsAllocations) {
+  g_allocation_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  {
+    std::vector<double> v(257);
+    ASSERT_NE(v.data(), nullptr);
+  }
+  g_counting.store(false, std::memory_order_relaxed);
+  EXPECT_GE(g_allocation_count.load(std::memory_order_relaxed), 1u);
+}
+
+}  // namespace

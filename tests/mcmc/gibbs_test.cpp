@@ -27,12 +27,13 @@ class BivariateNormal final : public GibbsModel {
   std::vector<double> initial_state(srm::random::Rng& rng) const override {
     return {rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)};
   }
-  void update(std::vector<double>& state,
-              srm::random::Rng& rng) const override {
+  void update(std::vector<double>& state, srm::random::Rng& rng,
+              srm::mcmc::GibbsWorkspace*) const override {
     const double sd = std::sqrt(1.0 - rho_ * rho_);
     state[0] = srm::random::sample_normal(rng, rho_ * state[1], sd);
     state[1] = srm::random::sample_normal(rng, rho_ * state[0], sd);
   }
+  using GibbsModel::update;
 
  private:
   double rho_;

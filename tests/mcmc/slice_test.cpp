@@ -134,6 +134,54 @@ TEST(SliceSampler, SpikeDensityDoesNotHang) {
   EXPECT_LT(x, 0.51);
 }
 
+TEST(SliceSampler, NeverEvaluatesDensityAtClampedBounds) {
+  // The step-out loops must not evaluate the density at an endpoint that is
+  // already clamped to a support bound: the bound terminates stepping-out
+  // regardless of the density value, so the evaluation would be wasted (and
+  // bounded conditionals typically return -inf there anyway).
+  Rng rng(7);
+  SliceOptions options;
+  options.lower = 0.0;
+  options.upper = 1.0;
+  // Width larger than the support: the initial bracket is always clamped to
+  // [0, 1] exactly, so a single bound evaluation would be caught below.
+  options.initial_width = 5.0;
+  int bound_evaluations = 0;
+  const auto log_density = [&](double x) {
+    if (x == options.lower || x == options.upper) ++bound_evaluations;
+    return -0.1 * x;  // finite everywhere inside, gentle slope
+  };
+  double x = 0.5;
+  for (int i = 0; i < 2000; ++i) {
+    x = slice_sample(rng, x, log_density, options);
+    ASSERT_GT(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+  EXPECT_EQ(bound_evaluations, 0);
+}
+
+TEST(SliceSampler, ClampedBracketStillSamplesCorrectly) {
+  // Same oversized-width setup: skipping the bound evaluations must not
+  // change the invariant distribution. Uniform target on (0, 1): the mean
+  // and second moment are 1/2 and 1/3.
+  Rng rng(8);
+  SliceOptions options;
+  options.lower = 0.0;
+  options.upper = 1.0;
+  options.initial_width = 10.0;
+  const auto chain =
+      run_chain(rng, 0.5, [](double) { return 0.0; }, options, 40000);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : chain) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double n_samples = static_cast<double>(chain.size());
+  EXPECT_NEAR(sum / n_samples, 0.5, 0.01);
+  EXPECT_NEAR(sum_sq / n_samples, 1.0 / 3.0, 0.01);
+}
+
 TEST(SliceSampler, InvalidArgumentsThrow) {
   Rng rng(6);
   SliceOptions options;

@@ -3,6 +3,7 @@
 #include "support/math.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include <gtest/gtest.h>
@@ -23,6 +24,42 @@ TEST(LogFactorial, ZeroIsZero) { EXPECT_DOUBLE_EQ(m::log_factorial(0), 0.0); }
 
 TEST(LogFactorial, RejectsNegative) {
   EXPECT_THROW(m::log_factorial(-1), srm::InvalidArgument);
+}
+
+TEST(LogFactorial, ExtendedTableMatchesLgammaBitwise) {
+  // Entries beyond the original 256-entry running-sum prefix must hold
+  // exactly what the lgamma fallback used to return for them — growing the
+  // table is a pure speedup, never a value change.
+  for (std::int64_t n = 256; n < 4096; n += 37) {
+    EXPECT_EQ(m::log_factorial(n), m::lgamma(static_cast<double>(n) + 1.0))
+        << "n=" << n;
+  }
+  EXPECT_EQ(m::log_factorial(4095), m::lgamma(4096.0));
+}
+
+TEST(LogFactorial, TableAndFallbackAgreeAtTheSeam) {
+  // Relative agreement across the table boundary (the table is the exact
+  // lgamma value there, the running sum accumulates rounding ~1e-14).
+  for (std::int64_t n = 4090; n <= 4100; ++n) {
+    const double table_or_fallback = m::log_factorial(n);
+    const double direct = m::lgamma(static_cast<double>(n) + 1.0);
+    EXPECT_NEAR(table_or_fallback, direct, 1e-9 * direct) << "n=" << n;
+  }
+}
+
+TEST(LogBinomial, FastPathMatchesThreeLookupsBitwise) {
+  // The in-table fast path computes t[n] - t[k] - t[n-k]; the generic path
+  // is the same subtraction of the same values, so results are identical
+  // bits. Spot-check across the data-scale range the WAIC kernel uses.
+  for (std::int64_t n : {136L, 300L, 2047L, 4095L}) {
+    for (std::int64_t k : {0L, 1L, 7L, 96L, 136L}) {
+      if (k > n) continue;
+      EXPECT_EQ(m::log_binomial(n, k),
+                m::log_factorial(n) - m::log_factorial(k) -
+                    m::log_factorial(n - k))
+          << "n=" << n << " k=" << k;
+    }
+  }
 }
 
 TEST(LogBinomial, SmallValuesExact) {

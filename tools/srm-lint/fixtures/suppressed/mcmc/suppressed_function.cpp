@@ -1,0 +1,11 @@
+#include <functional>
+
+namespace srm::mcmc {
+
+void store_callback() {
+  // srm-lint: allow(hot-std-function) — stored beyond the call, must own
+  std::function<void()> owned = [] {};
+  owned();
+}
+
+}  // namespace srm::mcmc

@@ -1,0 +1,14 @@
+#include <functional>
+
+namespace srm::mcmc {
+
+double sample_once(const std::function<double(double)>& log_density) {
+  return log_density(0.5);  // line 5: hot-std-function (parameter type)
+}
+
+void run() {
+  std::function<void()> deferred = [] {};  // line 10: hot-std-function
+  deferred();
+}
+
+}  // namespace srm::mcmc

@@ -1,0 +1,8 @@
+#include <functional>
+
+namespace srm::report {
+
+// report/ is not sampler hot-path code: std::function stays legal here.
+void on_row(const std::function<void(int)>& callback) { callback(1); }
+
+}  // namespace srm::report

@@ -301,6 +301,24 @@ void check_raw_thread(const FileText& f, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: hot-std-function
+// ---------------------------------------------------------------------------
+
+void check_hot_std_function(const FileText& f, std::vector<Finding>& out) {
+  for_each_identifier(f.stripped, [&](std::string_view name, std::size_t i) {
+    if (name != "function") return;
+    // Only the std-qualified template: `std::function`. Members or locals
+    // that happen to be named `function` stay legal.
+    if (i < 2 || f.stripped[i - 1] != ':' || f.stripped[i - 2] != ':') return;
+    if (ident_before(f.stripped, i - 2) != "std") return;
+    report(out, f, i, "hot-std-function",
+           "std::function in sampler hot-path code; it type-erases with an "
+           "owned (possibly heap-allocated) copy per call site — take a "
+           "support::function_ref instead");
+  });
+}
+
+// ---------------------------------------------------------------------------
 // Rule: iostream
 // ---------------------------------------------------------------------------
 
@@ -661,6 +679,9 @@ std::vector<Finding> run_lint(const fs::path& root) {
     if (!is_cli_or_report) check_iostream(f, out);
     if (f.rel != "support/fp.hpp") check_float_compare(f, out);
     if (!in_dir(f, "runtime/")) check_raw_thread(f, out);
+    if (in_dir(f, "mcmc/") || in_dir(f, "core/")) {
+      check_hot_std_function(f, out);
+    }
 
     if (is_core_or_stats && p.extension() == ".hpp") {
       std::vector<PublicDecl> needs_impl;

@@ -18,6 +18,11 @@
 //                   src/runtime/: all parallelism goes through the shared
 //                   runtime pool (task_group / parallel_for), which is what
 //                   keeps results bit-identical for any worker count.
+//   hot-std-function No std::function in src/mcmc/ or src/core/: the
+//                   sampler hot path creates thousands of short-lived
+//                   closures per scan, and std::function heap-allocates
+//                   once a closure outgrows the small-buffer optimization.
+//                   Take a support::function_ref instead.
 //   expects         Every public function in src/core/ and src/stats/
 //                   headers that takes scalar numeric parameters must
 //                   execute an SRM_EXPECTS precondition in its

@@ -95,6 +95,27 @@ TEST(SrmLint, RawThreadRuleExemptsRuntimeDirectory) {
   }
 }
 
+TEST(SrmLint, DetectsHotStdFunctionInMcmcAndCore) {
+  const auto all = run_lint(fixture("violations"));
+  const auto hits = findings_for_rule(all, "hot-std-function");
+  ASSERT_EQ(hits.size(), 2u) << "parameter type and local variable";
+  EXPECT_TRUE(
+      has_finding(all, "mcmc/bad_std_function.cpp", 5, "hot-std-function"));
+  EXPECT_TRUE(
+      has_finding(all, "mcmc/bad_std_function.cpp", 10, "hot-std-function"));
+}
+
+TEST(SrmLint, HotStdFunctionRuleScopedToMcmcAndCore) {
+  // report/ok_std_function.cpp uses std::function legitimately and must
+  // stay clean — only the sampler hot-path directories are in scope.
+  const auto all = run_lint(fixture("violations"));
+  for (const auto& f : findings_for_rule(all, "hot-std-function")) {
+    const bool in_scope = f.file.rfind("mcmc/", 0) == 0 ||
+                          f.file.rfind("core/", 0) == 0;
+    EXPECT_TRUE(in_scope) << srm::lint::format_finding(f);
+  }
+}
+
 TEST(SrmLint, DetectsFloatLiteralComparisons) {
   const auto all = run_lint(fixture("violations"));
   const auto hits = findings_for_rule(all, "float-compare");
