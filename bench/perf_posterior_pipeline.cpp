@@ -1,0 +1,294 @@
+// Streaming posterior pipeline: wall time and peak memory, both modes.
+//
+// Part 1 measures peak RSS of one sweep cell (poisson/model1, day 96) in a
+// forked child per mode, at paper scale (2500 retained draws/chain) and at
+// 10x that retention. A do-nothing child is forked first so the inherited
+// image can be subtracted; the streaming-vs-stored comparison is made on
+// that marginal RSS (raw numbers are recorded too). The forks happen
+// before the parent touches the runtime pool, so each child builds its own
+// fresh pool.
+//
+// Part 2 runs the full paper sweep (2 priors x 5 models x 9 observation
+// days) single-threaded in streaming mode (the run_sweep default since the
+// pipeline landed) and in stored-trace mode, and compares both against the
+// pre-pipeline baseline recorded in BENCH_gibbs.json (30472.9 ms at
+// threads=1, commit 0d871fa). Every reported posterior number is
+// bit-identical between the modes — tests/core/pipeline_test.cpp enforces
+// that — so the delta is pure overhead: the second likelihood pass, the
+// pointwise matrix and the trace storage.
+//
+// Output: a human-readable summary on stdout plus machine-readable JSON in
+// BENCH_pipeline.json (or the path given as argv[1]).
+//
+//   --smoke       tiny iteration counts; exercises every code path in
+//                 seconds for CI, numbers are not comparable
+//   --threads N   worker threads for the sweep phase (default 1, matching
+//                 the baseline)
+//   --repeats N   sweep timing repetitions per mode (default 3; 1 in
+//                 smoke mode). Modes alternate streaming/stored/... and
+//                 the minimum per mode is reported, which suppresses
+//                 interference from other tenants on a shared box.
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "data/datasets.hpp"
+#include "report/sweep.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+/// Single-thread full-sweep wall time before the streaming pipeline
+/// (BENCH_gibbs.json, commit 0d871fa, threads=1): every cell stored its
+/// traces and re-scored them in a second likelihood pass.
+constexpr double kBaselineSweepWallMs = 30472.9;
+
+/// Runs `work` in a forked child and returns the child's peak RSS in MiB
+/// (ru_maxrss is KiB on Linux). Returns a negative value on failure.
+template <typename Work>
+double child_peak_rss_mib(Work&& work) {
+  const pid_t pid = fork();
+  if (pid < 0) return -1.0;
+  if (pid == 0) {
+    work();
+    _exit(0);
+  }
+  int status = 0;
+  struct rusage usage {};
+  if (wait4(pid, &status, 0, &usage) != pid ||
+      !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    return -1.0;
+  }
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+srm::core::ExperimentSpec cell_spec(std::size_t iterations, bool keep_traces) {
+  srm::core::ExperimentSpec spec;
+  spec.prior = srm::core::PriorKind::kPoisson;
+  spec.model = srm::core::DetectionModelKind::kWeibull;  // model1
+  spec.gibbs.chain_count = 2;
+  spec.gibbs.burn_in = 500;
+  spec.gibbs.iterations = iterations;
+  spec.gibbs.seed = 20240624;
+  spec.gibbs.keep_traces = keep_traces;
+  spec.eventual_total = srm::data::kSys1TotalBugs;
+  return spec;
+}
+
+struct RssSample {
+  std::string scale;
+  std::size_t iterations = 0;
+  double baseline_mib = 0.0;   ///< do-nothing child (inherited image)
+  double streaming_mib = 0.0;  ///< raw child peak, keep_traces=false
+  double stored_mib = 0.0;     ///< raw child peak, keep_traces=true
+  [[nodiscard]] double streaming_marginal() const {
+    return streaming_mib - baseline_mib;
+  }
+  [[nodiscard]] double stored_marginal() const {
+    return stored_mib - baseline_mib;
+  }
+  [[nodiscard]] double reduction() const {
+    const double s = streaming_marginal();
+    return s > 0.0 ? stored_marginal() / s : 0.0;
+  }
+};
+
+RssSample measure_cell_rss(const srm::data::BugCountData& data,
+                           const std::string& scale, std::size_t iterations) {
+  RssSample sample;
+  sample.scale = scale;
+  sample.iterations = iterations;
+  sample.baseline_mib = child_peak_rss_mib([] {});
+  sample.streaming_mib = child_peak_rss_mib([&] {
+    const auto spec = cell_spec(iterations, /*keep_traces=*/false);
+    (void)srm::core::run_observation(data, spec, data.days());
+  });
+  sample.stored_mib = child_peak_rss_mib([&] {
+    const auto spec = cell_spec(iterations, /*keep_traces=*/true);
+    (void)srm::core::run_observation(data, spec, data.days());
+  });
+  return sample;
+}
+
+double timed_sweep_ms(const srm::data::BugCountData& data,
+                      const srm::report::SweepOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto sweep = srm::report::run_sweep(data, options);
+  const auto stop = std::chrono::steady_clock::now();
+  if (sweep.cells.size() != 10) {
+    std::cerr << "sweep produced an unexpected cell count\n";
+    std::exit(1);
+  }
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+std::string json_array(const std::vector<double>& values) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out << values[i] << (i + 1 < values.size() ? ", " : "");
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string to_json(const std::vector<RssSample>& rss, bool smoke,
+                    std::size_t sweep_threads,
+                    const std::vector<double>& streaming_runs_ms,
+                    const std::vector<double>& stored_runs_ms,
+                    double streaming_wall_ms, double stored_wall_ms,
+                    const std::vector<std::string>& warnings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"benchmark\": \"posterior_pipeline\",\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "paper") << "\",\n"
+      << "  \"hardware_concurrency\": "
+      << srm::runtime::ThreadPool::default_thread_count() << ",\n"
+      << "  \"peak_rss_cell\": [\n";
+  for (std::size_t i = 0; i < rss.size(); ++i) {
+    const auto& r = rss[i];
+    out << "    {\"scale\": \"" << r.scale
+        << "\", \"iterations\": " << r.iterations
+        << ", \"baseline_mib\": " << r.baseline_mib
+        << ", \"streaming_mib\": " << r.streaming_mib
+        << ", \"stored_mib\": " << r.stored_mib
+        << ", \"streaming_marginal_mib\": " << r.streaming_marginal()
+        << ", \"stored_marginal_mib\": " << r.stored_marginal()
+        << ", \"reduction\": " << r.reduction() << "}"
+        << (i + 1 < rss.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"sweep\": {\"threads\": " << sweep_threads
+      << ", \"streaming_runs_ms\": " << json_array(streaming_runs_ms)
+      << ", \"stored_runs_ms\": " << json_array(stored_runs_ms)
+      << ", \"streaming_wall_ms\": " << streaming_wall_ms
+      << ", \"stored_wall_ms\": " << stored_wall_ms;
+  if (!smoke) {
+    out << ", \"baseline_wall_ms\": " << kBaselineSweepWallMs
+        << ", \"speedup_vs_baseline\": "
+        << kBaselineSweepWallMs / streaming_wall_ms
+        << ", \"speedup_vs_stored\": " << stored_wall_ms / streaming_wall_ms;
+  }
+  out << "},\n"
+      << "  \"warnings\": [";
+  for (std::size_t i = 0; i < warnings.size(); ++i) {
+    out << "\"" << warnings[i] << "\""
+        << (i + 1 < warnings.size() ? ", " : "");
+  }
+  out << "]\n}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string output_path = "BENCH_pipeline.json";
+  bool smoke = false;
+  std::size_t sweep_threads = 1;
+  std::size_t repeats = 0;  // 0: pick the mode default below
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      sweep_threads = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--repeats" && i + 1 < argc) {
+      repeats = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg.rfind("--", 0) != 0) {
+      output_path = arg;
+    }
+  }
+  if (repeats == 0) repeats = smoke ? 1 : 3;
+
+  const auto data = srm::data::sys1_grouped();
+
+  // Part 1: peak RSS per sweep cell, forked BEFORE the parent spins up the
+  // runtime pool (a fork after that would inherit a pool whose worker
+  // threads do not exist in the child).
+  std::cout << "peak RSS per sweep cell (poisson/model1, day " << data.days()
+            << ", 2 chains, fork+wait4)\n";
+  std::vector<RssSample> rss;
+  rss.push_back(
+      measure_cell_rss(data, "paper", smoke ? std::size_t{100} : 2500));
+  rss.push_back(
+      measure_cell_rss(data, "10x", smoke ? std::size_t{1000} : 25000));
+  std::vector<std::string> warnings;
+  for (const auto& r : rss) {
+    if (r.baseline_mib < 0.0 || r.streaming_mib < 0.0 || r.stored_mib < 0.0) {
+      warnings.push_back("rss measurement failed at scale " + r.scale);
+    }
+    std::cout << "  scale=" << r.scale << " iters=" << r.iterations
+              << "  streaming=" << r.streaming_mib << " MiB"
+              << " (marginal " << r.streaming_marginal() << ")"
+              << "  stored=" << r.stored_mib << " MiB"
+              << " (marginal " << r.stored_marginal() << ")"
+              << "  reduction=" << r.reduction() << "x\n";
+  }
+
+  // Part 2: full paper sweep, streaming (the run_sweep default) vs stored.
+  const std::size_t cores = srm::runtime::ThreadPool::default_thread_count();
+  if (sweep_threads > cores) {
+    std::ostringstream w;
+    w << "requested " << sweep_threads << " sweep threads but "
+      << "hardware_concurrency is " << cores
+      << "; oversubscribed timings are not comparable";
+    warnings.push_back(w.str());
+    std::cout << "warning: " << w.str() << "\n";
+  }
+  auto options = srm::report::paper_sweep_options();
+  if (smoke) {
+    options.observation_days = {48, 96};
+    options.gibbs.burn_in = 50;
+    options.gibbs.iterations = 100;
+  }
+  srm::runtime::ThreadPool::set_global_thread_count(sweep_threads);
+  // Alternate the modes so slow drift on a shared box (another tenant, cpu
+  // frequency) hits both about equally; report the minimum per mode.
+  std::vector<double> streaming_runs_ms;
+  std::vector<double> stored_runs_ms;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    options.gibbs.keep_traces = false;
+    streaming_runs_ms.push_back(timed_sweep_ms(data, options));
+    options.gibbs.keep_traces = true;
+    stored_runs_ms.push_back(timed_sweep_ms(data, options));
+    std::cout << "  run " << r + 1 << "/" << repeats << ": streaming="
+              << streaming_runs_ms.back() / 1000.0 << "s  stored="
+              << stored_runs_ms.back() / 1000.0 << "s\n";
+  }
+  srm::runtime::ThreadPool::set_global_thread_count(0);
+  const double streaming_wall_ms =
+      *std::min_element(streaming_runs_ms.begin(), streaming_runs_ms.end());
+  const double stored_wall_ms =
+      *std::min_element(stored_runs_ms.begin(), stored_runs_ms.end());
+
+  std::cout << "full sweep: threads=" << sweep_threads << "  streaming="
+            << streaming_wall_ms / 1000.0 << "s  stored="
+            << stored_wall_ms / 1000.0 << "s  (min of " << repeats << ")";
+  if (!smoke) {
+    std::cout << "  baseline=" << kBaselineSweepWallMs / 1000.0
+              << "s  speedup_vs_baseline="
+              << kBaselineSweepWallMs / streaming_wall_ms << "x";
+  }
+  std::cout << "\n";
+
+  std::ofstream out(output_path);
+  if (!out) {
+    std::cerr << "cannot write " << output_path << "\n";
+    return 1;
+  }
+  out << to_json(rss, smoke, sweep_threads, streaming_runs_ms,
+                 stored_runs_ms, streaming_wall_ms, stored_wall_ms,
+                 warnings);
+  std::cout << "wrote " << output_path << "\n";
+  return 0;
+}

@@ -1,12 +1,14 @@
 #include "cli/commands.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <ostream>
 #include <sstream>
 
 #include "core/experiment.hpp"
 #include "core/loo.hpp"
+#include "core/streaming.hpp"
 #include "core/release_policy.hpp"
 #include "core/predictive.hpp"
 #include "data/datasets.hpp"
@@ -67,7 +69,13 @@ mcmc::GibbsOptions parse_gibbs(const Args& args) {
   gibbs.chain_count = args.get_size("chains", 2);
   gibbs.burn_in = args.get_size("burn-in", 500);
   gibbs.iterations = args.get_size("iterations", 2500);
+  gibbs.thin = args.get_size("thin", 1);
   gibbs.seed = static_cast<std::uint64_t>(args.get_int("seed", 20240624));
+  // Every reported number is bit-identical between the streaming and the
+  // stored-trace path, so the CLI defaults to streaming (O(1) memory in the
+  // retained draw count); --keep-traces restores full chain storage.
+  // Commands that consume the raw run (predict, release) force it back on.
+  gibbs.keep_traces = args.has("keep-traces");
   return gibbs;
 }
 
@@ -151,12 +159,32 @@ int run_select(const Args& args, std::ostream& out) {
        {core::PriorKind::kPoisson, core::PriorKind::kNegativeBinomial}) {
     for (const auto kind : core::all_detection_model_kinds()) {
       core::BayesianSrm model(prior, kind, data, config);
-      const auto run = mcmc::run_gibbs(model, gibbs);
-      const auto waic = core::compute_waic(model, run);
-      const auto loo = core::compute_psis_loo(model, run);
-      const auto posterior = core::summarize_residual_posterior(run);
-      rows.push_back({core::to_string(prior), core::to_string(kind),
-                      waic.waic, loo.looic, posterior.summary.mean});
+      Row row{core::to_string(prior), core::to_string(kind), 0.0, 0.0, 0.0};
+      if (gibbs.keep_traces) {
+        const auto run = mcmc::run_gibbs(model, gibbs);
+        row.waic = core::compute_waic(model, run).waic;
+        row.looic = core::compute_psis_loo(model, run).looic;
+        row.residual_mean =
+            core::summarize_residual_posterior(run).summary.mean;
+      } else {
+        // Streaming path: score each draw in-scan; PSIS-LOO still needs the
+        // raw pointwise columns for its tail fits, so the scorer keeps the
+        // flat matrix while the traces themselves are never stored.
+        core::StreamingScorer scorer(model, gibbs.chain_count,
+                                     gibbs.iterations, /*keep_matrix=*/true);
+        core::ResidualAccumulator residual(core::BayesianSrm::residual_index(),
+                                           gibbs.chain_count,
+                                           gibbs.iterations);
+        const std::array<mcmc::PosteriorAccumulator*, 2> sinks{&scorer,
+                                                               &residual};
+        mcmc::run_gibbs(model, gibbs, sinks);
+        row.waic = scorer.waic().waic;
+        row.looic =
+            core::compute_psis_loo_from_matrix(scorer.log_likelihood_matrix())
+                .looic;
+        row.residual_mean = residual.finalize().summary.mean;
+      }
+      rows.push_back(std::move(row));
     }
   }
   std::sort(rows.begin(), rows.end(),
@@ -182,7 +210,9 @@ int run_predict(const Args& args, std::ostream& out) {
   const auto prior = parse_prior(args);
   const auto model = parse_model(args);
   const auto config = parse_config(args);
-  const auto gibbs = parse_gibbs(args);
+  auto gibbs = parse_gibbs(args);
+  // The holdout scorer walks the raw chains itself.
+  gibbs.keep_traces = true;
   reject_unused(args);
 
   const auto summary = core::fit_and_score_holdout(data, fit_days, prior,
@@ -287,7 +317,9 @@ int run_release(const Args& args, std::ostream& out) {
   const auto prior = parse_prior(args);
   const auto kind = parse_model(args);
   const auto config = parse_config(args);
-  const auto gibbs = parse_gibbs(args);
+  auto gibbs = parse_gibbs(args);
+  // plan_release resamples from the stored run, so traces are required.
+  gibbs.keep_traces = true;
   core::ReleaseCosts costs;
   costs.cost_per_testing_day = args.get_double("day-cost", 1.0);
   costs.cost_per_residual_bug = args.get_double("bug-cost", 50.0);
@@ -330,6 +362,9 @@ std::string usage() {
       "  release   cost-optimal release day from the residual posterior\n"
       "common flags: --csv FILE|sys1|ntds, --days N, --prior poisson|negbin,\n"
       "  --model model0..model4, --chains, --burn-in, --iterations, --seed,\n"
+      "  --thin N        keep every N-th retained scan (default 1)\n"
+      "  --keep-traces   store full chains instead of streaming accumulators\n"
+      "                  (identical output; only memory use differs)\n"
       "  --lambda-max, --alpha-max, --theta-max, --jeffreys,\n"
       "  --threads N  worker threads for chains/sweeps/scoring\n"
       "               (0 = all hardware threads; SRM_THREADS env also works;\n"

@@ -421,6 +421,22 @@ void BayesianSrm::pointwise_log_likelihood_into(std::span<const double> state,
   }
 }
 
+void BayesianSrm::pointwise_into(std::span<const double> state, Workspace& ws,
+                                 std::span<double> out) const {
+  SRM_EXPECTS(state.size() == state_size(), "state vector has wrong size");
+  SRM_EXPECTS(out.size() >= data_.days(),
+              "pointwise output needs one slot per testing day");
+  const std::int64_t n = initial_bugs_of(state);
+  // One batch probability fill into the workspace buffer. Streaming scoring
+  // and stored-trace replay both score through this exact call, so the two
+  // pipeline modes agree bit for bit.
+  model_->probabilities_into(data_.days(), state.subspan(zeta_offset()),
+                             ws.probabilities);
+  for (std::size_t day = 1; day <= data_.days(); ++day) {
+    out[day - 1] = log_pointwise_likelihood(data_, day, n, ws.probabilities);
+  }
+}
+
 double BayesianSrm::log_joint(std::span<const double> state) const {
   SRM_EXPECTS(state.size() == state_size(), "state vector has wrong size");
   const std::int64_t n = initial_bugs_of(state);

@@ -138,6 +138,18 @@ class BayesianSrm final : public mcmc::GibbsModel {
                                      Workspace& workspace,
                                      std::span<double> out) const;
 
+  /// In-scan variant for streaming sinks: when `workspace` is the one the
+  /// model's update() just ran with and its detection buffers are still
+  /// fresh for `state` (collapsed scheme), the row is produced from those
+  /// buffers without re-evaluating the detection model; otherwise it falls
+  /// back to the full recomputation. Either way the output is bit-identical
+  /// to pointwise_log_likelihood_into (the batch detection channel's
+  /// bit-identity contract). Precondition: `state` is the draw the
+  /// workspace's last update() produced, or the workspace was never
+  /// updated (fallback path).
+  void pointwise_into(std::span<const double> state, Workspace& workspace,
+                      std::span<double> out) const;
+
   /// Unnormalized log joint density of (state, data) — prior * likelihood.
   /// Exposed for testing the Gibbs conditionals against brute force.
   [[nodiscard]] double log_joint(std::span<const double> state) const;

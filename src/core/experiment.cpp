@@ -1,11 +1,11 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <array>
 
-#include "diagnostics/ess.hpp"
-#include "diagnostics/gelman_rubin.hpp"
-#include "diagnostics/geweke.hpp"
-#include "stats/summary.hpp"
+#include "core/streaming.hpp"
+#include "diagnostics/online.hpp"
+#include "mcmc/accumulator.hpp"
 #include "support/error.hpp"
 
 namespace srm::core {
@@ -26,29 +26,54 @@ ObservationResult run_observation(const data::BugCountData& base,
   const auto observed = dataset_at_observation(base, observation_day);
 
   BayesianSrm model(spec.prior, spec.model, observed, spec.config);
-  const auto run = mcmc::run_gibbs(model, spec.gibbs);
+
+  // Every per-parameter statistic and the residual summary come from these
+  // accumulators in both modes; with keep_traces the draws are stored and
+  // replayed through them, without it they are fed in-scan. Same sinks,
+  // same per-chain order => bit-identical results.
+  diagnostics::ParameterStatsAccumulator stats(model.state_size(),
+                                               spec.gibbs.chain_count,
+                                               spec.gibbs.iterations);
+  ResidualAccumulator residual(BayesianSrm::residual_index(),
+                               spec.gibbs.chain_count,
+                               spec.gibbs.iterations);
 
   ObservationResult result;
   result.observation_day = observation_day;
   result.detected_so_far = observed.total();
   result.actual_residual = spec.eventual_total - observed.total();
-  result.waic = compute_waic(model, run);
-  result.posterior = summarize_residual_posterior(run);
 
-  const auto& names = run.parameter_names();
+  std::vector<std::string> names;
+  if (spec.gibbs.keep_traces) {
+    // Stored-trace mode: sample, then replay the traces through the sinks
+    // and score the pointwise matrix (the memory-heavy comparator path).
+    const auto run = mcmc::run_gibbs(model, spec.gibbs);
+    names = run.parameter_names();
+    const std::array<mcmc::PosteriorAccumulator*, 2> sinks{&stats, &residual};
+    mcmc::replay(run, sinks);
+    result.waic = compute_waic(model, run);
+  } else {
+    // Streaming mode: the scorer consumes each draw's fresh workspace
+    // buffers in-scan; no traces, no pointwise matrix, no second
+    // likelihood pass.
+    StreamingScorer scorer(model, spec.gibbs.chain_count,
+                           spec.gibbs.iterations);
+    const std::array<mcmc::PosteriorAccumulator*, 3> sinks{&scorer, &stats,
+                                                           &residual};
+    const auto run = mcmc::run_gibbs(model, spec.gibbs, sinks);
+    names = run.parameter_names();
+    result.waic = scorer.waic();
+  }
+  result.posterior = residual.finalize();
+
   for (std::size_t p = 0; p < names.size(); ++p) {
+    const auto online = stats.parameter(p);
     ParameterDiagnostics diag;
     diag.name = names[p];
-    const auto pooled = run.pooled(p);
-    diag.posterior_mean = stats::mean(pooled);
-    diag.ess = diagnostics::effective_sample_size(pooled);
-    if (run.chain_count() >= 2) {
-      diag.psrf = diagnostics::gelman_rubin(run, p).psrf;
-    } else {
-      diag.psrf = 1.0;  // single chain: PSRF undefined, report neutral
-    }
-    const auto chain0 = run.chain(0).parameter(p);
-    diag.geweke_z = diagnostics::geweke(chain0).z;
+    diag.posterior_mean = online.posterior_mean;
+    diag.ess = online.ess;
+    diag.psrf = online.psrf;
+    diag.geweke_z = online.geweke_z;
     result.diagnostics.push_back(std::move(diag));
   }
   return result;

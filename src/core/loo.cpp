@@ -57,15 +57,18 @@ double pareto_smooth_log_weights(std::vector<double>& log_weights) {
 
 LooResult compute_psis_loo(const BayesianSrm& model,
                            const mcmc::McmcRun& run) {
-  const std::size_t k = model.data().days();
-  const std::size_t total_samples = run.total_samples();
-  SRM_EXPECTS(total_samples >= 25,
-              "PSIS-LOO needs a reasonable number of posterior draws");
   SRM_EXPECTS(run.parameter_names().size() == model.state_size(),
               "McmcRun does not match the model's state layout");
-
   // Collect log p(x_i | omega_s) for all (i, s), in parallel over draws.
-  const auto log_lik = pointwise_log_likelihood_matrix(model, run);
+  return compute_psis_loo_from_matrix(
+      pointwise_log_likelihood_matrix(model, run));
+}
+
+LooResult compute_psis_loo_from_matrix(const support::Matrix& log_lik) {
+  const std::size_t k = log_lik.rows();
+  const std::size_t total_samples = log_lik.cols();
+  SRM_EXPECTS(total_samples >= 25,
+              "PSIS-LOO needs a reasonable number of posterior draws");
 
   LooResult result;
   result.pointwise.resize(k);
@@ -73,10 +76,11 @@ LooResult compute_psis_loo(const BayesianSrm& model,
   // result slot; the summary accumulation below stays serial (and thus
   // deterministic) in data-point order.
   runtime::parallel_for(0, k, [&](std::size_t i) {
+    const auto log_lik_row = log_lik.row(i);
     // Raw log ratios r_s = -log p, shifted for stability.
     std::vector<double> log_w(total_samples);
     for (std::size_t s = 0; s < total_samples; ++s) {
-      log_w[s] = -log_lik[i][s];
+      log_w[s] = -log_lik_row[s];
     }
     const double shift = *std::max_element(log_w.begin(), log_w.end());
     for (double& w : log_w) w -= shift;
@@ -87,7 +91,7 @@ LooResult compute_psis_loo(const BayesianSrm& model,
     // elpd_i = log( sum_s w_s p_s / sum_s w_s ).
     std::vector<double> log_num(total_samples);
     for (std::size_t s = 0; s < total_samples; ++s) {
-      log_num[s] = log_w[s] + log_lik[i][s];
+      log_num[s] = log_w[s] + log_lik_row[s];
     }
     result.pointwise[i].elpd =
         math::log_sum_exp(log_num) - math::log_sum_exp(log_w);

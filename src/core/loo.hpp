@@ -16,6 +16,7 @@
 
 #include "core/bayes_srm.hpp"
 #include "mcmc/trace.hpp"
+#include "support/matrix.hpp"
 
 namespace srm::core {
 
@@ -37,6 +38,12 @@ inline constexpr double kParetoKThreshold = 0.7;
 /// Computes PSIS-LOO for `model` from the retained samples in `run`.
 LooResult compute_psis_loo(const BayesianSrm& model,
                            const mcmc::McmcRun& run);
+
+/// PSIS-LOO from a pre-built pointwise log-likelihood matrix (rows = data
+/// points, columns = draws) — the entry point the streaming pipeline uses
+/// with StreamingScorer::log_likelihood_matrix(), bit-identical to the
+/// stored-trace overload above.
+LooResult compute_psis_loo_from_matrix(const support::Matrix& log_lik);
 
 /// Pareto-smooths a vector of raw log importance ratios in place and
 /// returns the fitted GPD shape (NaN when the tail is too short to fit).

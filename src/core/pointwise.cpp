@@ -5,12 +5,11 @@
 
 namespace srm::core {
 
-std::vector<std::vector<double>> pointwise_log_likelihood_matrix(
-    const BayesianSrm& model, const mcmc::McmcRun& run) {
+support::Matrix pointwise_log_likelihood_matrix(const BayesianSrm& model,
+                                                const mcmc::McmcRun& run) {
   const std::size_t k = model.data().days();
   const std::size_t total_samples = run.total_samples();
-  std::vector<std::vector<double>> log_terms(
-      k, std::vector<double>(total_samples));
+  support::Matrix log_terms(k, total_samples);
 
   // Flattened sample index -> (chain, in-chain sample) via chain offsets.
   std::vector<std::size_t> offsets;
@@ -42,7 +41,7 @@ std::vector<std::vector<double>> pointwise_log_likelihood_matrix(
           }
           model.pointwise_log_likelihood_into(state, workspace, pointwise);
           for (std::size_t i = 0; i < k; ++i) {
-            log_terms[i][s] = pointwise[i];
+            log_terms(i, s) = pointwise[i];
           }
         }
       });

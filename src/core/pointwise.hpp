@@ -5,19 +5,21 @@
 // data-parallel over draws. The matrix builder below runs sample chunks on
 // the shared srm::runtime pool; every draw writes only its own column
 // (disjoint slots), so the result is bit-identical for any worker count.
+// The streaming pipeline (core/streaming.hpp) produces the same values
+// in-scan without this second pass; this builder remains for stored-trace
+// consumers.
 #pragma once
-
-#include <vector>
 
 #include "core/bayes_srm.hpp"
 #include "mcmc/trace.hpp"
+#include "support/matrix.hpp"
 
 namespace srm::core {
 
-/// log p(x_i | omega_s) with layout [i][s]: one row per data point, columns
-/// indexed by the flattened sample index (chain 0's draws first, matching
+/// log p(x_i | omega_s) as a flat row-major matrix, rows() = data points,
+/// cols() = flattened sample index (chain 0's draws first, matching
 /// McmcRun::pooled). Evaluated in parallel over posterior draws.
-std::vector<std::vector<double>> pointwise_log_likelihood_matrix(
-    const BayesianSrm& model, const mcmc::McmcRun& run);
+support::Matrix pointwise_log_likelihood_matrix(const BayesianSrm& model,
+                                                const mcmc::McmcRun& run);
 
 }  // namespace srm::core

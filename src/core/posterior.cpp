@@ -24,8 +24,7 @@ double ResidualPosterior::probability_at_most(std::int64_t r) const {
   return static_cast<double>(count) / static_cast<double>(samples.size());
 }
 
-ResidualPosterior summarize_residual_posterior(const mcmc::McmcRun& run) {
-  const auto pooled = run.pooled("residual");
+ResidualPosterior summarize_residual_samples(std::span<const double> pooled) {
   SRM_EXPECTS(!pooled.empty(), "run contains no residual samples");
 
   ResidualPosterior posterior;
@@ -36,6 +35,10 @@ ResidualPosterior summarize_residual_posterior(const mcmc::McmcRun& run) {
   posterior.summary = stats::summarize_integers(posterior.samples);
   posterior.box = stats::five_number_summary(pooled);
   return posterior;
+}
+
+ResidualPosterior summarize_residual_posterior(const mcmc::McmcRun& run) {
+  return summarize_residual_samples(run.pooled("residual"));
 }
 
 }  // namespace srm::core

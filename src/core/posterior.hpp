@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -26,6 +27,11 @@ struct ResidualPosterior {
   /// confidence" number a decision maker asks for (r = 0: bug-free).
   [[nodiscard]] double probability_at_most(std::int64_t r) const;
 };
+
+/// Summarizes pooled residual draws (chain 0's draws first, matching
+/// McmcRun::pooled). The streaming ResidualAccumulator and the stored-trace
+/// path both funnel through this, so their summaries are bit-identical.
+ResidualPosterior summarize_residual_samples(std::span<const double> pooled);
 
 /// Extracts the "residual" parameter from `run` and summarizes it.
 ResidualPosterior summarize_residual_posterior(const mcmc::McmcRun& run);

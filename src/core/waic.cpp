@@ -1,12 +1,10 @@
 #include "core/waic.hpp"
 
-#include <cmath>
 #include <vector>
 
 #include "core/pointwise.hpp"
-#include "runtime/parallel_for.hpp"
+#include "core/streaming.hpp"
 #include "support/error.hpp"
-#include "support/math.hpp"
 
 namespace srm::core {
 
@@ -21,61 +19,22 @@ WaicResult compute_waic(const BayesianSrm& model, const mcmc::McmcRun& run) {
   // over samples (each sample fills its own column of the k x S matrix).
   const auto log_terms = pointwise_log_likelihood_matrix(model, run);
 
-  // Per-point T_k / V_k contributions, reduced in parallel. Chunks of data
-  // points accumulate into private buffers that are combined serially in
-  // ascending chunk order — no atomics on the hot path, and bit-identical
-  // totals for any worker count.
-  struct Acc {
-    double learning_loss = 0.0;
-    double functional_variance = 0.0;
-  };
-  const double log_s = std::log(static_cast<double>(total_samples));
-  const Acc totals = runtime::parallel_reduce(
-      k, /*grain=*/8, Acc{},
-      [&](std::size_t lo, std::size_t hi) {
-        Acc acc;
-        for (std::size_t i = lo; i < hi; ++i) {
-          const auto& terms = log_terms[i];
-          // T_k contribution: -log( (1/S) sum_s exp(log p) ).
-          acc.learning_loss -= math::log_sum_exp(terms) - log_s;
-          // V_k contribution: sample variance of log p over s. A -inf draw
-          // (a sampled state that cannot produce x_i) would make the
-          // variance infinite; such states have posterior probability zero
-          // up to MCMC noise and are excluded, matching how loo/WAIC
-          // software treats them.
-          double mean = 0.0;
-          double m2 = 0.0;
-          std::size_t count = 0;
-          for (const double t : terms) {
-            if (!std::isfinite(t)) continue;
-            ++count;
-            const double delta = t - mean;
-            mean += delta / static_cast<double>(count);
-            m2 += delta * (t - mean);
-          }
-          if (count >= 2) {
-            acc.functional_variance += m2 / static_cast<double>(count - 1);
-          }
-        }
-        return acc;
-      },
-      [](Acc a, const Acc& b) {
-        a.learning_loss += b.learning_loss;
-        a.functional_variance += b.functional_variance;
-        return a;
-      });
-  const double learning_loss = totals.learning_loss / static_cast<double>(k);
-  const double functional_variance = totals.functional_variance;
-
-  WaicResult result;
-  result.learning_loss = learning_loss;
-  result.functional_variance = functional_variance;
-  result.waic_per_point =
-      learning_loss + functional_variance / static_cast<double>(k);  // Eq (23)
-  result.waic = 2.0 * static_cast<double>(k) * result.waic_per_point;
-  result.data_points = k;
-  result.samples = total_samples;
-  return result;
+  // Replay the matrix through the same accumulator the streaming scorer
+  // feeds in-scan — draw by draw, chain by chain in pooled order — so the
+  // stored-trace WAIC is bit-identical to the streaming one.
+  WaicAccumulator accumulator(k, run.chain_count());
+  std::vector<double> row(k);
+  std::size_t sample = 0;
+  for (std::size_t c = 0; c < run.chain_count(); ++c) {
+    const std::size_t chain_samples = run.chain(c).sample_count();
+    for (std::size_t s = 0; s < chain_samples; ++s, ++sample) {
+      for (std::size_t i = 0; i < k; ++i) {
+        row[i] = log_terms(i, sample);
+      }
+      accumulator.add_draw(c, row);
+    }
+  }
+  return accumulator.finalize();
 }
 
 }  // namespace srm::core

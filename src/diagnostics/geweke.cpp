@@ -36,10 +36,13 @@ GewekeResult geweke(std::span<const double> chain, double first_fraction,
       std::floor(first_fraction * static_cast<double>(n)));
   const auto n_b = static_cast<std::size_t>(
       std::floor(last_fraction * static_cast<double>(n)));
-  SRM_ASSERT(n_a >= 4 && n_b >= 4, "geweke windows too small");
+  return geweke_from_windows(chain.subspan(0, n_a), chain.subspan(n - n_b, n_b));
+}
 
-  const auto first = chain.subspan(0, n_a);
-  const auto last = chain.subspan(n - n_b, n_b);
+GewekeResult geweke_from_windows(std::span<const double> first,
+                                 std::span<const double> last) {
+  SRM_ASSERT(first.size() >= 4 && last.size() >= 4,
+             "geweke windows too small");
 
   GewekeResult result;
   result.first_mean = stats::mean(first);

@@ -21,6 +21,12 @@ struct GewekeResult {
 GewekeResult geweke(std::span<const double> chain,
                     double first_fraction = 0.1, double last_fraction = 0.5);
 
+/// The statistic from pre-extracted windows (>= 4 samples each). geweke()
+/// delegates here after slicing the chain; the streaming accumulator feeds
+/// the same windows it collected online, so both paths are bit-identical.
+GewekeResult geweke_from_windows(std::span<const double> first,
+                                 std::span<const double> last);
+
 /// The standard-normal 5% two-sided criterion used in the paper.
 inline constexpr double kGewekeThreshold = 1.96;
 

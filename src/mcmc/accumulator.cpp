@@ -1,0 +1,30 @@
+#include "mcmc/accumulator.hpp"
+
+#include <vector>
+
+#include "mcmc/trace.hpp"
+
+namespace srm::mcmc {
+
+void replay(const McmcRun& run,
+            std::span<PosteriorAccumulator* const> sinks) {
+  if (sinks.empty()) {
+    return;
+  }
+  const std::size_t params = run.parameter_names().size();
+  std::vector<double> state(params);
+  for (std::size_t c = 0; c < run.chain_count(); ++c) {
+    const ChainTrace& chain = run.chain(c);
+    const std::size_t draws = chain.sample_count();
+    for (std::size_t i = 0; i < draws; ++i) {
+      for (std::size_t p = 0; p < params; ++p) {
+        state[p] = chain.parameter(p)[i];
+      }
+      for (PosteriorAccumulator* sink : sinks) {
+        sink->accumulate(c, state, nullptr);
+      }
+    }
+  }
+}
+
+}  // namespace srm::mcmc

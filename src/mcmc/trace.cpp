@@ -14,6 +14,12 @@ void ChainTrace::append(std::span<const double> state) {
   }
 }
 
+void ChainTrace::reserve(std::size_t sample_count) {
+  for (auto& parameter : samples_) {
+    parameter.reserve(sample_count);
+  }
+}
+
 std::span<const double> ChainTrace::parameter(std::size_t index) const {
   SRM_EXPECTS(index < samples_.size(), "parameter index out of range");
   return samples_[index];

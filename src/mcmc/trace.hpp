@@ -18,6 +18,10 @@ class ChainTrace {
 
   void append(std::span<const double> state);
 
+  /// Pre-reserves capacity for `sample_count` retained draws per
+  /// parameter, so the retention loop never reallocates.
+  void reserve(std::size_t sample_count);
+
   [[nodiscard]] std::size_t parameter_count() const { return samples_.size(); }
   [[nodiscard]] std::size_t sample_count() const {
     return samples_.empty() ? 0 : samples_.front().size();

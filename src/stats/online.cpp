@@ -1,0 +1,94 @@
+#include "stats/online.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace srm::stats {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+void OnlineMoments::add(double value) {
+  ++count_;
+  sum_ += value;
+  const double delta = value - welford_mean_;
+  welford_mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - welford_mean_);
+}
+
+void OnlineMoments::merge(const OnlineMoments& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n_a = static_cast<double>(count_);
+  const double n_b = static_cast<double>(other.count_);
+  const double total = n_a + n_b;
+  const double delta = other.welford_mean_ - welford_mean_;
+  welford_mean_ += delta * (n_b / total);
+  m2_ += other.m2_ + delta * delta * (n_a * n_b / total);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+double OnlineMoments::mean() const {
+  SRM_EXPECTS(count_ > 0, "OnlineMoments::mean requires at least one value");
+  return sum_ / static_cast<double>(count_);
+}
+
+double OnlineMoments::sample_variance() const {
+  SRM_EXPECTS(count_ >= 2,
+              "OnlineMoments::sample_variance requires at least two values");
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+void OnlineLogSumExp::add(double value) {
+  ++count_;
+  if (value <= max_) {
+    // Covers value == -inf with a finite max (contributes zero mass).
+    scaled_sum_ += std::exp(value - max_);
+    return;
+  }
+  if (max_ == kNegInf) {
+    // First finite term: everything before it had zero mass.
+    max_ = value;
+    scaled_sum_ = 1.0;
+    return;
+  }
+  scaled_sum_ = scaled_sum_ * std::exp(max_ - value) + 1.0;
+  max_ = value;
+}
+
+void OnlineLogSumExp::merge(const OnlineLogSumExp& other) {
+  count_ += other.count_;
+  if (other.max_ == kNegInf) {
+    return;
+  }
+  if (max_ == kNegInf) {
+    max_ = other.max_;
+    scaled_sum_ = other.scaled_sum_;
+    return;
+  }
+  if (other.max_ <= max_) {
+    scaled_sum_ += other.scaled_sum_ * std::exp(other.max_ - max_);
+  } else {
+    scaled_sum_ = scaled_sum_ * std::exp(max_ - other.max_) +
+                  other.scaled_sum_;
+    max_ = other.max_;
+  }
+}
+
+double OnlineLogSumExp::result() const {
+  if (max_ == kNegInf) {
+    // Matches support::math::log_sum_exp on empty / all--inf input.
+    return kNegInf;
+  }
+  return max_ + std::log(scaled_sum_);
+}
+
+}  // namespace srm::stats

@@ -1,0 +1,23 @@
+#include "support/matrix.hpp"
+
+#include "support/error.hpp"
+
+namespace srm::support {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double value)
+    : rows_(rows), cols_(cols), cells_(rows * cols, value) {
+  SRM_EXPECTS(rows == 0 || cells_.size() / rows == cols,
+              "Matrix dimensions overflow");
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  SRM_EXPECTS(r < rows_, "Matrix row index out of range");
+  return {cells_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  SRM_EXPECTS(r < rows_, "Matrix row index out of range");
+  return {cells_.data() + r * cols_, cols_};
+}
+
+}  // namespace srm::support

@@ -1,0 +1,44 @@
+// Flat row-major matrix of doubles — the hot-path replacement for
+// std::vector<std::vector<double>> buffers (one allocation, contiguous
+// rows, cache-friendly row scans). Used for the data_points x samples
+// pointwise log-likelihood table that WAIC/PSIS-LOO consume.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace srm::support {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// rows x cols cells, all initialized to `value`.
+  Matrix(std::size_t rows, std::size_t cols, double value = 0.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return cells_.empty(); }
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return cells_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return cells_[r * cols_ + c];
+  }
+
+  /// One contiguous row as a span (bounds-checked).
+  [[nodiscard]] std::span<double> row(std::size_t r);
+  [[nodiscard]] std::span<const double> row(std::size_t r) const;
+
+  [[nodiscard]] double* data() { return cells_.data(); }
+  [[nodiscard]] const double* data() const { return cells_.data(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> cells_;
+};
+
+}  // namespace srm::support

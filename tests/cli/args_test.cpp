@@ -44,6 +44,25 @@ TEST(Args, GetSizeRejectsNegativeValues) {
   EXPECT_THROW((void)args.get_size("threads", 0), srm::InvalidArgument);
 }
 
+TEST(Args, KeepTracesIsABooleanSwitch) {
+  const auto with = Args::parse({"--keep-traces", "--chains", "4"});
+  EXPECT_TRUE(with.has("keep-traces"));
+  EXPECT_EQ(with.get_size("chains", 2), 4u);
+  EXPECT_TRUE(with.unused().empty());
+  const auto without = Args::parse({"--chains", "4"});
+  EXPECT_FALSE(without.has("keep-traces"));
+}
+
+TEST(Args, ThinParsesAsPositiveCount) {
+  const auto args = Args::parse({"--thin", "5"});
+  EXPECT_EQ(args.get_size("thin", 1), 5u);
+  EXPECT_TRUE(args.unused().empty());
+  const auto absent = Args::parse({});
+  EXPECT_EQ(absent.get_size("thin", 1), 1u);
+  const auto negative = Args::parse({"--thin", "-3"});
+  EXPECT_THROW((void)negative.get_size("thin", 1), srm::InvalidArgument);
+}
+
 TEST(Args, RequiredFlagMissingThrows) {
   const auto args = Args::parse({"--other", "x"});
   EXPECT_THROW(args.require_string("csv"), srm::InvalidArgument);

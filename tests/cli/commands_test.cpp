@@ -35,6 +35,33 @@ TEST(Cli, FitOnEmbeddedDataset) {
   EXPECT_NE(result.out.find("PSRF"), std::string::npos);
 }
 
+TEST(Cli, FitOutputIdenticalWithAndWithoutKeepTraces) {
+  // The streaming pipeline's bit-identity contract, end to end: fit's
+  // default streaming mode and --keep-traces must render byte-identical
+  // reports.
+  const std::vector<std::string> base{"--csv",  "sys1",       "--days",
+                                      "48",     "--model",    "model1",
+                                      "--iterations", "400",  "--burn-in",
+                                      "100"};
+  auto with = base;
+  with.push_back("--keep-traces");
+  const auto streamed = run("fit", base);
+  const auto stored = run("fit", with);
+  EXPECT_EQ(streamed.code, 0) << streamed.err;
+  EXPECT_EQ(stored.code, 0) << stored.err;
+  EXPECT_EQ(streamed.out, stored.out);
+}
+
+TEST(Cli, ThinReducesRetainedDraws) {
+  // --thin N keeps every Nth scan; the report still renders (and differs
+  // from the unthinned chain, since the retained draws differ).
+  const auto result =
+      run("fit", {"--csv", "sys1", "--days", "48", "--model", "model1",
+                  "--iterations", "100", "--burn-in", "50", "--thin", "3"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("residual bug posterior"), std::string::npos);
+}
+
 TEST(Cli, MleOnNtds) {
   const auto result = run("mle", {"--csv", "ntds"});
   EXPECT_EQ(result.code, 0) << result.err;

@@ -16,7 +16,10 @@
 #include <gtest/gtest.h>
 
 #include "core/bayes_srm.hpp"
+#include "core/streaming.hpp"
 #include "data/datasets.hpp"
+#include "diagnostics/online.hpp"
+#include "mcmc/trace.hpp"
 #include "random/rng.hpp"
 
 namespace {
@@ -143,6 +146,57 @@ TEST(ZeroAllocationKernel, PointwiseLikelihoodIntoIsAllocationFree) {
   }
   g_counting.store(false, std::memory_order_relaxed);
   EXPECT_EQ(g_allocation_count.load(std::memory_order_relaxed), 0u);
+}
+
+TEST(ZeroAllocationKernel, StreamingAccumulatorPathIsAllocationFree) {
+  // The streaming pipeline's per-draw work — scoring the pointwise row
+  // from the workspace buffers, the WAIC moments, the diagnostics shards
+  // and the residual reservoir — must not touch the heap in steady state;
+  // everything is sized at construction from the retention geometry.
+  const auto data = srm::data::sys1_grouped();
+  const BayesianSrm model(PriorKind::kPoisson, DetectionModelKind::kWeibull,
+                          data, {});
+  constexpr std::size_t kWarmup = 40;
+  constexpr std::size_t kMeasured = 100;
+  srm::core::StreamingScorer scorer(model, 1, kWarmup + kMeasured);
+  srm::diagnostics::ParameterStatsAccumulator stats(model.state_size(), 1,
+                                                    kWarmup + kMeasured);
+  srm::core::ResidualAccumulator residual(BayesianSrm::residual_index(), 1,
+                                          kWarmup + kMeasured);
+  srm::random::Rng rng(20240624);
+  auto state = model.initial_state(rng);
+  const auto workspace = model.make_workspace();
+  const auto feed = [&] {
+    model.update(state, rng, workspace.get());
+    scorer.accumulate(0, state, workspace.get());
+    stats.accumulate(0, state, workspace.get());
+    residual.accumulate(0, state, workspace.get());
+  };
+  for (std::size_t i = 0; i < kWarmup; ++i) feed();
+  g_allocation_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kMeasured; ++i) feed();
+  g_counting.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(g_allocation_count.load(std::memory_order_relaxed), 0u);
+}
+
+TEST(ZeroAllocationKernel, ReservedTraceRetentionDoesNotReallocate) {
+  // ChainTrace::reserve sizes every parameter vector for the full
+  // retention up front, so the append loop performs zero allocations —
+  // no per-draw reallocation churn while chains are being stored.
+  constexpr std::size_t kParams = 6;
+  constexpr std::size_t kDraws = 500;
+  srm::mcmc::ChainTrace trace(kParams);
+  trace.reserve(kDraws);
+  const std::vector<double> state(kParams, 1.5);
+  g_allocation_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    trace.append(state);
+  }
+  g_counting.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(g_allocation_count.load(std::memory_order_relaxed), 0u);
+  EXPECT_EQ(trace.sample_count(), kDraws);
 }
 
 /// The counter itself must work, or the zero expectations above are

@@ -33,6 +33,17 @@ TEST(ChainTrace, OutOfRangeParameterThrows) {
   EXPECT_THROW((void)trace.parameter(2), srm::InvalidArgument);
 }
 
+TEST(ChainTrace, ReservePreservesContentsAndCounts) {
+  ChainTrace trace(2);
+  trace.append(std::vector<double>{1.0, 10.0});
+  trace.reserve(100);
+  EXPECT_EQ(trace.sample_count(), 1u);
+  trace.append(std::vector<double>{2.0, 20.0});
+  EXPECT_EQ(trace.sample_count(), 2u);
+  EXPECT_DOUBLE_EQ(trace.parameter(0)[1], 2.0);
+  EXPECT_DOUBLE_EQ(trace.parameter(1)[1], 20.0);
+}
+
 TEST(McmcRun, PooledConcatenatesChainsInOrder) {
   McmcRun run({"a", "b"}, 2);
   run.chain(0).append(std::vector<double>{1.0, 10.0});

@@ -1,0 +1,166 @@
+// Tests for the online (single-pass) accumulators behind the streaming
+// posterior pipeline: OnlineMoments must reproduce the two-pass/Welford
+// helpers in stats/summary.hpp, and OnlineLogSumExp must reproduce
+// support::math::log_sum_exp, including the -inf conventions.
+#include "stats/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "random/rng.hpp"
+#include "stats/summary.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace {
+
+using srm::stats::OnlineLogSumExp;
+using srm::stats::OnlineMoments;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<double> lcg_samples(std::size_t n, double offset, double scale) {
+  srm::random::Rng rng(987654321);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(offset + scale * rng.uniform());
+  }
+  return out;
+}
+
+TEST(OnlineMoments, SequentialFeedMatchesSummaryHelpersBitwise) {
+  const auto values = lcg_samples(257, -3.0, 7.5);
+  OnlineMoments acc;
+  for (const double v : values) acc.add(v);
+  ASSERT_EQ(acc.count(), values.size());
+  // Same plain-sum mean and same Welford recurrence, in the same order:
+  // these are bit-identical, not just close.
+  EXPECT_EQ(acc.mean(), srm::stats::mean(values));
+  EXPECT_EQ(acc.sample_variance(), srm::stats::sample_variance(values));
+}
+
+TEST(OnlineMoments, SurvivesCatastrophicCancellationOffsets) {
+  // Small spread on a huge offset: the naive sum-of-squares formula loses
+  // every significant digit here (E[x^2] - mean^2 ~ 1e16 - 1e16); the
+  // Welford update must not.
+  const double offset = 1.0e8;
+  const auto values = lcg_samples(1000, offset, 1.0);
+  double naive_sq = 0.0;
+  for (const double v : values) naive_sq += v * v;
+  OnlineMoments acc;
+  for (const double v : values) acc.add(v);
+  const double reference = srm::stats::sample_variance(values);
+  EXPECT_EQ(acc.sample_variance(), reference);
+  // Uniform(0,1) on the offset: true variance 1/12.
+  EXPECT_NEAR(acc.sample_variance(), 1.0 / 12.0, 5e-3);
+  EXPECT_GT(acc.sample_variance(), 0.0);
+}
+
+TEST(OnlineMoments, MergeMatchesSequentialWithinTolerance) {
+  const auto values = lcg_samples(300, 2.0, 4.0);
+  OnlineMoments sequential;
+  for (const double v : values) sequential.add(v);
+
+  // Split into three uneven shards and merge in order.
+  OnlineMoments a;
+  OnlineMoments b;
+  OnlineMoments c;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i < 50 ? a : i < 170 ? b : c).add(values[i]);
+  }
+  a.merge(b);
+  a.merge(c);
+  ASSERT_EQ(a.count(), sequential.count());
+  // Shard-wise summation associates differently from one sequential pass,
+  // so merged statistics agree to rounding, not bit for bit. (That is why
+  // the pipeline feeds BOTH modes through the same per-chain shards and
+  // merges in chain order — the mode-vs-mode comparison stays exact.)
+  EXPECT_NEAR(a.mean(), sequential.mean(),
+              1e-13 * std::abs(sequential.mean()));
+  EXPECT_NEAR(a.sample_variance(), sequential.sample_variance(),
+              1e-12 * sequential.sample_variance());
+}
+
+TEST(OnlineMoments, MergeWithEmptyShardIsIdentity) {
+  OnlineMoments acc;
+  acc.add(1.5);
+  acc.add(-2.5);
+  const double mean_before = acc.mean();
+  const double var_before = acc.sample_variance();
+  OnlineMoments empty;
+  acc.merge(empty);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_EQ(acc.mean(), mean_before);
+  EXPECT_EQ(acc.sample_variance(), var_before);
+
+  OnlineMoments other;
+  other.merge(acc);  // merging into an empty accumulator copies the shard
+  EXPECT_EQ(other.count(), 2u);
+  EXPECT_EQ(other.mean(), mean_before);
+  EXPECT_EQ(other.sample_variance(), var_before);
+}
+
+TEST(OnlineMoments, PreconditionsOnEmptyAccumulator) {
+  OnlineMoments acc;
+  EXPECT_THROW((void)acc.mean(), srm::Error);
+  acc.add(1.0);
+  EXPECT_THROW((void)acc.sample_variance(), srm::Error);
+}
+
+TEST(OnlineLogSumExp, MatchesBatchHelperOnFiniteInput) {
+  const auto values = lcg_samples(101, -700.0, 40.0);
+  OnlineLogSumExp acc;
+  for (const double v : values) acc.add(v);
+  ASSERT_EQ(acc.count(), values.size());
+  const double reference = srm::math::log_sum_exp(values);
+  EXPECT_NEAR(acc.result(), reference, 1e-12 * std::abs(reference));
+}
+
+TEST(OnlineLogSumExp, NegInfTermsContributeZeroMass) {
+  OnlineLogSumExp acc;
+  acc.add(-kInf);
+  EXPECT_EQ(acc.result(), -kInf);  // all--inf stream: -inf, not NaN
+  acc.add(2.0);
+  acc.add(-kInf);
+  acc.add(1.0);
+  const std::vector<double> finite{2.0, 1.0};
+  EXPECT_NEAR(acc.result(), srm::math::log_sum_exp(finite), 1e-14);
+  EXPECT_EQ(acc.count(), 4u);
+}
+
+TEST(OnlineLogSumExp, EmptyAccumulatorYieldsNegInf) {
+  const OnlineLogSumExp acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.result(), -kInf);
+}
+
+TEST(OnlineLogSumExp, MergeMatchesSequentialWithinTolerance) {
+  const auto values = lcg_samples(90, -50.0, 30.0);
+  OnlineLogSumExp sequential;
+  for (const double v : values) sequential.add(v);
+
+  OnlineLogSumExp a;
+  OnlineLogSumExp b;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i < 40 ? a : b).add(values[i]);
+  }
+  a.merge(b);
+  ASSERT_EQ(a.count(), sequential.count());
+  EXPECT_NEAR(a.result(), sequential.result(),
+              1e-12 * std::abs(sequential.result()));
+
+  // Empty-shard merges are the identity in both directions.
+  OnlineLogSumExp empty;
+  const double before = a.result();
+  a.merge(empty);
+  EXPECT_EQ(a.result(), before);
+  OnlineLogSumExp copy;
+  copy.merge(a);
+  EXPECT_EQ(copy.result(), before);
+}
+
+}  // namespace

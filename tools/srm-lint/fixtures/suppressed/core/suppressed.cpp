@@ -17,4 +17,7 @@ bool endpoint(double p) {
   return p == 1.0;
 }
 
+// srm-lint: allow(nested-vector-matrix) — ragged per-group rows by design
+std::vector<std::vector<double>> ragged_groups() { return {}; }
+
 }  // namespace srm::core

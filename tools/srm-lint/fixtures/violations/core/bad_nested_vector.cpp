@@ -1,0 +1,12 @@
+#include <vector>
+
+namespace srm::core {
+
+std::vector<std::vector<double>> log_terms() {  // line 5: nested-vector-matrix
+  std::vector<std::vector<double>> m;           // line 6: nested-vector-matrix
+  std::vector<double> flat(9, 0.0);  // flat vectors stay legal
+  m.push_back(flat);
+  return m;
+}
+
+}  // namespace srm::core

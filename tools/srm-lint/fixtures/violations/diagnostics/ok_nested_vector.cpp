@@ -1,0 +1,9 @@
+#include <vector>
+
+namespace srm::diagnostics {
+
+// diagnostics/ keeps ragged per-chain views; nested-vector-matrix scopes
+// to core/ and report/ only, so this must stay clean.
+std::vector<std::vector<double>> chain_windows() { return {}; }
+
+}  // namespace srm::diagnostics

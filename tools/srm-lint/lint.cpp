@@ -319,6 +319,40 @@ void check_hot_std_function(const FileText& f, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: nested-vector-matrix
+// ---------------------------------------------------------------------------
+
+void check_nested_vector_matrix(const FileText& f,
+                                std::vector<Finding>& out) {
+  const std::string& s = f.stripped;
+  for_each_identifier(s, [&](std::string_view name, std::size_t i) {
+    if (name != "vector") return;
+    // Only the std-qualified outer template (a user type named `vector`
+    // stays legal, mirroring the other std:: rules).
+    if (i < 2 || s[i - 1] != ':' || s[i - 2] != ':') return;
+    if (ident_before(s, i - 2) != "std") return;
+    std::size_t j = skip_ws(s, i + name.size());
+    if (j >= s.size() || s[j] != '<') return;
+    j = skip_ws(s, j + 1);
+    // Optional std:: qualifier on the element type.
+    std::size_t k = j;
+    while (k < s.size() && ident_char(s[k])) ++k;
+    if (std::string_view(s).substr(j, k - j) == "std") {
+      k = skip_ws(s, k);
+      if (k + 1 >= s.size() || s[k] != ':' || s[k + 1] != ':') return;
+      j = skip_ws(s, k + 2);
+      k = j;
+      while (k < s.size() && ident_char(s[k])) ++k;
+    }
+    if (std::string_view(s).substr(j, k - j) != "vector") return;
+    report(out, f, i, "nested-vector-matrix",
+           "vector-of-vector matrix: every inner row is its own heap "
+           "allocation and pointer chase — use the flat row-major "
+           "support::Matrix");
+  });
+}
+
+// ---------------------------------------------------------------------------
 // Rule: iostream
 // ---------------------------------------------------------------------------
 
@@ -681,6 +715,9 @@ std::vector<Finding> run_lint(const fs::path& root) {
     if (!in_dir(f, "runtime/")) check_raw_thread(f, out);
     if (in_dir(f, "mcmc/") || in_dir(f, "core/")) {
       check_hot_std_function(f, out);
+    }
+    if (in_dir(f, "core/") || in_dir(f, "report/")) {
+      check_nested_vector_matrix(f, out);
     }
 
     if (is_core_or_stats && p.extension() == ".hpp") {

@@ -27,6 +27,10 @@
 //                   headers that takes scalar numeric parameters must
 //                   execute an SRM_EXPECTS precondition in its
 //                   implementation (inline body or the sibling .cpp).
+//   nested-vector-matrix No std::vector<std::vector<...>> in src/core/ or
+//                   src/report/: pointwise matrices there are hot and a
+//                   vector-of-vector pays one allocation and one pointer
+//                   chase per row — use the flat row-major support::Matrix.
 //
 // Any rule can be suppressed at a specific site with a justification
 // comment on the flagged line or the line above:

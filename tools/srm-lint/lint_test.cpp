@@ -116,6 +116,27 @@ TEST(SrmLint, HotStdFunctionRuleScopedToMcmcAndCore) {
   }
 }
 
+TEST(SrmLint, DetectsNestedVectorMatrix) {
+  const auto all = run_lint(fixture("violations"));
+  const auto hits = findings_for_rule(all, "nested-vector-matrix");
+  ASSERT_EQ(hits.size(), 2u) << "return type and local; flat vector exempt";
+  EXPECT_TRUE(has_finding(all, "core/bad_nested_vector.cpp", 5,
+                          "nested-vector-matrix"));
+  EXPECT_TRUE(has_finding(all, "core/bad_nested_vector.cpp", 6,
+                          "nested-vector-matrix"));
+}
+
+TEST(SrmLint, NestedVectorMatrixRuleScopedToCoreAndReport) {
+  // diagnostics/ok_nested_vector.cpp keeps a ragged vector-of-vector and
+  // must stay clean — only core/ and report/ are in scope.
+  const auto all = run_lint(fixture("violations"));
+  for (const auto& f : findings_for_rule(all, "nested-vector-matrix")) {
+    const bool in_scope = f.file.rfind("core/", 0) == 0 ||
+                          f.file.rfind("report/", 0) == 0;
+    EXPECT_TRUE(in_scope) << srm::lint::format_finding(f);
+  }
+}
+
 TEST(SrmLint, DetectsFloatLiteralComparisons) {
   const auto all = run_lint(fixture("violations"));
   const auto hits = findings_for_rule(all, "float-compare");
