@@ -1,0 +1,250 @@
+#include "artifact/store.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "artifact/serialize.hpp"
+#include "artifact/spec_hash.hpp"
+#include "support/error.hpp"
+
+namespace srm::artifact {
+
+namespace {
+
+using support::Json;
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path.string());
+  std::string content{std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>()};
+  if (in.bad()) throw Error("cannot read " + path.string());
+  return content;
+}
+
+/// Write-to-temp-then-rename: readers of `path` only ever see a complete
+/// file, and a killed run leaves at worst a stray .tmp that the next run
+/// overwrites.
+void write_atomic(const std::filesystem::path& path,
+                  const std::string& content) {
+  const std::filesystem::path temp = path.string() + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    out << content;
+    out.close();
+    if (!out) throw Error("cannot write " + temp.string());
+  }
+  std::filesystem::rename(temp, path);
+}
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(std::filesystem::path dir,
+                             const data::BugCountData& base,
+                             const report::SweepOptions& options, bool resume)
+    : dir_(std::move(dir)),
+      base_(base),
+      sweep_hash_(sweep_hash(base, options)),
+      options_json_(to_json(options)) {
+  SRM_EXPECTS(!options.observation_days.empty(),
+              "an artifact store needs at least one observation day");
+
+  // Lay the grid out exactly as run_sweep does, so slot order (and with it
+  // the manifest's cell order and budget semantics) matches plan order.
+  for (const auto prior :
+       {core::PriorKind::kPoisson, core::PriorKind::kNegativeBinomial}) {
+    for (const auto model : core::all_detection_model_kinds()) {
+      core::ExperimentSpec spec;
+      spec.prior = prior;
+      spec.model = model;
+      spec.config = options.config_for(prior, model);
+      spec.gibbs = options.gibbs;
+      spec.observation_days = options.observation_days;
+      spec.eventual_total = options.eventual_total;
+      for (const auto day : options.observation_days) {
+        CellSlot slot;
+        slot.hash = cell_hash(base_, spec, day);
+        slot.prior = core::to_string(prior);
+        slot.model = core::to_string(model);
+        slot.observation_day = day;
+        slots_.push_back(std::move(slot));
+      }
+    }
+  }
+
+  const auto manifest_path = dir_ / "manifest.json";
+  if (std::filesystem::exists(manifest_path)) {
+    SRM_EXPECTS(resume,
+                "artifact directory " + dir_.string() +
+                    " already holds a manifest; pass --resume to continue it");
+    const Json manifest = Json::parse(read_file(manifest_path));
+    const auto schema = manifest.at("schema_version").as_int();
+    if (schema != kSchemaVersion) {
+      throw InvalidArgument("artifact directory " + dir_.string() +
+                            " has schema version " + std::to_string(schema) +
+                            ", this build expects " +
+                            std::to_string(kSchemaVersion));
+    }
+    const auto& stored_hash = manifest.at("sweep_hash").as_string();
+    if (stored_hash != sweep_hash_) {
+      throw InvalidArgument(
+          "artifact directory " + dir_.string() +
+          " was produced by a different sweep configuration (stored sweep "
+          "hash " +
+          stored_hash + ", requested " + sweep_hash_ + ")");
+    }
+  }
+
+  std::filesystem::create_directories(dir_ / "cells");
+  for (auto& slot : slots_) {
+    slot.done = std::filesystem::exists(cell_path(slot.hash));
+    if (slot.done) ++preexisting_;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  write_manifest_locked(all_cells_done() &&
+                        std::filesystem::exists(dir_ / "sweep.json"));
+}
+
+std::filesystem::path ArtifactStore::cell_path(const std::string& hash) const {
+  return dir_ / "cells" / (hash + ".json");
+}
+
+ArtifactStore::Plan ArtifactStore::plan(const core::ExperimentSpec& spec,
+                                        std::size_t observation_day,
+                                        core::ObservationResult& reuse_out) {
+  const std::string hash = cell_hash(base_, spec, observation_day);
+  const CellSlot* slot = nullptr;
+  for (const auto& candidate : slots_) {
+    if (candidate.hash == hash) slot = &candidate;
+  }
+  SRM_EXPECTS(slot != nullptr,
+              "planned cell " + hash + " is not part of this artifact's sweep");
+  if (slot->done) {
+    const Json cell = Json::parse(read_file(cell_path(hash)));
+    const auto& stored_hash = cell.at("hash").as_string();
+    if (stored_hash != hash) {
+      throw InvalidArgument("artifact cell " + cell_path(hash).string() +
+                            " records hash " + stored_hash +
+                            " — the file was moved or corrupted");
+    }
+    reuse_out = observation_result_from_json(cell.at("result"));
+    return Plan::kReuse;
+  }
+  if (budget_ != 0 && fresh_planned_ >= budget_) return Plan::kSkip;
+  ++fresh_planned_;
+  return Plan::kCompute;
+}
+
+void ArtifactStore::on_computed(const core::ExperimentSpec& spec,
+                                std::size_t observation_day,
+                                const core::ObservationResult& result) {
+  const std::string hash = cell_hash(base_, spec, observation_day);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CellSlot* slot = nullptr;
+  for (auto& candidate : slots_) {
+    if (candidate.hash == hash) slot = &candidate;
+  }
+  SRM_EXPECTS(slot != nullptr,
+              "computed cell " + hash +
+                  " is not part of this artifact's sweep");
+
+  Json cell = Json::Object{};
+  cell.set("schema_version", kSchemaVersion);
+  cell.set("hash", hash);
+  cell.set("prior", slot->prior);
+  cell.set("model", slot->model);
+  cell.set("observation_day", Json::from_unsigned(observation_day));
+  cell.set("result", to_json(result));
+  write_atomic(cell_path(hash), cell.dump(2));
+
+  slot->done = true;
+  ++sampled_;
+  write_manifest_locked(false);
+}
+
+void ArtifactStore::finalize(const report::SweepResult& sweep) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SRM_EXPECTS(all_cells_done(),
+              "cannot finalize a partial artifact directory (skipped cells "
+              "remain; rerun with --resume and no budget)");
+  write_atomic(dir_ / "sweep.json", to_json(sweep).dump(2));
+  write_manifest_locked(true);
+}
+
+void ArtifactStore::record_run(const report::SweepExecution& execution) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto runs_path = dir_ / "runs.json";
+  Json runs = Json::Array{};
+  if (std::filesystem::exists(runs_path)) {
+    runs = Json::parse(read_file(runs_path));
+  }
+  Json entry = Json::Object{};
+  entry.set("cells_total", Json::from_unsigned(execution.cells_total));
+  entry.set("cells_reused", Json::from_unsigned(execution.cells_reused));
+  entry.set("cells_sampled", Json::from_unsigned(sampled_));
+  entry.set("cells_skipped", Json::from_unsigned(execution.cells_skipped));
+  entry.set("complete", execution.complete());
+  runs.push_back(std::move(entry));
+  write_atomic(runs_path, runs.dump(2));
+}
+
+std::size_t ArtifactStore::cells_sampled_this_run() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sampled_;
+}
+
+bool ArtifactStore::all_cells_done() const {
+  for (const auto& slot : slots_) {
+    if (!slot.done) return false;
+  }
+  return true;
+}
+
+void ArtifactStore::write_manifest_locked(bool finalized) const {
+  Json manifest = Json::Object{};
+  manifest.set("schema_version", kSchemaVersion);
+  manifest.set("library_version", kLibraryVersion);
+  manifest.set("sweep_hash", sweep_hash_);
+
+  Json dataset = Json::Object{};
+  dataset.set("name", base_.name());
+  dataset.set("days", Json::from_unsigned(base_.days()));
+  dataset.set("total", base_.total());
+  Json::Array counts;
+  counts.reserve(base_.days());
+  for (const auto count : base_.counts()) counts.push_back(count);
+  dataset.set("counts", std::move(counts));
+  manifest.set("dataset", std::move(dataset));
+
+  manifest.set("options", options_json_);
+  manifest.set("status", finalized ? "complete" : "partial");
+  manifest.set("cells_total", Json::from_unsigned(slots_.size()));
+  std::size_t done = 0;
+  Json::Array cells;
+  cells.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    if (slot.done) ++done;
+    Json entry = Json::Object{};
+    entry.set("hash", slot.hash);
+    entry.set("prior", slot.prior);
+    entry.set("model", slot.model);
+    entry.set("observation_day", Json::from_unsigned(slot.observation_day));
+    entry.set("file", "cells/" + slot.hash + ".json");
+    entry.set("status", slot.done ? "done" : "pending");
+    cells.push_back(std::move(entry));
+  }
+  manifest.set("cells_done", Json::from_unsigned(done));
+  manifest.set("cells", std::move(cells));
+  write_atomic(dir_ / "manifest.json", manifest.dump(2));
+}
+
+report::SweepResult ArtifactStore::load_sweep(
+    const std::filesystem::path& dir) {
+  const auto path = dir / "sweep.json";
+  SRM_EXPECTS(std::filesystem::exists(path),
+              "no sweep.json in " + dir.string() +
+                  " — the artifact directory was never finalized");
+  return sweep_result_from_json(Json::parse(read_file(path)));
+}
+
+}  // namespace srm::artifact

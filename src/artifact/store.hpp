@@ -1,0 +1,123 @@
+// ArtifactStore — the persistent, resumable backing directory of a sweep.
+//
+// Directory layout (all JSON pretty-printed, written atomically via
+// write-to-temp-then-rename so a killed run never leaves a torn file):
+//
+//   <dir>/manifest.json   sweep identity (schema version, library version,
+//                         sweep hash, dataset, options) plus every cell of
+//                         the grid in layout order with its status. It is
+//                         rewritten after each completed cell, and its final
+//                         (all cells done, finalized) form is a pure
+//                         function of the sweep spec — byte-identical
+//                         whether the sweep ran straight through or was
+//                         interrupted and resumed.
+//   <dir>/cells/<hash>.json
+//                         one completed observation cell, keyed by its spec
+//                         hash (artifact/spec_hash.hpp).
+//   <dir>/sweep.json      the fully assembled SweepResult; written by
+//                         finalize() only once every cell is done.
+//   <dir>/runs.json       append-only run log: one entry per run with the
+//                         number of cells it reused, freshly sampled, and
+//                         skipped. This is the ONLY file whose content
+//                         depends on run history — byte-identity checks
+//                         between artifact directories exclude it, and
+//                         resume tests read it to prove completed cells
+//                         were not re-sampled.
+//
+// Concurrency: plan() runs serially before sampling starts (the
+// ObservationStore contract); on_computed() may arrive from any worker
+// thread and is serialized by an internal mutex.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "data/bug_count_data.hpp"
+#include "report/sweep.hpp"
+#include "support/json.hpp"
+
+namespace srm::artifact {
+
+/// Artifact directory schema version; bumped on any layout or
+/// serialization change so stale directories fail loudly instead of being
+/// misread.
+inline constexpr std::int64_t kSchemaVersion = 1;
+
+/// Library identity stamped into manifests.
+inline constexpr const char* kLibraryVersion = "bayes-srm 0.5.0";
+
+class ArtifactStore final : public core::ObservationStore {
+ public:
+  /// Opens `dir` for the sweep described by (base, options).
+  ///
+  /// resume == false requires the directory to hold no manifest (a fresh
+  /// start; the directory itself may pre-exist empty). resume == true
+  /// accepts an existing artifact directory, validating its schema version
+  /// and sweep hash against the requested configuration — a mismatch
+  /// throws srm::InvalidArgument rather than silently mixing results —
+  /// and replays every cell whose file is already on disk. Resuming a
+  /// directory with no manifest degrades to a fresh start.
+  ArtifactStore(std::filesystem::path dir, const data::BugCountData& base,
+                const report::SweepOptions& options, bool resume);
+
+  /// Caps the number of freshly sampled cells this run will plan
+  /// (further cells return Plan::kSkip). Deterministic-interruption hook
+  /// for tests and CI; 0 means unlimited. Must be set before run_sweep.
+  void set_max_fresh_cells(std::size_t budget) { budget_ = budget; }
+
+  // --- core::ObservationStore ---------------------------------------------
+  Plan plan(const core::ExperimentSpec& spec, std::size_t observation_day,
+            core::ObservationResult& reuse_out) override;
+  void on_computed(const core::ExperimentSpec& spec,
+                   std::size_t observation_day,
+                   const core::ObservationResult& result) override;
+
+  /// Writes sweep.json from the assembled result and marks the manifest
+  /// complete. Only valid once every cell is done (partial runs must not
+  /// finalize); enforced with SRM_EXPECTS.
+  void finalize(const report::SweepResult& sweep);
+
+  /// Appends this run's entry (reused / sampled / skipped counters and
+  /// completion flag) to runs.json. Call once, after the sweep returns.
+  void record_run(const report::SweepExecution& execution);
+
+  /// Cells freshly sampled through this store instance so far.
+  [[nodiscard]] std::size_t cells_sampled_this_run() const;
+  /// Cells already on disk when this store opened (reused on plan()).
+  [[nodiscard]] std::size_t cells_preexisting() const { return preexisting_; }
+  [[nodiscard]] bool all_cells_done() const;
+  [[nodiscard]] const std::string& hash() const { return sweep_hash_; }
+  [[nodiscard]] const std::filesystem::path& directory() const { return dir_; }
+
+  /// Loads the assembled SweepResult from a finalized artifact directory.
+  static report::SweepResult load_sweep(const std::filesystem::path& dir);
+
+ private:
+  struct CellSlot {
+    std::string hash;
+    std::string prior;
+    std::string model;
+    std::size_t observation_day = 0;
+    bool done = false;
+  };
+
+  void write_manifest_locked(bool finalized) const;
+  [[nodiscard]] std::filesystem::path cell_path(const std::string& hash) const;
+
+  std::filesystem::path dir_;
+  data::BugCountData base_;
+  std::string sweep_hash_;
+  support::Json options_json_;
+  std::vector<CellSlot> slots_;           ///< grid layout order
+  std::size_t budget_ = 0;                ///< 0 = unlimited
+  std::size_t fresh_planned_ = 0;
+  std::size_t sampled_ = 0;
+  std::size_t preexisting_ = 0;
+  mutable std::mutex mutex_;              ///< guards slots_/sampled_/files
+};
+
+}  // namespace srm::artifact

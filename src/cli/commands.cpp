@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
+#include "artifact/serialize.hpp"
+#include "artifact/store.hpp"
 #include "core/experiment.hpp"
 #include "core/loo.hpp"
 #include "core/streaming.hpp"
@@ -15,17 +18,23 @@
 #include "data/generator.hpp"
 #include "mle/mle_fit.hpp"
 #include "nhpp/nhpp_fit.hpp"
+#include "report/sweep.hpp"
+#include "report/tables.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/csv.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
 
 namespace srm::cli {
 
 namespace {
 
-data::BugCountData load_dataset(const Args& args) {
-  const std::string source = args.require_string("csv");
+data::BugCountData load_dataset(const Args& args,
+                                const std::string& fallback = "") {
+  const std::string source = fallback.empty()
+                                 ? args.require_string("csv")
+                                 : args.get_string("csv", fallback);
   data::BugCountData data = [&] {
     if (source == "sys1") return data::sys1_grouped();
     if (source == "ntds") return data::ntds_grouped();
@@ -52,16 +61,23 @@ core::PriorKind parse_prior(const Args& args) {
                         "' (use poisson|negbin)");
 }
 
+/// "model0|model1|...": the accepted --model values, straight from the
+/// detection-model registry so this text can never drift from the enum.
+std::string model_names_joined() {
+  std::string joined;
+  for (const auto& name : core::detection_model_names()) {
+    if (!joined.empty()) joined += '|';
+    joined += name;
+  }
+  return joined;
+}
+
 core::DetectionModelKind parse_model(const Args& args,
                                      const std::string& fallback = "model1") {
   const std::string name = args.get_string("model", fallback);
-  for (const auto kind : core::all_detection_model_kinds()) {
-    if (core::to_string(kind) == name) return kind;
-  }
-  for (const auto kind : core::extended_detection_model_kinds()) {
-    if (core::to_string(kind) == name) return kind;
-  }
-  throw InvalidArgument("unknown --model '" + name + "' (use model0..model6)");
+  if (const auto kind = core::detection_model_from_string(name)) return *kind;
+  throw InvalidArgument("unknown --model '" + name + "' (use " +
+                        model_names_joined() + ")");
 }
 
 mcmc::GibbsOptions parse_gibbs(const Args& args) {
@@ -105,6 +121,23 @@ void reject_unused(const Args& args) {
   }
 }
 
+/// "48,67,86" -> {48, 67, 86}.
+std::vector<std::size_t> parse_day_list(const std::string& text) {
+  std::vector<std::size_t> days;
+  std::size_t start = 0;
+  while (true) {
+    const auto comma = text.find(',', start);
+    const auto length =
+        comma == std::string::npos ? text.size() - start : comma - start;
+    const auto value = support::parse_count(text.substr(start, length));
+    SRM_EXPECTS(value > 0, "--obs-days entries must be positive");
+    days.push_back(static_cast<std::size_t>(value));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return days;
+}
+
 }  // namespace
 
 int run_fit(const Args& args, std::ostream& out) {
@@ -115,9 +148,21 @@ int run_fit(const Args& args, std::ostream& out) {
   spec.config = parse_config(args);
   spec.gibbs = parse_gibbs(args);
   spec.eventual_total = data.total();
+  const std::string format = args.get_string("format", "table");
+  SRM_EXPECTS(format == "table" || format == "json",
+              "unknown --format '" + format + "' (use table|json)");
   reject_unused(args);
 
   const auto result = core::run_observation(data, spec, data.days());
+  if (format == "json") {
+    support::Json json = support::Json::Object{};
+    json.set("dataset", data.name());
+    json.set("prior", core::to_string(spec.prior));
+    json.set("model", core::to_string(spec.model));
+    json.set("result", artifact::to_json(result));
+    out << json.dump(2);
+    return 0;
+  }
   out << "dataset: " << data.name() << " (" << data.total() << " bugs / "
       << data.days() << " days)\n";
   out << "model: " << core::to_string(spec.prior) << " prior, "
@@ -145,6 +190,9 @@ int run_select(const Args& args, std::ostream& out) {
   const auto data = load_dataset(args);
   const auto gibbs = parse_gibbs(args);
   const auto config = parse_config(args);
+  const std::string format = args.get_string("format", "table");
+  SRM_EXPECTS(format == "table" || format == "json",
+              "unknown --format '" + format + "' (use table|json)");
   reject_unused(args);
 
   struct Row {
@@ -189,6 +237,20 @@ int run_select(const Args& args, std::ostream& out) {
   }
   std::sort(rows.begin(), rows.end(),
             [](const Row& a, const Row& b) { return a.waic < b.waic; });
+  if (format == "json") {
+    support::Json ranking = support::Json::Array{};
+    for (const auto& row : rows) {
+      support::Json entry = support::Json::Object{};
+      entry.set("prior", row.prior);
+      entry.set("model", row.model);
+      entry.set("waic", row.waic);
+      entry.set("looic", row.looic);
+      entry.set("residual_mean", row.residual_mean);
+      ranking.push_back(std::move(entry));
+    }
+    out << ranking.dump(2);
+    return 0;
+  }
   support::Table t("model ranking (by WAIC; smaller is better)");
   t.set_header({"rank", "prior", "model", "WAIC", "looic", "residual mean"});
   for (std::size_t r = 0; r < rows.size(); ++r) {
@@ -349,6 +411,91 @@ int run_release(const Args& args, std::ostream& out) {
   return 0;
 }
 
+int run_sweep(const Args& args, std::ostream& out) {
+  const std::string source = args.get_string("csv", "sys1");
+  const auto data = load_dataset(args, "sys1");
+  auto options = report::paper_sweep_options();
+  if (source != "sys1") {
+    // The paper's observation grid and eventual total are SYS1-specific;
+    // for another dataset default to a single observation at the end of
+    // the series (override with --obs-days / --total).
+    options.observation_days = {data.days()};
+    options.eventual_total = data.total();
+  }
+  if (args.has("smoke")) {
+    // CI-scale settings: same grid shape, two observation points and a
+    // short chain per cell.
+    options.gibbs.burn_in = 50;
+    options.gibbs.iterations = 200;
+    if (source == "sys1") options.observation_days = {48, 146};
+  }
+  if (args.has("obs-days")) {
+    options.observation_days = parse_day_list(args.require_string("obs-days"));
+  }
+  options.eventual_total = args.get_int("total", options.eventual_total);
+  options.gibbs.chain_count = args.get_size("chains", options.gibbs.chain_count);
+  options.gibbs.burn_in = args.get_size("burn-in", options.gibbs.burn_in);
+  options.gibbs.iterations =
+      args.get_size("iterations", options.gibbs.iterations);
+  options.gibbs.thin = args.get_size("thin", options.gibbs.thin);
+  options.gibbs.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(options.gibbs.seed)));
+  if (args.has("keep-traces")) options.gibbs.keep_traces = true;
+  options.base_config.lambda_max =
+      args.get_double("lambda-max", options.base_config.lambda_max);
+  options.base_config.alpha_max =
+      args.get_double("alpha-max", options.base_config.alpha_max);
+  options.base_config.limits.theta_max =
+      args.get_double("theta-max", options.base_config.limits.theta_max);
+  if (args.has("jeffreys")) options.base_config.jeffreys_lambda0 = true;
+
+  const std::string out_dir = args.get_string("out", "");
+  const bool resume = args.has("resume");
+  const auto max_cells = args.get_size("max-cells", 0);
+  const std::string format = args.get_string("format", "table");
+  SRM_EXPECTS(format == "table" || format == "json" || format == "csv",
+              "unknown --format '" + format + "' (use table|json|csv)");
+  SRM_EXPECTS(!out_dir.empty() || (!resume && max_cells == 0),
+              "--resume and --max-cells require --out DIR");
+  reject_unused(args);
+
+  std::optional<artifact::ArtifactStore> store;
+  if (!out_dir.empty()) {
+    store.emplace(out_dir, data, options, resume);
+    store->set_max_fresh_cells(max_cells);
+  }
+  report::SweepExecution exec;
+  const auto sweep =
+      report::run_sweep(data, options, store ? &*store : nullptr, &exec);
+  if (store) store->record_run(exec);
+  if (!exec.complete()) {
+    out << "partial sweep: " << (exec.cells_computed + exec.cells_reused)
+        << "/" << exec.cells_total << " cells done (" << exec.cells_computed
+        << " sampled this run, " << exec.cells_reused << " reused, "
+        << exec.cells_skipped
+        << " skipped); rerun with --resume to continue\n";
+    return 3;
+  }
+  if (store) store->finalize(sweep);
+
+  if (format == "json") {
+    out << artifact::to_json(sweep).dump(2);
+  } else if (format == "csv") {
+    support::write_csv(out, report::sweep_csv_rows(sweep));
+  } else {
+    out << report::render_waic_table(sweep);
+    out << report::render_posterior_table(sweep,
+                                          report::PosteriorStatistic::kMean);
+    out << report::render_posterior_table(sweep,
+                                          report::PosteriorStatistic::kMedian);
+    out << report::render_posterior_table(sweep,
+                                          report::PosteriorStatistic::kMode);
+    out << report::render_posterior_table(sweep,
+                                          report::PosteriorStatistic::kStdDev);
+  }
+  return 0;
+}
+
 std::string usage() {
   return
       "usage: srm_cli <command> [--flags]\n"
@@ -360,8 +507,14 @@ std::string usage() {
       "  nhpp      continuous-time NHPP maximum likelihood baseline\n"
       "  simulate  generate bug-count data from a detection model\n"
       "  release   cost-optimal release day from the residual posterior\n"
+      "  sweep     full prior x model x observation-day grid (paper tables);\n"
+      "            --out DIR persists spec-hashed artifacts, --resume skips\n"
+      "            completed cells, --format table|json|csv, --smoke for a\n"
+      "            CI-scale grid, --max-cells N caps fresh cells (exit 3\n"
+      "            marks a partial run), --obs-days D1,D2,..., --total N\n"
       "common flags: --csv FILE|sys1|ntds, --days N, --prior poisson|negbin,\n"
-      "  --model model0..model4, --chains, --burn-in, --iterations, --seed,\n"
+      "  --model " + model_names_joined() +
+      ", --chains, --burn-in, --iterations, --seed,\n"
       "  --thin N        keep every N-th retained scan (default 1)\n"
       "  --keep-traces   store full chains instead of streaming accumulators\n"
       "                  (identical output; only memory use differs)\n"
@@ -384,6 +537,7 @@ int dispatch(const std::string& command,
     if (command == "nhpp") return run_nhpp(args, out);
     if (command == "simulate") return run_simulate(args, out);
     if (command == "release") return run_release(args, out);
+    if (command == "sweep") return run_sweep(args, out);
     err << "unknown command '" << command << "'\n" << usage();
     return 1;
   } catch (const Error& e) {

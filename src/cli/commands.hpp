@@ -33,6 +33,11 @@ int run_mle(const Args& args, std::ostream& out);
 int run_nhpp(const Args& args, std::ostream& out);
 int run_simulate(const Args& args, std::ostream& out);
 int run_release(const Args& args, std::ostream& out);
+/// The full evaluation grid with optional persistent artifacts: --out DIR
+/// writes a spec-hashed artifact directory (src/artifact/), --resume skips
+/// cells already on disk, --max-cells N caps freshly sampled cells and a
+/// partial run exits with code 3 instead of printing tables.
+int run_sweep(const Args& args, std::ostream& out);
 
 /// Dispatches `command` and catches library errors into exit code 2.
 int dispatch(const std::string& command,

@@ -29,6 +29,23 @@ std::string to_string(PriorKind prior) {
   return prior == PriorKind::kPoisson ? "poisson" : "negbin";
 }
 
+std::optional<PriorKind> prior_kind_from_string(const std::string& name) {
+  if (name == "poisson") return PriorKind::kPoisson;
+  if (name == "negbin") return PriorKind::kNegativeBinomial;
+  return std::nullopt;
+}
+
+std::string to_string(SamplerScheme scheme) {
+  return scheme == SamplerScheme::kCollapsed ? "collapsed" : "vanilla";
+}
+
+std::optional<SamplerScheme> sampler_scheme_from_string(
+    const std::string& name) {
+  if (name == "collapsed") return SamplerScheme::kCollapsed;
+  if (name == "vanilla") return SamplerScheme::kVanilla;
+  return std::nullopt;
+}
+
 BayesianSrm::BayesianSrm(PriorKind prior, DetectionModelKind model_kind,
                          data::BugCountData data, HyperPriorConfig config)
     : prior_(prior),

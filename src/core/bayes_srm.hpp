@@ -21,6 +21,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -54,6 +55,16 @@ enum class SamplerScheme {
 
 /// "poisson" / "negbin".
 std::string to_string(PriorKind prior);
+
+/// Inverse of to_string(PriorKind); nullopt for unknown names.
+std::optional<PriorKind> prior_kind_from_string(const std::string& name);
+
+/// "collapsed" / "vanilla".
+std::string to_string(SamplerScheme scheme);
+
+/// Inverse of to_string(SamplerScheme); nullopt for unknown names.
+std::optional<SamplerScheme> sampler_scheme_from_string(
+    const std::string& name);
 
 /// Upper limits of the uniform hyperpriors — the quantities the paper tunes
 /// by WAIC minimization (Section 5.1) — plus the optional Jeffreys variant

@@ -516,6 +516,28 @@ std::string to_string(DetectionModelKind kind) {
   return "model" + std::to_string(static_cast<int>(kind));
 }
 
+std::optional<DetectionModelKind> detection_model_from_string(
+    const std::string& name) {
+  for (const auto kind : all_detection_model_kinds()) {
+    if (to_string(kind) == name) return kind;
+  }
+  for (const auto kind : extended_detection_model_kinds()) {
+    if (to_string(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> detection_model_names() {
+  std::vector<std::string> names;
+  for (const auto kind : all_detection_model_kinds()) {
+    names.push_back(to_string(kind));
+  }
+  for (const auto kind : extended_detection_model_kinds()) {
+    names.push_back(to_string(kind));
+  }
+  return names;
+}
+
 double DetectionModel::log_survival(std::size_t day,
                                     std::span<const double> zeta) const {
   SRM_EXPECTS(day >= 1 && zeta.size() == parameter_count(),

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -46,6 +47,18 @@ std::span<const DetectionModelKind> extended_detection_model_kinds();
 
 /// "model0" .. "model4".
 std::string to_string(DetectionModelKind kind);
+
+/// Inverse of to_string over BOTH registries (paper + extensions): the kind
+/// whose to_string equals `name`, or nullopt. Callers that accept model
+/// names (CLI flags, artifact deserialization) resolve through this so the
+/// accepted-name set can never drift from the enum.
+std::optional<DetectionModelKind> detection_model_from_string(
+    const std::string& name);
+
+/// Every registered kind name ("model0", "model1", ...), in registry order
+/// (paper kinds first, then extensions) — the single source of truth for
+/// help and error text listing the accepted --model values.
+std::vector<std::string> detection_model_names();
 
 /// Support bounds for one component of zeta. The uniform hyperprior lives
 /// on the open interval (lower, upper).

@@ -52,13 +52,45 @@ struct ExperimentSpec {
   std::int64_t eventual_total = 0;
 };
 
+/// Persistence hook for experiment drivers (run_experiment, run_sweep):
+/// lets already-computed observation cells be replayed from a store instead
+/// of re-sampled, and streams freshly computed cells out as they finish.
+/// The artifact layer (src/artifact/ArtifactStore) is the production
+/// implementation; tests install counting fakes.
+class ObservationStore {
+ public:
+  /// Scheduling decision for one (spec, observation day) cell.
+  enum class Plan {
+    kCompute,  ///< sample the cell and report it via on_computed()
+    kReuse,    ///< use the stored result filled into `reuse_out`
+    kSkip,     ///< leave the cell unfilled (budget exhausted / partial run)
+  };
+
+  virtual ~ObservationStore() = default;
+
+  /// Called serially, in grid layout order, before any sampling starts.
+  /// Returning kReuse requires `reuse_out` to be fully populated.
+  virtual Plan plan(const ExperimentSpec& spec, std::size_t observation_day,
+                    ObservationResult& reuse_out) = 0;
+
+  /// Called once per kCompute cell when its sampling finishes. May be
+  /// invoked from a worker thread; implementations must be thread-safe.
+  virtual void on_computed(const ExperimentSpec& spec,
+                           std::size_t observation_day,
+                           const ObservationResult& result) = 0;
+};
+
 /// The dataset as seen at one observation day (truncate + zero-pad).
 data::BugCountData dataset_at_observation(const data::BugCountData& base,
                                           std::size_t observation_day);
 
-/// Runs one (prior, model) SRM across all observation days.
+/// Runs one (prior, model) SRM across all observation days. With a store,
+/// each day is planned through it first: kReuse days replay the stored
+/// result bit-identically (no sampling), kSkip days are omitted from the
+/// returned vector, and freshly computed days are reported back.
 std::vector<ObservationResult> run_experiment(const data::BugCountData& base,
-                                              const ExperimentSpec& spec);
+                                              const ExperimentSpec& spec,
+                                              ObservationStore* store = nullptr);
 
 /// Runs a single observation day; exposed for tests and examples.
 ObservationResult run_observation(const data::BugCountData& base,

@@ -36,7 +36,9 @@ const SweepCell& SweepResult::cell(core::PriorKind prior,
 }
 
 SweepResult run_sweep(const data::BugCountData& base,
-                      const SweepOptions& options) {
+                      const SweepOptions& options,
+                      core::ObservationStore* store,
+                      SweepExecution* execution) {
   SRM_EXPECTS(!options.observation_days.empty(),
               "sweep requires observation days");
   SweepResult sweep;
@@ -69,16 +71,58 @@ SweepResult run_sweep(const data::BugCountData& base,
     }
   }
 
-  runtime::TaskGroup group;
+  SweepExecution exec;
+  exec.cells_total = sweep.cells.size() * options.observation_days.size();
+
+  // Plan every cell serially (store implementations need not lock here),
+  // splicing reused results into their slots, then fan the remaining
+  // kCompute cells out on the pool. The plan order is the fixed grid
+  // layout order, so budgets ("first N fresh cells") are deterministic for
+  // any worker count.
+  struct Pending {
+    std::size_t ci;
+    std::size_t di;
+  };
+  std::vector<Pending> pending;
   for (std::size_t ci = 0; ci < sweep.cells.size(); ++ci) {
     for (std::size_t di = 0; di < options.observation_days.size(); ++di) {
-      group.run([&base, &sweep, &specs, &options, ci, di] {
-        sweep.cells[ci].results[di] = core::run_observation(
-            base, specs[ci], options.observation_days[di]);
-      });
+      if (store == nullptr) {
+        pending.push_back({ci, di});
+        ++exec.cells_computed;
+        continue;
+      }
+      core::ObservationResult stored;
+      switch (store->plan(specs[ci], options.observation_days[di], stored)) {
+        case core::ObservationStore::Plan::kReuse:
+          sweep.cells[ci].results[di] = std::move(stored);
+          ++exec.cells_reused;
+          break;
+        case core::ObservationStore::Plan::kSkip:
+          ++exec.cells_skipped;
+          break;
+        case core::ObservationStore::Plan::kCompute:
+          pending.push_back({ci, di});
+          ++exec.cells_computed;
+          break;
+      }
     }
   }
+
+  runtime::TaskGroup group;
+  for (const auto& [ci, di] : pending) {
+    group.run([&base, &sweep, &specs, &options, store, ci, di] {
+      sweep.cells[ci].results[di] = core::run_observation(
+          base, specs[ci], options.observation_days[di]);
+      if (store != nullptr) {
+        // Worker-thread callback; the store contract requires this to be
+        // thread-safe.
+        store->on_computed(specs[ci], options.observation_days[di],
+                           sweep.cells[ci].results[di]);
+      }
+    });
+  }
   group.wait();
+  if (execution != nullptr) *execution = exec;
   return sweep;
 }
 

@@ -19,17 +19,23 @@ struct SweepOptions {
   /// can be installed with `set_override`.
   core::HyperPriorConfig base_config{};
 
-  void set_override(core::PriorKind prior, core::DetectionModelKind model,
-                    core::HyperPriorConfig config);
-  [[nodiscard]] core::HyperPriorConfig config_for(
-      core::PriorKind prior, core::DetectionModelKind model) const;
-
- private:
+  /// One per-cell hyperprior override.
   struct Override {
     core::PriorKind prior;
     core::DetectionModelKind model;
     core::HyperPriorConfig config;
   };
+
+  void set_override(core::PriorKind prior, core::DetectionModelKind model,
+                    core::HyperPriorConfig config);
+  [[nodiscard]] core::HyperPriorConfig config_for(
+      core::PriorKind prior, core::DetectionModelKind model) const;
+  /// Installed overrides, in insertion order (for canonical serialization).
+  [[nodiscard]] const std::vector<Override>& overrides() const {
+    return overrides_;
+  }
+
+ private:
   std::vector<Override> overrides_;
 };
 
@@ -49,12 +55,35 @@ struct SweepResult {
                                       core::DetectionModelKind model) const;
 };
 
+/// Where each cell of a store-backed sweep came from. cells_skipped > 0
+/// marks a partial run (a budgeted or interrupted sweep): the skipped
+/// result slots are left default-constructed (observation_day == 0) and
+/// the SweepResult must not be projected into tables or a final artifact.
+struct SweepExecution {
+  std::size_t cells_total = 0;
+  std::size_t cells_computed = 0;  ///< freshly sampled this run
+  std::size_t cells_reused = 0;    ///< replayed from the store
+  std::size_t cells_skipped = 0;   ///< left unfilled (budget exhausted)
+
+  [[nodiscard]] bool complete() const { return cells_skipped == 0; }
+};
+
 /// Runs every (prior, model, observation day) combination. The cells are
 /// independent posteriors and are scheduled on the shared srm::runtime
 /// pool; the output is bit-identical for any worker count (size the pool
 /// with --threads / SRM_THREADS / ThreadPool::set_global_thread_count).
+///
+/// With a store, every cell is planned through it (serially, in layout
+/// order) before anything runs: kReuse cells are filled from the store and
+/// never sampled, kSkip cells are left unfilled, and only kCompute cells
+/// are scheduled on the pool (each reports back via on_computed from its
+/// worker thread). Reused results splice into the same pre-sized slots the
+/// sampler would have written, so a resumed sweep assembles a SweepResult
+/// bit-identical to an uninterrupted one.
 SweepResult run_sweep(const data::BugCountData& base,
-                      const SweepOptions& options);
+                      const SweepOptions& options,
+                      core::ObservationStore* store = nullptr,
+                      SweepExecution* execution = nullptr);
 
 /// The paper's SYS1 experimental setup with laptop-scale MCMC defaults:
 /// observation days {48,67,86,96,106,116,126,136,146}, eventual total 136,

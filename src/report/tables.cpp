@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
 
 namespace srm::report {
@@ -201,6 +202,28 @@ std::string render_diagnostics_table(const SweepResult& sweep,
   }
   out << t.render();
   return out.str();
+}
+
+support::CsvRows sweep_csv_rows(const SweepResult& sweep) {
+  support::CsvRows rows;
+  rows.push_back({"prior", "model", "observation_day", "detected_so_far",
+                  "actual_residual", "waic", "posterior_mean",
+                  "posterior_median", "posterior_mode", "posterior_sd"});
+  for (const auto& cell : sweep.cells) {
+    for (std::size_t d = 0; d < sweep.observation_days.size(); ++d) {
+      const auto& result = cell.results[d];
+      const auto& s = result.posterior.summary;
+      rows.push_back({core::to_string(cell.prior), core::to_string(cell.model),
+                      std::to_string(sweep.observation_days[d]),
+                      std::to_string(result.detected_so_far),
+                      std::to_string(result.actual_residual),
+                      support::Json::format_double(result.waic.waic),
+                      support::Json::format_double(s.mean),
+                      std::to_string(s.median), std::to_string(s.mode),
+                      support::Json::format_double(s.sd)});
+    }
+  }
+  return rows;
 }
 
 }  // namespace srm::report

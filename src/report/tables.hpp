@@ -13,6 +13,7 @@
 
 #include "data/bug_count_data.hpp"
 #include "report/sweep.hpp"
+#include "support/csv.hpp"
 
 namespace srm::report {
 
@@ -40,5 +41,12 @@ std::string render_boxplot_figure(const SweepResult& sweep,
 /// cell at one observation day (Section 4.2's diagnostics).
 std::string render_diagnostics_table(const SweepResult& sweep,
                                      std::size_t observation_day);
+
+/// Flat machine-readable projection of the whole sweep: a header row, then
+/// one row per (prior, model, observation day) cell carrying WAIC, the
+/// four tabulated posterior statistics, and the actual residual. Doubles
+/// are written in shortest-exact form (support::Json::format_double), so
+/// the CSV loses nothing relative to the JSON artifact.
+support::CsvRows sweep_csv_rows(const SweepResult& sweep);
 
 }  // namespace srm::report

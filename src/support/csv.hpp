@@ -1,8 +1,14 @@
 // Minimal CSV reader/writer for bug-count datasets and experiment output.
 //
-// The dialect is deliberately small: comma-separated, optional header row,
-// no quoting (the library never emits cells containing commas). Lines whose
-// first non-space character is '#' are treated as comments.
+// Dialect: comma-separated with RFC-4180-style quoting. Cells containing a
+// comma, a double quote, a newline, leading/trailing whitespace, or a
+// leading '#' are written inside double quotes with embedded quotes
+// doubled; all other cells are written bare (so files that never need
+// quoting — e.g. numeric traces — are byte-identical to the pre-quoting
+// writer). The reader accepts both forms: quoted cells are taken verbatim
+// (including embedded commas, quotes and newlines), bare cells are trimmed
+// of surrounding whitespace. Lines whose first non-space character is '#'
+// (outside any quoted cell) are treated as comments.
 #pragma once
 
 #include <iosfwd>
@@ -20,11 +26,14 @@ CsvRows read_csv(std::istream& in);
 /// Parses CSV from a file. Throws srm::InvalidArgument if unreadable.
 CsvRows read_csv_file(const std::string& path);
 
-/// Writes rows as CSV to a stream.
+/// Writes rows as CSV to a stream, quoting cells that need it.
 void write_csv(std::ostream& out, const CsvRows& rows);
 
 /// Writes rows as CSV to a file. Throws srm::InvalidArgument on failure.
 void write_csv_file(const std::string& path, const CsvRows& rows);
+
+/// True if `cell` must be quoted to survive a write/read round trip.
+bool csv_needs_quoting(const std::string& cell);
 
 /// Parses a cell as double; throws srm::InvalidArgument naming the cell on
 /// malformed input.

@@ -1,0 +1,112 @@
+// Minimal JSON value / writer / reader — the serialization substrate of the
+// artifact layer (src/artifact/). No third-party dependencies.
+//
+// Design points:
+//   * Objects preserve insertion order, so a given value always serializes
+//     to the same bytes — the property the spec-hash and the byte-identical
+//     resume contract rest on.
+//   * Integers (std::int64_t) and doubles are distinct value types. Doubles
+//     are written with std::to_chars (shortest form that parses back to the
+//     same bits) and always carry a '.', an exponent, or a non-finite
+//     keyword, so the reader can reconstruct the numeric type: every double
+//     round-trips bit-exactly, including subnormals and -0.0.
+//   * Non-finite doubles are written as the bare keywords NaN / Infinity /
+//     -Infinity (a documented extension over RFC 8259; standard JSON has no
+//     spelling for them and silently corrupting diagnostics is worse).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace srm::support {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  /// Insertion-ordered key/value pairs (deterministic serialization).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;
+  Json(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT(*-explicit-*)
+  Json(std::int64_t value) : type_(Type::kInt), int_(value) {}  // NOLINT(*-explicit-*)
+  Json(int value) : Json(static_cast<std::int64_t>(value)) {}  // NOLINT(*-explicit-*)
+  Json(double value) : type_(Type::kDouble), double_(value) {}  // NOLINT(*-explicit-*)
+  Json(std::string value)  // NOLINT(*-explicit-*)
+      : type_(Type::kString), string_(std::move(value)) {}
+  Json(const char* value) : Json(std::string(value)) {}  // NOLINT(*-explicit-*)
+  Json(Array value)  // NOLINT(*-explicit-*)
+      : type_(Type::kArray), array_(std::move(value)) {}
+  Json(Object value)  // NOLINT(*-explicit-*)
+      : type_(Type::kObject), object_(std::move(value)) {}
+
+  /// std::size_t counts (chain counts, days, sample sizes). Throws
+  /// srm::InvalidArgument if the value does not fit an std::int64_t.
+  static Json from_unsigned(std::uint64_t value);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_int() const { return type_ == Type::kInt; }
+  [[nodiscard]] bool is_double() const { return type_ == Type::kDouble; }
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; each throws srm::InvalidArgument on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  /// Unsigned view of as_int(); rejects negatives.
+  [[nodiscard]] std::uint64_t as_unsigned() const;
+  /// Numeric accessor: kDouble verbatim, kInt converted. Integers written
+  /// by the double serializer always carry a '.', so a stored double never
+  /// comes back through the (potentially lossy) int conversion.
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  // --- object helpers -----------------------------------------------------
+  /// Member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  /// Member lookup; throws srm::InvalidArgument naming the key when absent.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  /// Appends (or overwrites) a member, keeping insertion order.
+  void set(std::string key, Json value);
+
+  // --- array helpers ------------------------------------------------------
+  void push_back(Json value);
+
+  // --- serialization ------------------------------------------------------
+  /// Serializes the value. indent < 0: compact one-line form (the canonical
+  /// hashing form); indent >= 0: pretty-printed with that many spaces per
+  /// level and a trailing newline (the on-disk artifact form).
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document (with the NaN/Infinity extension).
+  /// Throws srm::InvalidArgument on malformed input, naming the offset.
+  static Json parse(std::string_view text);
+
+  /// Shortest decimal form of `value` that parses back to the same bits
+  /// (std::to_chars), with ".0" appended to integral finite values so the
+  /// type survives a round trip. Non-finite: NaN / Infinity / -Infinity.
+  static std::string format_double(double value);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace srm::support

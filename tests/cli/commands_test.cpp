@@ -122,6 +122,85 @@ TEST(Cli, ReleasePlansOptimalDay) {
   EXPECT_NE(result.out.find("E[cost]"), std::string::npos);
 }
 
+TEST(Cli, SweepRendersPaperTables) {
+  const auto result =
+      run("sweep", {"--csv", "sys1", "--obs-days", "48", "--iterations", "60",
+                    "--burn-in", "20"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("TABLE I: Comparison of WAIC."), std::string::npos);
+  EXPECT_NE(result.out.find("mean values of the posterior"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("standard deviations"), std::string::npos);
+}
+
+TEST(Cli, SweepCsvFormat) {
+  const auto result =
+      run("sweep", {"--csv", "sys1", "--obs-days", "48", "--iterations", "60",
+                    "--burn-in", "20", "--format", "csv"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_EQ(result.out.rfind("prior,model,observation_day", 0), 0u);
+  EXPECT_NE(result.out.find("poisson,model0,48"), std::string::npos);
+}
+
+TEST(Cli, SweepArtifactsInterruptAndResume) {
+  const auto dir = (std::filesystem::temp_directory_path() /
+                    "srm_cli_sweep_artifacts")
+                       .string();
+  std::filesystem::remove_all(dir);
+  const std::vector<std::string> base{"--csv",  "sys1", "--obs-days", "48",
+                                      "--iterations", "60", "--burn-in", "20",
+                                      "--out", dir};
+  // Budgeted run: exit code 3 marks the partial sweep, no tables printed.
+  auto budgeted = base;
+  budgeted.insert(budgeted.end(), {"--max-cells", "4"});
+  const auto partial = run("sweep", budgeted);
+  EXPECT_EQ(partial.code, 3) << partial.err;
+  EXPECT_NE(partial.out.find("partial sweep: 4/10"), std::string::npos);
+  EXPECT_EQ(partial.out.find("TABLE I"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(std::filesystem::path(dir) /
+                                       "sweep.json"));
+
+  // Without --resume the directory is protected.
+  const auto refused = run("sweep", base);
+  EXPECT_EQ(refused.code, 2);
+  EXPECT_NE(refused.err.find("--resume"), std::string::npos);
+
+  // Resume completes the grid and renders the tables.
+  auto resumed_flags = base;
+  resumed_flags.push_back("--resume");
+  const auto resumed = run("sweep", resumed_flags);
+  EXPECT_EQ(resumed.code, 0) << resumed.err;
+  EXPECT_NE(resumed.out.find("TABLE I"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir) /
+                                      "sweep.json"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, SweepRejectsBudgetWithoutOut) {
+  const auto result = run("sweep", {"--csv", "sys1", "--obs-days", "48",
+                                    "--max-cells", "4"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("--out"), std::string::npos);
+}
+
+TEST(Cli, ModelErrorListsRegistryNames) {
+  const auto result = run("fit", {"--csv", "sys1", "--model", "model99"});
+  EXPECT_EQ(result.code, 2);
+  // The error text is derived from the detection-model registry.
+  EXPECT_NE(result.err.find("model0"), std::string::npos);
+  EXPECT_NE(result.err.find("model6"), std::string::npos);
+}
+
+TEST(Cli, FitJsonFormat) {
+  const auto result =
+      run("fit", {"--csv", "sys1", "--days", "48", "--model", "model1",
+                  "--iterations", "100", "--burn-in", "50", "--format",
+                  "json"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("\"observation_day\": 48"), std::string::npos);
+  EXPECT_NE(result.out.find("\"psrf\""), std::string::npos);
+}
+
 TEST(Cli, UnknownCommandFails) {
   const auto result = run("frobnicate", {});
   EXPECT_EQ(result.code, 1);

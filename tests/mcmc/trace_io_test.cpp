@@ -1,7 +1,9 @@
 // Tests for MCMC trace CSV persistence.
 #include "mcmc/trace_io.hpp"
 
+#include <cstring>
 #include <filesystem>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -11,6 +13,10 @@
 namespace {
 
 using srm::mcmc::McmcRun;
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
 
 McmcRun sample_run() {
   McmcRun run({"residual", "mu"}, 2);
@@ -44,6 +50,37 @@ TEST(TraceIo, PreservesFullDoublePrecision) {
   std::istringstream in(out.str());
   const auto restored = srm::mcmc::read_trace_csv(in);
   EXPECT_DOUBLE_EQ(restored.pooled("x")[0], value);
+}
+
+TEST(TraceIo, HostileDoublesRoundTripBitExactly) {
+  // memcmp-level identity through write/read: subnormals, signed zeros,
+  // and the extremes of the finite range must all survive the CSV form.
+  const double cases[] = {
+      0.0,
+      -0.0,
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::max(),
+      1.0 / 3.0,
+      -9.87654321e-290,
+      6.02214076e23,
+  };
+  McmcRun run({"x"}, 1);
+  for (const double value : cases) {
+    run.chain(0).append(std::vector<double>{value});
+  }
+  std::ostringstream out;
+  srm::mcmc::write_trace_csv(out, run);
+  std::istringstream in(out.str());
+  const auto restored = srm::mcmc::read_trace_csv(in);
+  const auto& draws = restored.pooled("x");
+  ASSERT_EQ(draws.size(), std::size(cases));
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    EXPECT_TRUE(bits_equal(draws[i], cases[i]))
+        << "value at index " << i << " lost bits through the round trip";
+  }
 }
 
 TEST(TraceIo, FileRoundTrip) {

@@ -66,6 +66,80 @@ TEST(Csv, FileRoundTrip) {
   std::filesystem::remove(path);
 }
 
+TEST(Csv, QuotedCellsRoundTrip) {
+  // RFC-4180 quoting: commas, quotes, newlines, CR, leading '#' and
+  // surrounding whitespace all survive a write/read round trip.
+  const CsvRows rows{
+      {"plain", "with,comma", "with \"quote\""},
+      {"multi\nline", "cr\rcell", "#not a comment"},
+      {"  leading", "trailing  ", ""},
+  };
+  std::ostringstream out;
+  srm::support::write_csv(out, rows);
+  std::istringstream in(out.str());
+  EXPECT_EQ(srm::support::read_csv(in), rows);
+}
+
+TEST(Csv, NeedsQuotingPredicate) {
+  EXPECT_FALSE(srm::support::csv_needs_quoting("plain"));
+  EXPECT_FALSE(srm::support::csv_needs_quoting("3.25"));
+  EXPECT_FALSE(srm::support::csv_needs_quoting(""));
+  EXPECT_FALSE(srm::support::csv_needs_quoting("mid # hash"));
+  EXPECT_TRUE(srm::support::csv_needs_quoting("a,b"));
+  EXPECT_TRUE(srm::support::csv_needs_quoting("say \"hi\""));
+  EXPECT_TRUE(srm::support::csv_needs_quoting("two\nlines"));
+  EXPECT_TRUE(srm::support::csv_needs_quoting("cr\rhere"));
+  EXPECT_TRUE(srm::support::csv_needs_quoting(" leading"));
+  EXPECT_TRUE(srm::support::csv_needs_quoting("trailing "));
+  EXPECT_TRUE(srm::support::csv_needs_quoting("#comment-like"));
+}
+
+TEST(Csv, PlainRowsWriteIdenticallyToPreQuotingDialect) {
+  // Cells that need no quoting must serialize exactly as before the
+  // RFC-4180 rewrite — trace CSVs and simulate output stay byte-stable.
+  const CsvRows rows{{"day", "count"}, {"1", "5"}};
+  std::ostringstream out;
+  srm::support::write_csv(out, rows);
+  EXPECT_EQ(out.str(), "day,count\n1,5\n");
+}
+
+TEST(Csv, QuotedFormOnDisk) {
+  const CsvRows rows{{"a,b", "q\"q"}};
+  std::ostringstream out;
+  srm::support::write_csv(out, rows);
+  EXPECT_EQ(out.str(), "\"a,b\",\"q\"\"q\"\n");
+}
+
+TEST(Csv, QuotedCellsAreVerbatimNotTrimmed) {
+  std::istringstream in("\"  padded  \",bare\n");
+  const auto rows = srm::support::read_csv(in);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "  padded  ");
+  EXPECT_EQ(rows[0][1], "bare");
+}
+
+TEST(Csv, QuotedHashIsNotAComment) {
+  std::istringstream in("\"#1\",2\n");
+  const auto rows = srm::support::read_csv(in);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "#1");
+}
+
+TEST(Csv, EmbeddedNewlineSpansPhysicalLines) {
+  std::istringstream in("\"a\nb\",1\nnext,2\n");
+  const auto rows = srm::support::read_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "a\nb");
+  EXPECT_EQ(rows[1][0], "next");
+}
+
+TEST(Csv, MalformedQuotingThrows) {
+  std::istringstream unterminated("\"never closed\n");
+  EXPECT_THROW(srm::support::read_csv(unterminated), srm::InvalidArgument);
+  std::istringstream garbage("\"ok\"x,2\n");
+  EXPECT_THROW(srm::support::read_csv(garbage), srm::InvalidArgument);
+}
+
 TEST(Csv, MissingFileThrows) {
   EXPECT_THROW(srm::support::read_csv_file("/nonexistent/really/not.csv"),
                srm::InvalidArgument);

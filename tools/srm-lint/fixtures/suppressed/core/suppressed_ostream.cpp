@@ -1,0 +1,14 @@
+#include <ostream>
+
+namespace srm::core {
+
+struct Probe {
+  int value = 0;
+};
+
+// srm-lint: allow(adhoc-serialization) — debugger pretty-printer hook only
+std::ostream& operator<<(std::ostream& out, const Probe& probe) {
+  return out << probe.value;
+}
+
+}  // namespace srm::core

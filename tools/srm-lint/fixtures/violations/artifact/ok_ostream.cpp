@@ -1,0 +1,14 @@
+#include <ostream>
+
+namespace srm::artifact {
+
+struct Manifest {
+  int cells = 0;
+};
+
+// The artifact layer owns canonical serialization; exempt by design.
+std::ostream& operator<<(std::ostream& out, const Manifest& manifest) {
+  return out << manifest.cells;
+}
+
+}  // namespace srm::artifact

@@ -1,0 +1,28 @@
+#include <ostream>
+
+namespace srm::core {
+
+struct Fit {
+  double residual = 0.0;
+};
+
+std::ostream& operator<<(std::ostream& out, const Fit& fit) {  // line 9
+  return out << fit.residual;
+}
+
+class Summary {
+ public:
+  friend std::ostream& operator<<(std::ostream& out, const Summary& s);
+};
+
+struct Mask {
+  unsigned bits = 0;
+};
+
+// Shift semantics, not serialization: must stay clean.
+Mask operator<<(Mask mask, int count) {
+  mask.bits <<= static_cast<unsigned>(count);
+  return mask;
+}
+
+}  // namespace srm::core

@@ -1,0 +1,14 @@
+#include <ostream>
+
+namespace srm::report {
+
+struct Table {
+  int rows = 0;
+};
+
+// The report layer renders to streams; exempt by design.
+std::ostream& operator<<(std::ostream& out, const Table& table) {
+  return out << table.rows;
+}
+
+}  // namespace srm::report

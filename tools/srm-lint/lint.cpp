@@ -353,6 +353,36 @@ void check_nested_vector_matrix(const FileText& f,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: adhoc-serialization
+// ---------------------------------------------------------------------------
+
+void check_adhoc_serialization(const FileText& f, std::vector<Finding>& out) {
+  const std::string& s = f.stripped;
+  for_each_identifier(s, [&](std::string_view name, std::size_t i) {
+    if (name != "operator") return;
+    std::size_t j = skip_ws(s, i + name.size());
+    if (j + 1 >= s.size() || s[j] != '<' || s[j + 1] != '<') return;
+    const std::size_t paren = skip_ws(s, j + 2);
+    if (paren >= s.size() || s[paren] != '(') return;
+    const std::size_t close = match_delim(s, paren, '(', ')');
+    if (close == std::string::npos) return;
+    // Only stream-insertion overloads: an operator<< whose parameter list
+    // mentions an ostream. Shift-semantics overloads (ints, bitmasks) are
+    // not serialization and stay legal.
+    const std::string params = s.substr(paren + 1, close - paren - 2);
+    bool streams = false;
+    for_each_identifier(params, [&](std::string_view tok, std::size_t) {
+      if (tok == "ostream" || tok == "basic_ostream") streams = true;
+    });
+    if (!streams) return;
+    report(out, f, i, "adhoc-serialization",
+           "ad-hoc operator<< result emission; results leave the library "
+           "as typed artifacts (src/artifact/) or rendered tables "
+           "(src/report/), not per-type stream overloads");
+  });
+}
+
+// ---------------------------------------------------------------------------
 // Rule: iostream
 // ---------------------------------------------------------------------------
 
@@ -711,6 +741,9 @@ std::vector<Finding> run_lint(const fs::path& root) {
     check_banned_random(f, out);
     if (is_core_or_stats) check_log_domain(f, out);
     if (!is_cli_or_report) check_iostream(f, out);
+    if (!in_dir(f, "report/") && !in_dir(f, "artifact/")) {
+      check_adhoc_serialization(f, out);
+    }
     if (f.rel != "support/fp.hpp") check_float_compare(f, out);
     if (!in_dir(f, "runtime/")) check_raw_thread(f, out);
     if (in_dir(f, "mcmc/") || in_dir(f, "core/")) {

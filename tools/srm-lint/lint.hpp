@@ -31,6 +31,12 @@
 //                   src/report/: pointwise matrices there are hot and a
 //                   vector-of-vector pays one allocation and one pointer
 //                   chase per row — use the flat row-major support::Matrix.
+//   adhoc-serialization No stream-insertion operator<< overloads outside
+//                   src/report/ and src/artifact/: results leave the
+//                   library as typed, spec-hashed artifacts or rendered
+//                   tables, never as per-type print overloads that drift
+//                   from the canonical JSON form. Shift-semantics
+//                   operator<< (no ostream parameter) stays legal.
 //
 // Any rule can be suppressed at a specific site with a justification
 // comment on the flagged line or the line above:

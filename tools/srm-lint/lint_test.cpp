@@ -137,6 +137,30 @@ TEST(SrmLint, NestedVectorMatrixRuleScopedToCoreAndReport) {
   }
 }
 
+TEST(SrmLint, DetectsAdhocSerialization) {
+  const auto all = run_lint(fixture("violations"));
+  const auto hits = findings_for_rule(all, "adhoc-serialization");
+  ASSERT_EQ(hits.size(), 2u)
+      << "free definition and friend declaration fire; the shift-semantics "
+         "operator<< (no ostream parameter) must stay clean";
+  EXPECT_TRUE(
+      has_finding(all, "core/bad_ostream.cpp", 9, "adhoc-serialization"));
+  EXPECT_TRUE(
+      has_finding(all, "core/bad_ostream.cpp", 15, "adhoc-serialization"));
+}
+
+TEST(SrmLint, AdhocSerializationExemptsReportAndArtifact) {
+  // report/ok_ostream.cpp and artifact/ok_ostream.cpp both define stream
+  // insertion operators and must stay clean — those layers own rendering
+  // and canonical serialization respectively.
+  const auto all = run_lint(fixture("violations"));
+  for (const auto& f : findings_for_rule(all, "adhoc-serialization")) {
+    EXPECT_NE(f.file.rfind("report/", 0), 0u) << srm::lint::format_finding(f);
+    EXPECT_NE(f.file.rfind("artifact/", 0), 0u)
+        << srm::lint::format_finding(f);
+  }
+}
+
 TEST(SrmLint, DetectsFloatLiteralComparisons) {
   const auto all = run_lint(fixture("violations"));
   const auto hits = findings_for_rule(all, "float-compare");
