@@ -6,6 +6,7 @@
 #include "artifact/serialize.hpp"
 #include "artifact/spec_hash.hpp"
 #include "support/error.hpp"
+#include "support/format.hpp"
 
 namespace srm::artifact {
 
@@ -81,9 +82,9 @@ ArtifactStore::ArtifactStore(std::filesystem::path dir,
     const auto schema = manifest.at("schema_version").as_int();
     if (schema != kSchemaVersion) {
       throw InvalidArgument("artifact directory " + dir_.string() +
-                            " has schema version " + std::to_string(schema) +
+                            " has schema version " + support::dec(schema) +
                             ", this build expects " +
-                            std::to_string(kSchemaVersion));
+                            support::dec(kSchemaVersion));
     }
     const auto& stored_hash = manifest.at("sweep_hash").as_string();
     if (stored_hash != sweep_hash_) {

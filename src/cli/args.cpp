@@ -3,6 +3,7 @@
 #include <charconv>
 
 #include "support/error.hpp"
+#include "support/format.hpp"
 
 namespace srm::cli {
 
@@ -83,7 +84,7 @@ std::size_t Args::get_size(const std::string& name,
       get_int(name, static_cast<std::int64_t>(fallback));
   SRM_EXPECTS(value >= 0,
               "flag --" + name + " expects a non-negative integer, got " +
-                  std::to_string(value));
+                  support::dec(value));
   return static_cast<std::size_t>(value);
 }
 

@@ -23,6 +23,7 @@
 #include "runtime/thread_pool.hpp"
 #include "support/csv.hpp"
 #include "support/error.hpp"
+#include "support/format.hpp"
 #include "support/json.hpp"
 #include "support/table.hpp"
 
@@ -254,7 +255,7 @@ int run_select(const Args& args, std::ostream& out) {
   support::Table t("model ranking (by WAIC; smaller is better)");
   t.set_header({"rank", "prior", "model", "WAIC", "looic", "residual mean"});
   for (std::size_t r = 0; r < rows.size(); ++r) {
-    t.add_row({std::to_string(r + 1), rows[r].prior, rows[r].model,
+    t.add_row({support::dec(r + 1), rows[r].prior, rows[r].model,
                support::format_double(rows[r].waic, 3),
                support::format_double(rows[r].looic, 3),
                support::format_double(rows[r].residual_mean, 2)});
@@ -305,8 +306,8 @@ int run_mle(const Args& args, std::ostream& out) {
                support::format_double(fit.log_likelihood, 3),
                support::format_double(fit.aic, 3),
                support::format_double(fit.bic, 3),
-               diverged ? "unbounded" : std::to_string(fit.initial_bugs),
-               diverged ? "unbounded" : std::to_string(fit.residual(data))});
+               diverged ? "unbounded" : support::dec(fit.initial_bugs),
+               diverged ? "unbounded" : support::dec(fit.residual(data))});
   }
   out << t.render();
   return 0;
@@ -361,7 +362,7 @@ int run_simulate(const Args& args, std::ostream& out) {
   support::CsvRows rows{{"day", "count"}};
   for (std::size_t day = 1; day <= days; ++day) {
     rows.push_back(
-        {std::to_string(day), std::to_string(data.count_on_day(day))});
+        {support::dec(day), support::dec(data.count_on_day(day))});
   }
   if (out_path.empty()) {
     std::ostringstream csv;
@@ -401,7 +402,7 @@ int run_release(const Args& args, std::ostream& out) {
   support::Table t("release schedule");
   t.set_header({"day", "E[residual]", "E[cost]"});
   for (const auto& decision : plan.schedule) {
-    t.add_row({std::to_string(decision.day),
+    t.add_row({support::dec(decision.day),
                support::format_double(decision.expected_residual, 2),
                support::format_double(decision.expected_cost, 2)});
   }

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "support/error.hpp"
+#include "support/format.hpp"
 
 namespace srm::core {
 
@@ -513,7 +514,7 @@ std::span<const DetectionModelKind> extended_detection_model_kinds() {
 }
 
 std::string to_string(DetectionModelKind kind) {
-  return "model" + std::to_string(static_cast<int>(kind));
+  return "model" + support::dec(static_cast<int>(kind));
 }
 
 std::optional<DetectionModelKind> detection_model_from_string(

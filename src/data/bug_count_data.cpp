@@ -2,6 +2,7 @@
 
 #include "support/csv.hpp"
 #include "support/error.hpp"
+#include "support/format.hpp"
 
 namespace srm::data {
 
@@ -57,7 +58,7 @@ BugCountData BugCountData::truncated(std::size_t day) const {
   SRM_EXPECTS(day >= 1 && day <= counts_.size(),
               "truncated requires 1 <= day <= k");
   return BugCountData(
-      name_ + "@" + std::to_string(day),
+      name_ + "@" + support::dec(day),
       std::vector<std::int64_t>(counts_.begin(),
                                 counts_.begin() + static_cast<long>(day)));
 }
@@ -67,7 +68,7 @@ BugCountData BugCountData::with_virtual_testing(std::size_t total_days) const {
               "with_virtual_testing cannot shrink the series");
   std::vector<std::int64_t> extended(counts_.begin(), counts_.end());
   extended.resize(total_days, 0);
-  return BugCountData(name_ + "+vt" + std::to_string(total_days),
+  return BugCountData(name_ + "+vt" + support::dec(total_days),
                       std::move(extended));
 }
 

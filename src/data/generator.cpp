@@ -6,6 +6,7 @@
 #include "runtime/parallel_for.hpp"
 #include "runtime/seed_sequence.hpp"
 #include "support/error.hpp"
+#include "support/format.hpp"
 
 namespace srm::data {
 
@@ -46,7 +47,7 @@ std::vector<BugCountData> simulate_replications(
   runtime::parallel_for(0, replications, [&](std::size_t r) {
     slots[r] = simulate_detection_process(
         initial_bugs, days, detection_probability, rngs[r],
-        name_prefix + "-" + std::to_string(r));
+        name_prefix + "-" + support::dec(r));
   });
   std::vector<BugCountData> out;
   out.reserve(replications);

@@ -5,6 +5,7 @@
 
 #include "support/csv.hpp"
 #include "support/error.hpp"
+#include "support/format.hpp"
 
 namespace srm::mcmc {
 
@@ -48,7 +49,7 @@ McmcRun read_trace_csv(std::istream& in) {
   for (std::size_t r = 1; r < rows.size(); ++r) {
     SRM_EXPECTS(rows[r].size() == header.size(),
                 "trace CSV row width mismatch at data row " +
-                    std::to_string(r));
+                    support::dec(r));
     chain_count = std::max(
         chain_count,
         static_cast<std::size_t>(support::parse_count(rows[r][0])) + 1);

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/format.hpp"
 #include "support/json.hpp"
 #include "support/table.hpp"
 
@@ -14,7 +15,7 @@ namespace {
 using support::Table;
 
 std::string day_label(std::size_t day) {
-  return std::to_string(day) + "days";
+  return support::dec(day) + "days";
 }
 
 std::vector<std::string> model_header() {
@@ -90,8 +91,8 @@ std::string render_dataset_figure(const data::BugCountData& data) {
   Table t("Daily bug counts");
   t.set_header({"day", "count", "cumulative"});
   for (std::size_t day = 1; day <= data.days(); ++day) {
-    t.add_row({std::to_string(day), std::to_string(data.count_on_day(day)),
-               std::to_string(data.cumulative_through(day))});
+    t.add_row({support::dec(day), support::dec(data.count_on_day(day)),
+               support::dec(data.cumulative_through(day))});
   }
   out << t.render();
   return out.str();
@@ -214,12 +215,12 @@ support::CsvRows sweep_csv_rows(const SweepResult& sweep) {
       const auto& result = cell.results[d];
       const auto& s = result.posterior.summary;
       rows.push_back({core::to_string(cell.prior), core::to_string(cell.model),
-                      std::to_string(sweep.observation_days[d]),
-                      std::to_string(result.detected_so_far),
-                      std::to_string(result.actual_residual),
+                      support::dec(sweep.observation_days[d]),
+                      support::dec(result.detected_so_far),
+                      support::dec(result.actual_residual),
                       support::Json::format_double(result.waic.waic),
                       support::Json::format_double(s.mean),
-                      std::to_string(s.median), std::to_string(s.mode),
+                      support::dec(s.median), support::dec(s.mode),
                       support::Json::format_double(s.sd)});
     }
   }

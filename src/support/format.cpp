@@ -1,0 +1,28 @@
+#include "support/format.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace srm::support {
+
+std::string fixed(double value, int digits) {
+  SRM_EXPECTS(digits >= 0 && digits <= 64,
+              "fixed-point digit count must be in [0, 64]");
+  // Worst case: DBL_MAX in fixed notation is 309 integer digits, plus
+  // sign, point and the fractional digits.
+  char buffer[448];
+  const auto result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value,
+                    std::chars_format::fixed, digits);
+  SRM_EXPECTS(result.ec == std::errc{}, "fixed-point buffer overflow");
+  return std::string(buffer, result.ptr);
+}
+
+std::string signed_fixed(double value, int digits) {
+  std::string out = fixed(value, digits);
+  if (!std::signbit(value)) out.insert(out.begin(), '+');
+  return out;
+}
+
+}  // namespace srm::support

@@ -1,0 +1,37 @@
+// Locale-independent number formatting.
+//
+// std::to_string and printf-family "%f" format through the global C locale:
+// under e.g. de_DE a double renders as "1,5" and every golden trace, CSV,
+// JSON artifact and report table silently changes bytes. These helpers are
+// built on std::to_chars, which the standard defines as printf in the "C"
+// locale — same bytes everywhere, regardless of what the host (or an
+// embedding application) did to LC_NUMERIC.
+//
+// The srm-lint `locale-format` rule bans std::to_string / setlocale /
+// std::locale outside this module; route all rendering through here.
+#pragma once
+
+#include <charconv>
+#include <concepts>
+#include <string>
+
+namespace srm::support {
+
+/// Decimal rendering of an integer, locale-independent.
+template <std::integral T>
+std::string dec(T value) {
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return std::string(buffer, result.ptr);
+}
+
+/// Fixed-point rendering, byte-identical to printf("%.*f", digits, value)
+/// in the "C" locale. The default matches std::to_string(double), which is
+/// specified as sprintf("%f") — six digits.
+std::string fixed(double value, int digits = 6);
+
+/// Explicit-sign fixed-point rendering, byte-identical to
+/// printf("%+.*f", digits, value) in the "C" locale.
+std::string signed_fixed(double value, int digits = 3);
+
+}  // namespace srm::support

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/format.hpp"
 
 namespace srm::support {
 
@@ -57,15 +57,16 @@ std::string Table::render() const {
 }
 
 std::string format_double(double value, int digits) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
-  return buffer;
+  // to_chars-backed: snprintf "%.*f" here was the one locale-sensitive
+  // formatter feeding every report table.
+  return fixed(value, digits);
 }
 
 std::string format_deviation(double value, int digits) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "(%+.*f)", digits, value);
-  return buffer;
+  std::string out = signed_fixed(value, digits);
+  out.insert(out.begin(), '(');
+  out.push_back(')');
+  return out;
 }
 
 std::string render_box_plots(const std::vector<BoxStats>& boxes, int width) {

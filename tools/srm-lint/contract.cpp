@@ -1,0 +1,139 @@
+#include "contract.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "include_graph.hpp"
+#include "lint.hpp"
+#include "passes.hpp"
+
+namespace srm::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void drift(std::vector<Finding>& out, const std::string& where,
+           std::string message) {
+  out.push_back({where, 0, "contract-drift", std::move(message)});
+}
+
+/// Token-rule findings for one fixture tree.
+std::vector<Finding> token_findings(const fs::path& tree) {
+  const FileSet files = FileSet::load(tree);
+  std::vector<Finding> out;
+  run_contract_rules(files, out);
+  run_determinism_rules(files, out);
+  return out;
+}
+
+/// Include-pass findings for one fixture mini-tree carrying its own
+/// layers.txt.
+std::vector<Finding> include_findings(const fs::path& tree) {
+  const FileSet files = FileSet::load(tree);
+  const Layers layers = Layers::parse(tree / "layers.txt",
+                                      disk_modules(files));
+  IncludeGraph graph;
+  std::vector<Finding> out;
+  run_include_pass(files, layers, graph, out);
+  return out;
+}
+
+bool rule_fires(const std::vector<Finding>& findings,
+                std::string_view rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+}  // namespace
+
+std::vector<Finding> run_self_check(const fs::path& fixtures,
+                                    const fs::path& src_root) {
+  std::vector<Finding> out;
+
+  // Fixture trees are loaded once per distinct tree, not once per rule.
+  std::map<std::string, std::vector<Finding>> by_tree;
+  const auto findings_for = [&](std::string_view tree,
+                                PassKind pass) -> const std::vector<Finding>& {
+    auto it = by_tree.find(std::string(tree));
+    if (it == by_tree.end()) {
+      const fs::path dir = fixtures / tree;
+      std::vector<Finding> findings;
+      if (!fs::is_directory(dir)) {
+        // Missing tree: every rule anchored to it will report below.
+      } else if (pass == PassKind::kIncludeGraph) {
+        findings = include_findings(dir);
+      } else {
+        findings = token_findings(dir);
+      }
+      it = by_tree.emplace(std::string(tree), std::move(findings)).first;
+    }
+    return it->second;
+  };
+
+  // 1. Every rule fires on its violating fixtures.
+  for (const RuleInfo& rule : registered_rules()) {
+    const fs::path tree = fixtures / rule.fixture_tree;
+    if (!fs::is_directory(tree)) {
+      drift(out, tree.generic_string(),
+            "rule `" + std::string(rule.name) +
+                "` has no violating fixture tree");
+      continue;
+    }
+    const auto& findings = findings_for(rule.fixture_tree, rule.pass);
+    if (!rule_fires(findings, rule.name)) {
+      drift(out, tree.generic_string(),
+            "rule `" + std::string(rule.name) +
+                "` produces no finding on its violating fixtures — the "
+                "rule is unproven");
+    }
+  }
+
+  // 2. Clean and suppressed trees stay silent.
+  for (const char* tree : {"clean", "suppressed"}) {
+    const auto& findings = findings_for(tree, PassKind::kToken);
+    for (const Finding& f : findings) {
+      drift(out, std::string(tree) + "/" + f.file,
+            "fixture tree `" + std::string(tree) +
+                "` must be finding-free, got: " + format_finding(f));
+    }
+  }
+  for (const char* tree : {"include/good", "include/suppressed"}) {
+    if (!fs::is_directory(fixtures / tree)) {
+      drift(out, tree, "clean include fixture tree is missing");
+      continue;
+    }
+    const auto& findings = findings_for(tree, PassKind::kIncludeGraph);
+    for (const Finding& f : findings) {
+      drift(out, std::string(tree) + "/" + f.file,
+            "fixture tree `" + std::string(tree) +
+                "` must be finding-free, got: " + format_finding(f));
+    }
+  }
+
+  // 3. Every hard-coded scope/exemption path still exists.
+  for (const RuleInfo& rule : registered_rules()) {
+    for (const std::string_view anchor : rule.anchors) {
+      const fs::path p = src_root / anchor;
+      const bool ok = anchor.back() == '/' ? fs::is_directory(p)
+                                           : fs::is_regular_file(p);
+      if (!ok) {
+        drift(out, std::string(anchor),
+              "rule `" + std::string(rule.name) + "` anchors `" +
+                  std::string(anchor) +
+                  "` which no longer exists under the linted root — its "
+                  "scope/exemption list has drifted");
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.rule, a.message) <
+           std::tie(b.file, b.rule, b.message);
+  });
+  return out;
+}
+
+}  // namespace srm::lint

@@ -1,0 +1,29 @@
+// Contract-drift pass (`srm-lint --self-check`).
+//
+// The analyzer is itself a contract, and contracts drift: a rule whose
+// fixtures were deleted no longer proves it fires; an exemption naming a
+// renamed file silently widens or narrows a rule. This pass cross-checks
+// the rule registry against reality:
+//
+//   * every registered rule produces at least one finding on its violating
+//     fixture tree (fixtures/violations, or the include-pass mini-trees);
+//   * the clean and suppressed fixture trees produce no findings at all;
+//   * every scope/exemption path a rule hard-codes (RuleInfo::anchors)
+//     still exists under the linted source root.
+//
+// Violations are reported as `contract-drift` findings and fail the run.
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "finding.hpp"
+
+namespace srm::lint {
+
+/// Runs the pass. `fixtures` is the tools/srm-lint/fixtures directory;
+/// `src_root` is the real tree the anchors are validated against.
+std::vector<Finding> run_self_check(const std::filesystem::path& fixtures,
+                                    const std::filesystem::path& src_root);
+
+}  // namespace srm::lint

@@ -1,0 +1,19 @@
+// A single lint finding. Shared by every pass (token rules, include graph,
+// contract drift) so the output/baseline layer can treat them uniformly.
+#pragma once
+
+#include <string>
+
+namespace srm::lint {
+
+struct Finding {
+  std::string file;  ///< path relative to the linted root
+  int line = 0;      ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Formats one finding as "file:line: [rule] message".
+std::string format_finding(const Finding& f);
+
+}  // namespace srm::lint

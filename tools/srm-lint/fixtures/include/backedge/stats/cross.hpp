@@ -1,0 +1,5 @@
+#pragma once
+#include "runtime/pool.hpp"
+namespace fx::stats {
+int cross();
+}

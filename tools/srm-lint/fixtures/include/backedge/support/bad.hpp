@@ -1,0 +1,5 @@
+#pragma once
+#include "core/high.hpp"
+namespace fx::support {
+int bad();
+}

@@ -1,0 +1,5 @@
+#pragma once
+#include "beta/y.hpp"
+namespace fx::alpha {
+int x();
+}

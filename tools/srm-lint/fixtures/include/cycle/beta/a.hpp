@@ -1,0 +1,5 @@
+#pragma once
+#include "beta/b.hpp"
+namespace fx::beta {
+int a();
+}

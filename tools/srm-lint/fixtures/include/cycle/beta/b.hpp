@@ -1,0 +1,5 @@
+#pragma once
+#include "b_impl.hpp"
+namespace fx::beta {
+int b();
+}

@@ -1,0 +1,5 @@
+#pragma once
+#include "beta/a.hpp"
+namespace fx::beta {
+int b_impl();
+}

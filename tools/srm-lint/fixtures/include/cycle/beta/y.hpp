@@ -1,0 +1,5 @@
+#pragma once
+#include "alpha/x.hpp"
+namespace fx::beta {
+int y();
+}

@@ -1,0 +1,4 @@
+#include "core/engine.hpp"
+namespace fx::core {
+int engine() { return 1; }
+}

@@ -1,0 +1,6 @@
+#pragma once
+#include "runtime/pool.hpp"
+#include "stats/dist.hpp"
+namespace fx::core {
+int engine();
+}

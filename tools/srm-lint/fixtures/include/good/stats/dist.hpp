@@ -1,0 +1,5 @@
+#pragma once
+#include "support/base.hpp"
+namespace fx::stats {
+int dist();
+}

@@ -1,0 +1,6 @@
+#pragma once
+// srm-lint: allow(layer-dag) -- transitional shim while core::high moves down
+#include "core/high.hpp"
+namespace fx::support {
+int ok();
+}

@@ -1,0 +1,8 @@
+#include <unordered_map>
+
+namespace fx::artifact {
+
+// srm-lint: allow(unordered-output) -- never iterated; lookup-only cache
+std::unordered_map<int, int> lookup_only;
+
+}  // namespace fx::artifact

@@ -1,0 +1,10 @@
+#include <set>
+
+namespace fx::core {
+
+struct Arena {};
+
+// srm-lint: allow(pointer-order) -- membership-only; order never observed
+std::set<const Arena*> registered;
+
+}  // namespace fx::core

@@ -1,0 +1,10 @@
+#include <ctime>
+
+namespace fx::data {
+
+long long stamp() {
+  // srm-lint: allow(wallclock) -- run-log timestamp, never feeds results
+  return static_cast<long long>(time(nullptr));
+}
+
+}  // namespace fx::data

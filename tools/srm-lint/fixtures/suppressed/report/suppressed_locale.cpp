@@ -1,0 +1,10 @@
+#include <string>
+
+namespace fx::report {
+
+std::string debug_label(long long value) {
+  // srm-lint: allow(locale-format) -- integer render, locale cannot differ
+  return std::to_string(value);
+}
+
+}  // namespace fx::report

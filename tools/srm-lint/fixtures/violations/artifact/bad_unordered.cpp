@@ -1,0 +1,20 @@
+// unordered-output: hash containers in the serialization layer.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fx::artifact {
+
+std::unordered_map<std::string, int> cell_index;
+
+int emit() {
+  std::unordered_set<int> seen;
+  seen.insert(1);
+  int total = 0;
+  for (const auto& [key, value] : cell_index) {
+    total += value + static_cast<int>(key.size());
+  }
+  return total;
+}
+
+}  // namespace fx::artifact

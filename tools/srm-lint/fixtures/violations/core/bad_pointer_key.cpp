@@ -1,0 +1,17 @@
+// pointer-order: pointer-keyed associative containers.
+#include <map>
+#include <set>
+
+namespace fx::core {
+
+struct Node {
+  int id = 0;
+};
+
+std::map<const Node*, int> rank_by_addr;
+std::set<Node*> live;
+
+// Pointer-valued mapped types are fine: iteration order is still the key.
+std::map<int, Node*> by_id;
+
+}  // namespace fx::core

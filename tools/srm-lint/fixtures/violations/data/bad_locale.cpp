@@ -1,0 +1,12 @@
+// locale-format: locale-sensitive formatting outside src/support/.
+#include <clocale>
+#include <string>
+
+namespace fx::data {
+
+std::string label(double value) {
+  setlocale(LC_NUMERIC, "");
+  return std::to_string(value);
+}
+
+}  // namespace fx::data

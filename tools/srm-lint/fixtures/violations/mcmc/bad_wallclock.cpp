@@ -1,0 +1,19 @@
+// wallclock: entropy and wall-clock reads outside src/random/.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+namespace fx::mcmc {
+
+unsigned seed_from_entropy() {
+  std::random_device entropy;
+  return entropy();
+}
+
+long long stamp() {
+  const auto now = std::chrono::system_clock::now();
+  (void)now;
+  return static_cast<long long>(time(nullptr));
+}
+
+}  // namespace fx::mcmc

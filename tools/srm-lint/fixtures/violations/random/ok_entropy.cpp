@@ -1,0 +1,11 @@
+// Clean: src/random/ owns entropy; seeding helpers may read the device.
+#include <random>
+
+namespace fx::random {
+
+unsigned nondeterministic_seed() {
+  std::random_device entropy;
+  return entropy();
+}
+
+}  // namespace fx::random

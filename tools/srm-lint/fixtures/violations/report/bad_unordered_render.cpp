@@ -1,0 +1,17 @@
+// unordered-output: hash container feeding a rendered table.
+#include <string>
+#include <unordered_map>
+
+namespace fx::report {
+
+std::string render() {
+  std::unordered_map<std::string, double> cells;
+  cells["a"] = 1.5;
+  std::string out;
+  for (const auto& [name, value] : cells) {
+    out += name + ":" + (value > 1.0 ? "big" : "small") + "\n";
+  }
+  return out;
+}
+
+}  // namespace fx::report

@@ -1,0 +1,9 @@
+// Clean: src/support/ owns formatting; the to_chars-backed helpers live
+// here and may bridge from std::to_string internally.
+#include <string>
+
+namespace fx::support {
+
+std::string dec_like(int value) { return std::to_string(value); }
+
+}  // namespace fx::support

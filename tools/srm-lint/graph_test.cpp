@@ -1,0 +1,177 @@
+// Include-graph pass tests: layer parsing, back-edge/same-layer/undeclared
+// detection, include cycles, DOT generation, and the drift test that keeps
+// the checked-in docs/include-graph.dot honest against the real tree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "include_graph.hpp"
+#include "lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using srm::lint::Finding;
+
+fs::path fixture(const std::string& name) {
+  return fs::path(SRM_LINT_FIXTURE_DIR) / name;
+}
+
+srm::lint::Result run_tree(const fs::path& tree) {
+  srm::lint::Options options;
+  options.root = tree;
+  options.layers_file = tree / "layers.txt";
+  options.include_graph_only = true;
+  return srm::lint::run(options);
+}
+
+std::vector<Finding> rule_findings(const std::vector<Finding>& all,
+                                   const std::string& rule) {
+  std::vector<Finding> out;
+  std::copy_if(all.begin(), all.end(), std::back_inserter(out),
+               [&](const Finding& f) { return f.rule == rule; });
+  return out;
+}
+
+TEST(SrmLintGraph, CleanLayeredTreeHasNoFindings) {
+  const auto result = run_tree(fixture("include/good"));
+  EXPECT_TRUE(result.findings.empty())
+      << (result.findings.empty()
+              ? std::string()
+              : srm::lint::format_finding(result.findings.front()));
+}
+
+TEST(SrmLintGraph, DetectsBackEdgeAndSameLayerInclude) {
+  const auto result = run_tree(fixture("include/backedge"));
+  const auto hits = rule_findings(result.findings, "layer-dag");
+  ASSERT_EQ(hits.size(), 2u);
+  // support (layer 0) reaching up into core (layer 2).
+  EXPECT_EQ(hits[0].file, "stats/cross.hpp");
+  EXPECT_EQ(hits[0].line, 2);
+  EXPECT_NE(hits[0].message.find("same-layer"), std::string::npos);
+  EXPECT_EQ(hits[1].file, "support/bad.hpp");
+  EXPECT_EQ(hits[1].line, 2);
+  EXPECT_NE(hits[1].message.find("back-edge"), std::string::npos);
+  EXPECT_NE(hits[1].message.find("core/high.hpp"), std::string::npos);
+}
+
+TEST(SrmLintGraph, DetectsIncludeCyclesWithOffendingPath) {
+  const auto result = run_tree(fixture("include/cycle"));
+  const auto cycles = rule_findings(result.findings, "include-cycle");
+  ASSERT_EQ(cycles.size(), 2u) << "cross-module and intra-module cycle";
+  const auto reported = [&](const std::string& path) {
+    return std::any_of(cycles.begin(), cycles.end(), [&](const Finding& f) {
+      return f.message.find(path) != std::string::npos;
+    });
+  };
+  // Cross-module cycle via root-relative includes.
+  EXPECT_TRUE(reported("alpha/x.hpp -> beta/y.hpp -> alpha/x.hpp"))
+      << cycles[0].message;
+  // Intra-module cycle that also passes through a same-directory
+  // (non-root-relative) include — layering alone could never see it.
+  EXPECT_TRUE(
+      reported("beta/a.hpp -> beta/b.hpp -> beta/b_impl.hpp -> beta/a.hpp"))
+      << cycles[1].message;
+  // The back-edge half of the cross-module cycle fires too.
+  EXPECT_EQ(rule_findings(result.findings, "layer-dag").size(), 1u);
+}
+
+TEST(SrmLintGraph, ReportsModuleMissingFromLayersFile) {
+  const auto result = run_tree(fixture("include/undeclared"));
+  const auto hits = rule_findings(result.findings, "layer-dag");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "extra/widget.hpp");
+  EXPECT_NE(hits[0].message.find("`extra`"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("not declared"), std::string::npos);
+}
+
+TEST(SrmLintGraph, LayersParseRejectsUnknownModuleName) {
+  EXPECT_THROW(run_tree(fixture("include/unknown")),
+               srm::lint::LayersError);
+}
+
+TEST(SrmLintGraph, LayersParseRejectsDuplicatesAndSyntaxErrors) {
+  const auto parse = [](const std::string& text,
+                        std::set<std::string> disk) {
+    const fs::path tmp =
+        fs::temp_directory_path() / "srm_lint_layers_test.txt";
+    std::ofstream(tmp) << text;
+    return srm::lint::Layers::parse(tmp, disk);
+  };
+  // Duplicate module.
+  EXPECT_THROW(parse("layer a\nlayer a\n", {"a"}), srm::lint::LayersError);
+  // Not a `layer` line.
+  EXPECT_THROW(parse("module a\n", {"a"}), srm::lint::LayersError);
+  // Empty layer.
+  EXPECT_THROW(parse("layer\n", {"a"}), srm::lint::LayersError);
+  // No layers at all.
+  EXPECT_THROW(parse("# only comments\n", {"a"}), srm::lint::LayersError);
+  // Well-formed parses, with comments and shared layers.
+  const auto layers = parse("# c\nlayer a\nlayer b c  # trailing\n",
+                            {"a", "b", "c"});
+  ASSERT_EQ(layers.layers.size(), 2u);
+  EXPECT_EQ(layers.layer_of.at("a"), 0);
+  EXPECT_EQ(layers.layer_of.at("b"), 1);
+  EXPECT_EQ(layers.layer_of.at("c"), 1);
+}
+
+TEST(SrmLintGraph, SuppressionSilencesLayerDag) {
+  const auto result = run_tree(fixture("include/suppressed"));
+  EXPECT_TRUE(result.findings.empty())
+      << srm::lint::format_finding(result.findings.front());
+}
+
+TEST(SrmLintGraph, ModuleGraphEdgesAreDeterministicAndCounted) {
+  const auto result = run_tree(fixture("include/good"));
+  ASSERT_EQ(result.graph.edges.size(), 4u);
+  // std::map ordering: (core,runtime), (core,stats), (runtime,support),
+  // (stats,support).
+  EXPECT_EQ(result.graph.edges[0].from, "core");
+  EXPECT_EQ(result.graph.edges[0].to, "runtime");
+  EXPECT_EQ(result.graph.edges[0].count, 1);
+  EXPECT_EQ(result.graph.edges[3].from, "stats");
+  EXPECT_EQ(result.graph.edges[3].to, "support");
+  // Modules sorted by (layer, name).
+  const std::vector<std::string> want = {"support", "runtime", "stats",
+                                         "core"};
+  EXPECT_EQ(result.graph.modules, want);
+}
+
+// The real tree: src/ must satisfy the checked-in architecture contract,
+// and the checked-in DOT rendering must match what the tree generates —
+// a cross-module include change must come with a regenerated docs file.
+TEST(SrmLintGraph, RealSrcTreeSatisfiesLayerContract) {
+  srm::lint::Options options;
+  options.root = SRM_LINT_SRC_DIR;
+  options.layers_file = SRM_LINT_LAYERS_FILE;
+  options.include_graph_only = true;
+  const auto result = srm::lint::run(options);
+  for (const Finding& f : result.findings) {
+    ADD_FAILURE() << srm::lint::format_finding(f);
+  }
+}
+
+TEST(SrmLintGraph, CheckedInDotMatchesGeneratedGraph) {
+  srm::lint::Options options;
+  options.root = SRM_LINT_SRC_DIR;
+  options.layers_file = SRM_LINT_LAYERS_FILE;
+  options.include_graph_only = true;
+  const auto result = srm::lint::run(options);
+  const std::string generated = result.graph.to_dot(result.layers);
+
+  std::ifstream in(SRM_LINT_DOT_FILE, std::ios::binary);
+  ASSERT_TRUE(in) << "missing " << SRM_LINT_DOT_FILE;
+  std::ostringstream checked_in;
+  checked_in << in.rdbuf();
+  EXPECT_EQ(checked_in.str(), generated)
+      << "docs/include-graph.dot is stale; regenerate with\n"
+         "  srm-lint --layers tools/srm-lint/layers.txt "
+         "--dot docs/include-graph.dot src";
+}
+
+}  // namespace

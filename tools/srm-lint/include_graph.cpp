@@ -1,0 +1,288 @@
+#include "include_graph.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace srm::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// One resolved in-tree include: file index → file index.
+struct FileEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::size_t offset = 0;  ///< offset of the `#` in the including file
+};
+
+/// Extracts the quoted include target starting at `i` (the offset of `#`),
+/// or empty. Angle-bracket includes are external by definition and skipped.
+std::string quoted_include_at(const std::string& raw, std::size_t i) {
+  std::size_t j = skip_ws(raw, i + 1);
+  static constexpr std::string_view kInclude = "include";
+  if (raw.compare(j, kInclude.size(), kInclude) != 0) return {};
+  j = skip_ws(raw, j + kInclude.size());
+  if (j >= raw.size() || raw[j] != '"') return {};
+  const std::size_t close = raw.find('"', j + 1);
+  if (close == std::string::npos) return {};
+  return raw.substr(j + 1, close - j - 1);
+}
+
+/// Root-relative path of the file `target` resolves to from `from`, or
+/// empty when the include is external. Quoted includes are written either
+/// root-relative ("support/json.hpp") or same-directory ("lint.hpp").
+std::string resolve_target(const FileSet& files, const FileText& from,
+                           const std::string& target) {
+  if (files.find(target) != nullptr) return target;
+  const std::size_t slash = from.rel.rfind('/');
+  const std::string sibling =
+      slash == std::string::npos ? target
+                                 : from.rel.substr(0, slash + 1) + target;
+  if (files.find(sibling) != nullptr) return sibling;
+  return {};
+}
+
+/// Collects every resolved in-tree include edge, in deterministic
+/// (file, offset) order.
+std::vector<FileEdge> collect_file_edges(const FileSet& files) {
+  std::vector<FileEdge> edges;
+  // Index lookup by rel path for edge endpoints.
+  std::map<std::string_view, std::size_t> index;
+  for (std::size_t i = 0; i < files.files().size(); ++i) {
+    index.emplace(files.files()[i].rel, i);
+  }
+  for (std::size_t fi = 0; fi < files.files().size(); ++fi) {
+    const FileText& f = files.files()[fi];
+    // Includes are parsed from the raw text: the stripping pass blanks
+    // string-literal contents, which is exactly where the path lives.
+    std::size_t pos = 0;
+    while ((pos = f.raw.find('#', pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      ++pos;
+      const std::string target = quoted_include_at(f.raw, at);
+      if (target.empty()) continue;
+      const std::string resolved = resolve_target(files, f, target);
+      if (resolved.empty()) continue;  // external header
+      edges.push_back({fi, index.at(resolved), at});
+    }
+  }
+  return edges;
+}
+
+/// Depth-first search over the file-level include graph reporting every
+/// back-edge (i.e. every cycle) with the offending path.
+void find_cycles(const FileSet& files, const std::vector<FileEdge>& edges,
+                 std::vector<Finding>& out) {
+  const std::size_t n = files.files().size();
+  std::vector<std::vector<const FileEdge*>> adj(n);
+  for (const FileEdge& e : edges) adj[e.from].push_back(&e);
+
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(n, Color::kWhite);
+  std::vector<std::size_t> stack;  // current DFS path (file indices)
+
+  struct Frame {
+    std::size_t node;
+    std::size_t next_edge = 0;
+  };
+
+  for (std::size_t start = 0; start < n; ++start) {
+    if (color[start] != Color::kWhite) continue;
+    std::vector<Frame> frames{{start}};
+    color[start] = Color::kGray;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      Frame& fr = frames.back();
+      if (fr.next_edge < adj[fr.node].size()) {
+        const FileEdge* e = adj[fr.node][fr.next_edge++];
+        if (color[e->to] == Color::kGray) {
+          // Cycle: slice the DFS path from the target back to here.
+          const auto begin =
+              std::find(stack.begin(), stack.end(), e->to);
+          std::string path;
+          for (auto it = begin; it != stack.end(); ++it) {
+            path += files.files()[*it].rel + " -> ";
+          }
+          path += files.files()[e->to].rel;
+          report(out, files.files()[e->from], e->offset, "include-cycle",
+                 "include cycle: " + path);
+        } else if (color[e->to] == Color::kWhite) {
+          color[e->to] = Color::kGray;
+          stack.push_back(e->to);
+          frames.push_back({e->to});
+        }
+      } else {
+        color[fr.node] = Color::kBlack;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::set<std::string> disk_modules(const FileSet& files) {
+  std::set<std::string> modules;
+  for (const FileText& f : files.files()) {
+    const std::string_view m = f.module();
+    if (!m.empty()) modules.emplace(m);
+  }
+  return modules;
+}
+
+Layers Layers::parse(const fs::path& file,
+                     const std::set<std::string>& disk) {
+  std::ifstream in(file);
+  if (!in) {
+    throw LayersError("cannot read layers file: " + file.string());
+  }
+  Layers out;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    std::string word;
+    if (!(words >> word)) continue;  // blank
+    const std::string where =
+        file.filename().string() + ":" + std::to_string(lineno);
+    if (word != "layer") {
+      throw LayersError(where + ": expected `layer <module>...`, got `" +
+                        word + "`");
+    }
+    std::vector<std::string> layer;
+    while (words >> word) {
+      if (!disk.contains(word)) {
+        throw LayersError(where + ": unknown module `" + word +
+                          "` (no such directory in the scanned tree)");
+      }
+      if (out.layer_of.contains(word)) {
+        throw LayersError(where + ": module `" + word +
+                          "` declared in more than one layer");
+      }
+      out.layer_of.emplace(word, static_cast<int>(out.layers.size()));
+      layer.push_back(word);
+    }
+    if (layer.empty()) {
+      throw LayersError(where + ": empty layer");
+    }
+    out.layers.push_back(std::move(layer));
+  }
+  if (out.layers.empty()) {
+    throw LayersError(file.filename().string() + ": no layers declared");
+  }
+  return out;
+}
+
+void run_include_pass(const FileSet& files, const Layers& layers,
+                      IncludeGraph& graph, std::vector<Finding>& out) {
+  const std::vector<FileEdge> file_edges = collect_file_edges(files);
+
+  // Modules on disk that the contract does not declare. Reported once per
+  // module, anchored at its first file.
+  std::set<std::string> undeclared_reported;
+  for (const FileText& f : files.files()) {
+    const std::string module(f.module());
+    if (module.empty() || layers.layer_of.contains(module)) continue;
+    if (!undeclared_reported.insert(module).second) continue;
+    report(out, f, 0, "layer-dag",
+           "module `" + module +
+               "` is not declared in layers.txt; add it to the layer it "
+               "belongs to (see DESIGN.md \"Architecture contract\")");
+  }
+
+  // Module-level edges and layer checks.
+  std::map<std::pair<std::string, std::string>, ModuleEdge> module_edges;
+  for (const FileEdge& e : file_edges) {
+    const FileText& from = files.files()[e.from];
+    const FileText& to = files.files()[e.to];
+    const std::string fm(from.module());
+    const std::string tm(to.module());
+    if (fm.empty() || tm.empty() || fm == tm) continue;
+    auto [it, inserted] = module_edges.try_emplace(
+        {fm, tm},
+        ModuleEdge{fm, tm, from.rel, line_of(from.starts, e.offset), 0});
+    ++it->second.count;
+
+    const auto from_layer = layers.layer_of.find(fm);
+    const auto to_layer = layers.layer_of.find(tm);
+    if (from_layer == layers.layer_of.end() ||
+        to_layer == layers.layer_of.end()) {
+      continue;  // undeclared module already reported above
+    }
+    if (from_layer->second > to_layer->second) continue;  // downward: legal
+    const bool sideways = from_layer->second == to_layer->second;
+    report(out, from, e.offset, "layer-dag",
+           std::string(sideways ? "same-layer include: `" : "back-edge: `") +
+               fm + "` (layer " + std::to_string(from_layer->second) +
+               ") includes " + to.rel + " from `" + tm + "` (layer " +
+               std::to_string(to_layer->second) +
+               "); a module may include only layers strictly below it");
+  }
+
+  // File-level include cycles.
+  find_cycles(files, file_edges, out);
+
+  // Publish the graph: modules sorted by (layer, name), undeclared last.
+  graph.modules.clear();
+  graph.edges.clear();
+  std::set<std::string> modules = disk_modules(files);
+  std::vector<std::string> ordered(modules.begin(), modules.end());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [&](const std::string& a, const std::string& b) {
+                     const auto la = layers.layer_of.find(a);
+                     const auto lb = layers.layer_of.find(b);
+                     const int ia = la == layers.layer_of.end()
+                                        ? static_cast<int>(layers.layers.size())
+                                        : la->second;
+                     const int ib = lb == layers.layer_of.end()
+                                        ? static_cast<int>(layers.layers.size())
+                                        : lb->second;
+                     return std::tie(ia, a) < std::tie(ib, b);
+                   });
+  graph.modules = std::move(ordered);
+  for (auto& [key, edge] : module_edges) {
+    graph.edges.push_back(std::move(edge));
+  }
+  // std::map iteration already yields (from, to) order.
+}
+
+std::string IncludeGraph::to_dot(const Layers& layers) const {
+  std::ostringstream out;
+  out << "// Module include graph. Generated by `srm-lint --dot`; the\n"
+      << "// lint tests diff this against the tree, so regenerate after\n"
+      << "// any cross-module include change:\n"
+      << "//   build/tools/srm-lint/srm-lint --layers tools/srm-lint/"
+         "layers.txt \\\n"
+      << "//     --dot docs/include-graph.dot src\n"
+      << "digraph srm_modules {\n"
+      << "  rankdir = \"BT\";\n"
+      << "  node [shape = box];\n";
+  for (std::size_t l = 0; l < layers.layers.size(); ++l) {
+    out << "  subgraph cluster_layer" << l << " {\n"
+        << "    label = \"layer " << l << "\";\n";
+    for (const std::string& m : layers.layers[l]) {
+      if (std::find(modules.begin(), modules.end(), m) != modules.end()) {
+        out << "    \"" << m << "\";\n";
+      }
+    }
+    out << "  }\n";
+  }
+  for (const std::string& m : modules) {
+    if (!layers.layer_of.contains(m)) {
+      out << "  \"" << m << "\";  // not declared in layers.txt\n";
+    }
+  }
+  for (const ModuleEdge& e : edges) {
+    out << "  \"" << e.from << "\" -> \"" << e.to << "\";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace srm::lint

@@ -1,0 +1,88 @@
+// Include-graph pass: parses every quoted `#include` in the tree, builds the
+// module dependency graph (a module is a first-level directory), and checks
+// it against the layer DAG declared in layers.txt.
+//
+// layers.txt format — comments (#) and blank lines ignored; one `layer` line
+// per layer, lowest first; modules on one line share a layer:
+//
+//   layer support
+//   layer random
+//   layer stats runtime
+//   ...
+//
+// A file may include headers from its own module or from modules in layers
+// strictly below it. Two rules fire:
+//
+//   layer-dag       An include crossing modules sideways (same layer) or
+//                   upward (back-edge), or a module on disk that layers.txt
+//                   does not declare. Build-breaking: the layer DAG is the
+//                   architecture contract that keeps subsystems pluggable.
+//   include-cycle   A cycle in the file-level include graph (reported with
+//                   the offending path). Layering rejects cross-module
+//                   cycles already; this also catches header cycles inside
+//                   one module, which the module graph cannot see.
+//
+// `layers.txt` itself is validated against the modules found on disk: an
+// unknown or duplicate module name in the file is a hard parse error (the
+// contract must never drift from the tree it describes).
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "finding.hpp"
+#include "scan.hpp"
+
+namespace srm::lint {
+
+/// Thrown when layers.txt is malformed or names a module that does not
+/// exist in the scanned tree.
+class LayersError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Layers {
+  /// Module names per layer, lowest layer first.
+  std::vector<std::vector<std::string>> layers;
+  /// Module → layer index.
+  std::map<std::string, int, std::less<>> layer_of;
+
+  /// Parses `file` and validates every declared module against
+  /// `disk_modules` (the first-level directories of the scanned tree).
+  /// Throws LayersError on unknown names, duplicates, or syntax errors.
+  static Layers parse(const std::filesystem::path& file,
+                      const std::set<std::string>& disk_modules);
+};
+
+/// One module-level dependency edge, with a representative include site.
+struct ModuleEdge {
+  std::string from;
+  std::string to;
+  std::string example_file;  ///< file carrying the first such include
+  int example_line = 0;
+  int count = 0;  ///< number of file-level includes behind this edge
+};
+
+struct IncludeGraph {
+  std::vector<std::string> modules;  ///< sorted by (layer, name)
+  std::vector<ModuleEdge> edges;     ///< sorted by (from, to)
+
+  /// Renders the module graph as deterministic Graphviz DOT, one cluster
+  /// per layer. Checked in under docs/ and drift-tested against the tree.
+  [[nodiscard]] std::string to_dot(const Layers& layers) const;
+};
+
+/// The set of first-level directory names containing scanned files.
+std::set<std::string> disk_modules(const FileSet& files);
+
+/// Runs the pass: builds `graph` and appends layer-dag / include-cycle
+/// findings to `out`.
+void run_include_pass(const FileSet& files, const Layers& layers,
+                      IncludeGraph& graph, std::vector<Finding>& out);
+
+}  // namespace srm::lint

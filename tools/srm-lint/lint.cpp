@@ -1,775 +1,137 @@
+// Analyzer driver: the rule registry and the pass orchestration. The whole
+// tree is read exactly once into a FileSet; every pass (include graph,
+// token rules) shares that snapshot.
 #include "lint.hpp"
 
 #include <algorithm>
-#include <array>
-#include <cctype>
-#include <fstream>
-#include <optional>
-#include <sstream>
-#include <string_view>
-#include <unordered_set>
+#include <tuple>
+
+#include "passes.hpp"
 
 namespace srm::lint {
 
-namespace fs = std::filesystem;
-
-namespace {
-
-// ---------------------------------------------------------------------------
-// Small text utilities
-// ---------------------------------------------------------------------------
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-std::vector<std::size_t> line_starts(const std::string& text) {
-  std::vector<std::size_t> starts{0};
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    if (text[i] == '\n') starts.push_back(i + 1);
-  }
-  return starts;
-}
-
-int line_of(const std::vector<std::size_t>& starts, std::size_t offset) {
-  auto it = std::upper_bound(starts.begin(), starts.end(), offset);
-  return static_cast<int>(it - starts.begin());
-}
-
-std::string read_file(const fs::path& p) {
-  std::ifstream in(p, std::ios::binary);
-  std::ostringstream out;
-  out << in.rdbuf();
-  return out.str();
-}
-
-std::size_t skip_ws(const std::string& s, std::size_t i) {
-  while (i < s.size() &&
-         std::isspace(static_cast<unsigned char>(s[i])) != 0) {
-    ++i;
-  }
-  return i;
-}
-
-/// Offset one past the matching closer for the opener at `open`, or npos.
-std::size_t match_delim(const std::string& s, std::size_t open, char oc,
-                        char cc) {
-  int depth = 0;
-  for (std::size_t i = open; i < s.size(); ++i) {
-    if (s[i] == oc) ++depth;
-    if (s[i] == cc && --depth == 0) return i + 1;
-  }
-  return std::string::npos;
-}
-
-/// The identifier ending at (exclusive) `end`, or empty.
-std::string ident_before(const std::string& s, std::size_t end) {
-  std::size_t e = end;
-  while (e > 0 && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
-    --e;
-  }
-  std::size_t b = e;
-  while (b > 0 && ident_char(s[b - 1])) --b;
-  return s.substr(b, e - b);
-}
-
-// ---------------------------------------------------------------------------
-// Comment / literal stripping and suppressions
-// ---------------------------------------------------------------------------
-
-}  // namespace
-
-std::string strip_comments_and_strings(const std::string& text) {
-  std::string out = text;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < out.size() && next != '\n') out[++i] = ' ';
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < out.size() && next != '\n') out[++i] = ' ';
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-bool is_suppressed(const std::string& raw_text, int line,
-                   const std::string& rule) {
-  const auto starts = line_starts(raw_text);
-  const std::string needle = "srm-lint: allow(" + rule + ")";
-  for (int l = std::max(1, line - 1); l <= line; ++l) {
-    if (l > static_cast<int>(starts.size())) continue;
-    const std::size_t begin = starts[static_cast<std::size_t>(l - 1)];
-    const std::size_t end = l < static_cast<int>(starts.size())
-                                ? starts[static_cast<std::size_t>(l)]
-                                : raw_text.size();
-    if (raw_text.substr(begin, end - begin).find(needle) !=
-        std::string::npos) {
-      return true;
-    }
-  }
-  return false;
-}
-
-namespace {
-
-// ---------------------------------------------------------------------------
-// One file's worth of lint state
-// ---------------------------------------------------------------------------
-
-struct FileText {
-  std::string rel;       // path relative to the linted root, '/'-separated
-  std::string raw;       // file contents as on disk
-  std::string stripped;  // comments and literal contents blanked
-  std::vector<std::size_t> starts;  // line start offsets (shared layout)
-};
-
-FileText load(const fs::path& root, const fs::path& p) {
-  FileText f;
-  f.rel = fs::relative(p, root).generic_string();
-  f.raw = read_file(p);
-  f.stripped = strip_comments_and_strings(f.raw);
-  f.starts = line_starts(f.stripped);
-  return f;
-}
-
-bool in_dir(const FileText& f, std::string_view dir) {
-  return f.rel.rfind(dir, 0) == 0;
-}
-
-void report(std::vector<Finding>& out, const FileText& f, std::size_t offset,
-            const std::string& rule, std::string message) {
-  const int line = line_of(f.starts, offset);
-  if (is_suppressed(f.raw, line, rule)) return;
-  out.push_back({f.rel, line, rule, std::move(message)});
-}
-
-/// Calls `fn(name, offset)` for every identifier token in `s`.
-template <typename Fn>
-void for_each_identifier(const std::string& s, Fn&& fn) {
-  std::size_t i = 0;
-  while (i < s.size()) {
-    if (ident_start(s[i]) &&
-        (i == 0 || !ident_char(s[i - 1]))) {
-      std::size_t j = i;
-      while (j < s.size() && ident_char(s[j])) ++j;
-      fn(std::string_view(s).substr(i, j - i), i);
-      i = j;
-    } else {
-      ++i;
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: banned-random
-// ---------------------------------------------------------------------------
-
-void check_banned_random(const FileText& f, std::vector<Finding>& out) {
-  static const std::unordered_set<std::string_view> kRand48 = {
-      "drand48", "srand48", "lrand48", "mrand48",
-      "erand48", "jrand48", "nrand48", "seed48"};
-  for_each_identifier(f.stripped, [&](std::string_view name, std::size_t i) {
-    if (kRand48.contains(name)) {
-      report(out, f, i, "banned-random",
-             std::string(name) +
-                 " is not reproducible per chain; use srm::random");
-      return;
-    }
-    if (name == "rand" || name == "srand") {
-      // Flag only calls (`rand(`), so variables that merely contain the
-      // substring are untouched (for_each_identifier already guarantees
-      // exact-token matches).
-      const std::size_t after = skip_ws(f.stripped, i + name.size());
-      if (after < f.stripped.size() && f.stripped[after] == '(') {
-        report(out, f, i, "banned-random",
-               "std::" + std::string(name) +
-                   " shares global state; use srm::random generators");
-      }
-    }
-  });
-}
-
-// ---------------------------------------------------------------------------
-// Rule: log-domain
-// ---------------------------------------------------------------------------
-
-void check_log_domain(const FileText& f, std::vector<Finding>& out) {
-  for_each_identifier(f.stripped, [&](std::string_view name, std::size_t i) {
-    if (name == "tgamma") {
-      report(out, f, i, "log-domain",
-             "tgamma overflows beyond ~171!; use lgamma and stay in logs");
-      return;
-    }
-    if (name != "exp") return;
-    std::size_t j = skip_ws(f.stripped, i + name.size());
-    if (j >= f.stripped.size() || f.stripped[j] != '(') return;
-    j = skip_ws(f.stripped, j + 1);
-    // Accept an optional std:: / math:: qualifier on the inner call.
-    while (ident_start(j < f.stripped.size() ? f.stripped[j] : '\0')) {
-      std::size_t k = j;
-      while (k < f.stripped.size() && ident_char(f.stripped[k])) ++k;
-      const std::string_view inner =
-          std::string_view(f.stripped).substr(j, k - j);
-      if (inner == "lgamma") {
-        report(out, f, i, "log-domain",
-               "exp(lgamma(...)) overflows; combine in the log domain "
-               "first");
-        return;
-      }
-      if (k + 1 < f.stripped.size() && f.stripped[k] == ':' &&
-          f.stripped[k + 1] == ':') {
-        j = k + 2;
-        continue;
-      }
-      return;
-    }
-  });
-}
-
-// ---------------------------------------------------------------------------
-// Rule: raw-thread
-// ---------------------------------------------------------------------------
-
-void check_raw_thread(const FileText& f, std::vector<Finding>& out) {
-  for_each_identifier(f.stripped, [&](std::string_view name, std::size_t i) {
-    if (name != "thread" && name != "jthread" && name != "async") return;
-    // Only the std-qualified entities: `std::thread`, `std::jthread`,
-    // `std::async` (so members like `pool.async(...)` or a local named
-    // `thread` stay legal).
-    if (i < 2 || f.stripped[i - 1] != ':' || f.stripped[i - 2] != ':') return;
-    if (ident_before(f.stripped, i - 2) != "std") return;
-    report(out, f, i, "raw-thread",
-           "std::" + std::string(name) +
-               " outside src/runtime/; use the runtime pool "
-               "(runtime::TaskGroup / parallel_for) so execution stays "
-               "deterministic and bounded");
-  });
-}
-
-// ---------------------------------------------------------------------------
-// Rule: hot-std-function
-// ---------------------------------------------------------------------------
-
-void check_hot_std_function(const FileText& f, std::vector<Finding>& out) {
-  for_each_identifier(f.stripped, [&](std::string_view name, std::size_t i) {
-    if (name != "function") return;
-    // Only the std-qualified template: `std::function`. Members or locals
-    // that happen to be named `function` stay legal.
-    if (i < 2 || f.stripped[i - 1] != ':' || f.stripped[i - 2] != ':') return;
-    if (ident_before(f.stripped, i - 2) != "std") return;
-    report(out, f, i, "hot-std-function",
-           "std::function in sampler hot-path code; it type-erases with an "
-           "owned (possibly heap-allocated) copy per call site — take a "
-           "support::function_ref instead");
-  });
-}
-
-// ---------------------------------------------------------------------------
-// Rule: nested-vector-matrix
-// ---------------------------------------------------------------------------
-
-void check_nested_vector_matrix(const FileText& f,
-                                std::vector<Finding>& out) {
-  const std::string& s = f.stripped;
-  for_each_identifier(s, [&](std::string_view name, std::size_t i) {
-    if (name != "vector") return;
-    // Only the std-qualified outer template (a user type named `vector`
-    // stays legal, mirroring the other std:: rules).
-    if (i < 2 || s[i - 1] != ':' || s[i - 2] != ':') return;
-    if (ident_before(s, i - 2) != "std") return;
-    std::size_t j = skip_ws(s, i + name.size());
-    if (j >= s.size() || s[j] != '<') return;
-    j = skip_ws(s, j + 1);
-    // Optional std:: qualifier on the element type.
-    std::size_t k = j;
-    while (k < s.size() && ident_char(s[k])) ++k;
-    if (std::string_view(s).substr(j, k - j) == "std") {
-      k = skip_ws(s, k);
-      if (k + 1 >= s.size() || s[k] != ':' || s[k + 1] != ':') return;
-      j = skip_ws(s, k + 2);
-      k = j;
-      while (k < s.size() && ident_char(s[k])) ++k;
-    }
-    if (std::string_view(s).substr(j, k - j) != "vector") return;
-    report(out, f, i, "nested-vector-matrix",
-           "vector-of-vector matrix: every inner row is its own heap "
-           "allocation and pointer chase — use the flat row-major "
-           "support::Matrix");
-  });
-}
-
-// ---------------------------------------------------------------------------
-// Rule: adhoc-serialization
-// ---------------------------------------------------------------------------
-
-void check_adhoc_serialization(const FileText& f, std::vector<Finding>& out) {
-  const std::string& s = f.stripped;
-  for_each_identifier(s, [&](std::string_view name, std::size_t i) {
-    if (name != "operator") return;
-    std::size_t j = skip_ws(s, i + name.size());
-    if (j + 1 >= s.size() || s[j] != '<' || s[j + 1] != '<') return;
-    const std::size_t paren = skip_ws(s, j + 2);
-    if (paren >= s.size() || s[paren] != '(') return;
-    const std::size_t close = match_delim(s, paren, '(', ')');
-    if (close == std::string::npos) return;
-    // Only stream-insertion overloads: an operator<< whose parameter list
-    // mentions an ostream. Shift-semantics overloads (ints, bitmasks) are
-    // not serialization and stay legal.
-    const std::string params = s.substr(paren + 1, close - paren - 2);
-    bool streams = false;
-    for_each_identifier(params, [&](std::string_view tok, std::size_t) {
-      if (tok == "ostream" || tok == "basic_ostream") streams = true;
-    });
-    if (!streams) return;
-    report(out, f, i, "adhoc-serialization",
-           "ad-hoc operator<< result emission; results leave the library "
-           "as typed artifacts (src/artifact/) or rendered tables "
-           "(src/report/), not per-type stream overloads");
-  });
-}
-
-// ---------------------------------------------------------------------------
-// Rule: iostream
-// ---------------------------------------------------------------------------
-
-void check_iostream(const FileText& f, std::vector<Finding>& out) {
-  for_each_identifier(f.stripped, [&](std::string_view name, std::size_t i) {
-    if (name != "cout" && name != "cerr") return;
-    if (i < 2 || f.stripped[i - 1] != ':' || f.stripped[i - 2] != ':') return;
-    report(out, f, i, "iostream",
-           "std::" + std::string(name) +
-               " in library code; take a std::ostream& or return data");
-  });
-}
-
-// ---------------------------------------------------------------------------
-// Rule: float-compare
-// ---------------------------------------------------------------------------
-
-bool is_float_literal(std::string_view tok) {
-  if (tok.empty()) return false;
-  bool digit = false;
-  bool dot_or_exp = false;
-  for (std::size_t i = 0; i < tok.size(); ++i) {
-    const char c = tok[i];
-    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-      digit = true;
-    } else if (c == '.') {
-      dot_or_exp = true;
-    } else if ((c == 'e' || c == 'E') && digit) {
-      dot_or_exp = true;
-      if (i + 1 < tok.size() && (tok[i + 1] == '+' || tok[i + 1] == '-')) {
-        ++i;
-      }
-    } else if ((c == 'f' || c == 'F' || c == 'l' || c == 'L') &&
-               i + 1 == tok.size()) {
-      // suffix
-    } else {
-      return false;
-    }
-  }
-  return digit && dot_or_exp;
-}
-
-void check_float_compare(const FileText& f, std::vector<Finding>& out) {
-  const std::string& s = f.stripped;
-  for (std::size_t i = 0; i + 1 < s.size(); ++i) {
-    if (s[i + 1] != '=' || (s[i] != '=' && s[i] != '!')) continue;
-    if (i + 2 < s.size() && s[i + 2] == '=') continue;  // ===, spaceship junk
-    if (i > 0 && (s[i - 1] == '=' || s[i - 1] == '<' || s[i - 1] == '>' ||
-                  s[i - 1] == '!')) {
-      continue;
-    }
-    // Left operand token (floating literals may end in a digit or suffix).
-    std::size_t e = i;
-    while (e > 0 && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
-      --e;
-    }
-    std::size_t b = e;
-    while (b > 0 && (ident_char(s[b - 1]) || s[b - 1] == '.')) --b;
-    const std::string_view left = std::string_view(s).substr(b, e - b);
-    // Right operand token.
-    std::size_t rb = skip_ws(s, i + 2);
-    std::size_t re = rb;
-    while (re < s.size() && (ident_char(s[re]) || s[re] == '.' ||
-                             ((s[re] == '+' || s[re] == '-') && re > rb &&
-                              (s[re - 1] == 'e' || s[re - 1] == 'E')))) {
-      ++re;
-    }
-    const std::string_view right = std::string_view(s).substr(rb, re - rb);
-    if (is_float_literal(left) || is_float_literal(right)) {
-      report(out, f, i, "float-compare",
-             "floating-point ==/!= against a literal; use the helpers in "
-             "support/fp.hpp (exactly/is_zero/is_one/approx)");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: expects
-// ---------------------------------------------------------------------------
-
-bool has_numeric_scalar_param(const std::string& params) {
-  static const std::unordered_set<std::string_view> kNumeric = {
-      "double",   "float",    "int",      "long",    "short",
-      "unsigned", "signed",   "size_t",   "int8_t",  "int16_t",
-      "int32_t",  "int64_t",  "uint8_t",  "uint16_t", "uint32_t",
-      "uint64_t", "ptrdiff_t"};
-  // Blank template-argument spans so std::span<const double> does not count
-  // as a scalar double parameter.
-  std::string flat = params;
-  int angle = 0;
-  for (char& c : flat) {
-    if (c == '<') ++angle;
-    const bool inside = angle > 0;
-    if (c == '>') --angle;
-    if (inside) c = ' ';
-  }
-  bool numeric = false;
-  for_each_identifier(flat, [&](std::string_view tok, std::size_t) {
-    if (kNumeric.contains(tok)) numeric = true;
-  });
-  return numeric;
-}
-
-struct PublicDecl {
-  std::string cls;   // enclosing class, empty for free functions
-  std::string name;  // function (or constructor) name
-  int line = 0;      // header line of the declaration
-};
-
-/// Extracts public function declarations with scalar numeric parameters
-/// from a header. Inline-defined functions are checked on the spot; the
-/// rest are returned for cross-checking against the sibling .cpp.
-void scan_header(const FileText& f, std::vector<PublicDecl>& needs_impl,
-                 std::vector<Finding>& out) {
-  const std::string& s = f.stripped;
-  struct Scope {
-    bool collect = false;  // namespace or public class section
-    bool is_class = false;
-    std::string cls;
-    bool access_public = false;
+const std::vector<RuleInfo>& registered_rules() {
+  static const std::vector<RuleInfo> kRules = {
+      // Include-graph pass.
+      {"layer-dag",
+       "module includes must point strictly down the layer DAG declared in "
+       "layers.txt; back-edges, same-layer includes and undeclared modules "
+       "are build-breaking",
+       PassKind::kIncludeGraph,
+       "include/backedge",
+       {}},
+      {"include-cycle",
+       "the file-level include graph must be acyclic; cycles are reported "
+       "with the offending path",
+       PassKind::kIncludeGraph,
+       "include/cycle",
+       {}},
+      // Numerical/style contracts.
+      {"banned-random",
+       "no std::rand/srand or the *rand48 family; only srm::random "
+       "generators are reproducible and seedable per chain",
+       PassKind::kToken,
+       "violations",
+       {}},
+      {"log-domain",
+       "no tgamma and no exp(lgamma(...)) in core/ or stats/; likelihood "
+       "code stays in the log domain",
+       PassKind::kToken,
+       "violations",
+       {"core/", "stats/"}},
+      {"iostream",
+       "no std::cout/std::cerr outside cli/ and report/",
+       PassKind::kToken,
+       "violations",
+       {"cli/", "report/"}},
+      {"float-compare",
+       "no floating ==/!= against literals outside support/fp.hpp",
+       PassKind::kToken,
+       "violations",
+       {"support/fp.hpp"}},
+      {"raw-thread",
+       "no std::thread/std::jthread/std::async outside runtime/",
+       PassKind::kToken,
+       "violations",
+       {"runtime/"}},
+      {"hot-std-function",
+       "no std::function in mcmc/ or core/; take support::function_ref",
+       PassKind::kToken,
+       "violations",
+       {"mcmc/", "core/"}},
+      {"expects",
+       "public numeric functions in core/ and stats/ carry an SRM_EXPECTS "
+       "precondition",
+       PassKind::kToken,
+       "violations",
+       {"core/", "stats/"}},
+      {"nested-vector-matrix",
+       "no std::vector<std::vector<...>> in core/ or report/; use the flat "
+       "support::Matrix",
+       PassKind::kToken,
+       "violations",
+       {"core/", "report/"}},
+      {"adhoc-serialization",
+       "no stream-insertion operator<< outside report/ and artifact/",
+       PassKind::kToken,
+       "violations",
+       {"report/", "artifact/"}},
+      // Determinism rules (bit-identity contract).
+      {"unordered-output",
+       "no std::unordered_map/std::unordered_set in artifact/, report/ or "
+       "cli/; hash iteration order is nondeterministic and those layers "
+       "feed serialized output",
+       PassKind::kToken,
+       "violations",
+       {"artifact/", "report/", "cli/"}},
+      {"wallclock",
+       "no std::random_device, std::chrono::system_clock or C time sources "
+       "outside random/",
+       PassKind::kToken,
+       "violations",
+       {"random/"}},
+      {"pointer-order",
+       "no pointer-keyed std::map/std::set; pointer order is allocation "
+       "order and varies run to run",
+       PassKind::kToken,
+       "violations",
+       {}},
+      {"locale-format",
+       "no std::to_string/setlocale/std::locale outside support/; use the "
+       "to_chars-backed support::dec / support::fixed",
+       PassKind::kToken,
+       "violations",
+       {"support/"}},
   };
-  std::vector<Scope> scopes;
-  scopes.push_back({true, false, "", false});  // file scope
-
-  std::size_t unit_begin = 0;
-  std::size_t i = 0;
-  const auto unit = [&](std::size_t end) {
-    std::string u = s.substr(unit_begin, end - unit_begin);
-    return u;
-  };
-
-  const auto handle_decl = [&](const std::string& u, std::size_t begin,
-                               std::size_t body_begin, std::size_t body_end) {
-    Scope& sc = scopes.back();
-    const bool collectable =
-        sc.collect && (!sc.is_class || sc.access_public);
-    if (!collectable) return;
-    if (u.find('(') == std::string::npos) return;
-    for (const char* skip :
-         {"operator", "= default", "= delete", "using ", "friend ",
-          "typedef ", "template", "static_assert", "#"}) {
-      if (u.find(skip) != std::string::npos) return;
-    }
-    const std::size_t paren = u.find('(');
-    std::string name = ident_before(u, paren);
-    if (name.empty() || u.find('~') != std::string::npos) return;
-    const std::size_t close = match_delim(u, paren, '(', ')');
-    if (close == std::string::npos) return;
-    // Pure virtual (`... ) const = 0`): no body anywhere to carry the
-    // check; the contract belongs to the overrides.
-    std::string tail;
-    for (const char tc : u.substr(close)) {
-      if (std::isspace(static_cast<unsigned char>(tc)) == 0) tail += tc;
-    }
-    if (tail.size() >= 2 && tail.compare(tail.size() - 2, 2, "=0") == 0) {
-      return;
-    }
-    const std::string params = u.substr(paren + 1, close - paren - 2);
-    if (!has_numeric_scalar_param(params)) return;
-    const int line = line_of(f.starts, begin + paren);
-    if (is_suppressed(f.raw, line, "expects")) return;
-    if (body_begin != std::string::npos) {
-      const std::string body = s.substr(body_begin, body_end - body_begin);
-      if (body.find("SRM_EXPECTS") == std::string::npos) {
-        Finding fd{f.rel, line, "expects",
-                   "public function `" + name +
-                       "` takes numeric parameters but its inline body has "
-                       "no SRM_EXPECTS precondition"};
-        out.push_back(fd);
-      }
-      return;
-    }
-    needs_impl.push_back({scopes.back().cls, name, line});
-  };
-
-  while (i < s.size()) {
-    const char c = s[i];
-    if (c == ';') {
-      handle_decl(unit(i), unit_begin, std::string::npos, std::string::npos);
-      unit_begin = i + 1;
-      ++i;
-    } else if (c == '{') {
-      const std::string u = unit(i);
-      const std::size_t body_end = match_delim(s, i, '{', '}');
-      if (body_end == std::string::npos) break;  // unbalanced; bail out
-      if (u.find("namespace") != std::string::npos) {
-        scopes.push_back({true, false, scopes.back().cls, false});
-        unit_begin = i + 1;
-        ++i;
-      } else if (u.find("class ") != std::string::npos ||
-                 u.find("struct ") != std::string::npos) {
-        const bool is_struct = u.find("struct ") != std::string::npos;
-        // Name: identifier after the class/struct keyword (before any
-        // base-clause colon).
-        const std::size_t kw = is_struct ? u.find("struct ") + 7
-                                         : u.find("class ") + 6;
-        std::size_t e = kw;
-        while (e < u.size() && ident_char(u[e])) ++e;
-        scopes.push_back({true, true, u.substr(kw, e - kw), is_struct});
-        unit_begin = i + 1;
-        ++i;
-      } else if (u.find('(') != std::string::npos) {
-        handle_decl(u, unit_begin, i + 1, body_end - 1);
-        unit_begin = body_end;
-        i = body_end;
-      } else {
-        // enum, array initializer, lambda-free brace — skip wholesale.
-        unit_begin = body_end;
-        i = body_end;
-      }
-    } else if (c == '}') {
-      if (scopes.size() > 1) scopes.pop_back();
-      unit_begin = i + 1;
-      ++i;
-    } else if (c == ':' && scopes.back().is_class &&
-               (i + 1 >= s.size() || s[i + 1] != ':') &&
-               (i == 0 || s[i - 1] != ':')) {
-      const std::string u = unit(i);
-      const std::string word = ident_before(u, u.size());
-      if (word == "public") {
-        scopes.back().access_public = true;
-        unit_begin = i + 1;
-      } else if (word == "private" || word == "protected") {
-        scopes.back().access_public = false;
-        unit_begin = i + 1;
-      }
-      ++i;
-    } else {
-      ++i;
-    }
-  }
+  return kRules;
 }
 
-/// True if `def_end` (offset of `(`) begins a function *definition* —
-/// i.e. after the balanced parameter list the next tokens are an optional
-/// `const`/`noexcept` qualifier followed by `{`.
-std::size_t definition_body(const std::string& s, std::size_t paren) {
-  const std::size_t close = match_delim(s, paren, '(', ')');
-  if (close == std::string::npos) return std::string::npos;
-  std::size_t j = skip_ws(s, close);
-  while (j < s.size() && ident_start(s[j])) {
-    std::size_t k = j;
-    while (k < s.size() && ident_char(s[k])) ++k;
-    const std::string_view tok = std::string_view(s).substr(j, k - j);
-    if (tok != "const" && tok != "noexcept" && tok != "override") {
-      return std::string::npos;
-    }
-    j = skip_ws(s, k);
+Result run(const Options& options) {
+  Result result;
+  const FileSet files = FileSet::load(options.root);
+
+  if (!options.layers_file.empty()) {
+    result.layers = Layers::parse(options.layers_file, disk_modules(files));
+    run_include_pass(files, result.layers, result.graph, result.findings);
   }
-  // Constructor initializer lists: `: member_(...), other_(...) {`.
-  if (j < s.size() && s[j] == ':' &&
-      (j + 1 >= s.size() || s[j + 1] != ':')) {
-    while (j < s.size() && s[j] != '{' && s[j] != ';') {
-      if (s[j] == '(') {
-        j = match_delim(s, j, '(', ')');
-        if (j == std::string::npos) return std::string::npos;
-      } else {
-        ++j;
-      }
-    }
+
+  if (!options.include_graph_only) {
+    run_contract_rules(files, result.findings);
+    run_determinism_rules(files, result.findings);
   }
-  if (j < s.size() && s[j] == '{') return j;
-  return std::string::npos;
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return result;
 }
 
-/// Checks the declarations collected from a header against the sibling
-/// .cpp: every matching definition must contain SRM_EXPECTS.
-void check_impls(const FileText& header, const FileText* impl,
-                 const std::vector<PublicDecl>& decls,
-                 std::vector<Finding>& out) {
-  for (const PublicDecl& d : decls) {
-    bool found_def = false;
-    bool found_expects = false;
-    std::vector<std::pair<int, std::string>> missing;  // line in impl
-    if (impl != nullptr) {
-      const std::string& s = impl->stripped;
-      std::size_t pos = 0;
-      while ((pos = s.find(d.name, pos)) != std::string::npos) {
-        const std::size_t at = pos;
-        pos += d.name.size();
-        if (at > 0 && ident_char(s[at - 1])) continue;
-        if (pos < s.size() && ident_char(s[pos])) continue;
-        // Member functions must be qualified Class::name; free functions
-        // must NOT be preceded by `::` or `.` (those are call sites).
-        if (!d.cls.empty()) {
-          if (at < 2 || s[at - 1] != ':' || s[at - 2] != ':') continue;
-          const std::string qual = ident_before(s, at - 2);
-          if (qual != d.cls) continue;
-        } else {
-          if (at >= 2 && s[at - 1] == ':' && s[at - 2] == ':') continue;
-          if (at >= 1 && s[at - 1] == '.') continue;
-        }
-        const std::size_t paren = skip_ws(s, pos);
-        if (paren >= s.size() || s[paren] != '(') continue;
-        const std::size_t body = definition_body(s, paren);
-        if (body == std::string::npos) continue;
-        const std::size_t body_end = match_delim(s, body, '{', '}');
-        if (body_end == std::string::npos) continue;
-        found_def = true;
-        const int def_line = line_of(impl->starts, at);
-        if (s.substr(body, body_end - body).find("SRM_EXPECTS") !=
-            std::string::npos) {
-          found_expects = true;
-        } else if (!is_suppressed(impl->raw, def_line, "expects")) {
-          missing.emplace_back(def_line, impl->rel);
-        }
-        pos = body_end;
-      }
-    }
-    if (!found_def) {
-      out.push_back({header.rel, d.line, "expects",
-                     "public function `" + d.name +
-                         "` takes numeric parameters but no implementation "
-                         "was found in the sibling .cpp to carry its "
-                         "SRM_EXPECTS precondition"});
-      continue;
-    }
-    (void)found_expects;
-    for (const auto& [line, file] : missing) {
-      out.push_back({file, line, "expects",
-                     "definition of public `" +
-                         (d.cls.empty() ? d.name : d.cls + "::" + d.name) +
-                         "` has no SRM_EXPECTS precondition (declared at " +
-                         header.rel + ":" + std::to_string(d.line) + ")"});
-    }
-  }
-}
-
-}  // namespace
-
-std::string format_finding(const Finding& f) {
-  std::ostringstream out;
-  out << f.file << ':' << f.line << ": [" << f.rule << "] " << f.message;
-  return out.str();
-}
-
-std::vector<Finding> run_lint(const fs::path& root) {
-  std::vector<Finding> out;
-  std::vector<fs::path> files;
-  for (const auto& entry : fs::recursive_directory_iterator(root)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string ext = entry.path().extension().string();
-    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
-      files.push_back(entry.path());
-    }
-  }
-  std::sort(files.begin(), files.end());
-
-  for (const fs::path& p : files) {
-    const FileText f = load(root, p);
-    const bool is_cli_or_report =
-        in_dir(f, "cli/") || in_dir(f, "report/");
-    const bool is_core_or_stats =
-        in_dir(f, "core/") || in_dir(f, "stats/");
-
-    check_banned_random(f, out);
-    if (is_core_or_stats) check_log_domain(f, out);
-    if (!is_cli_or_report) check_iostream(f, out);
-    if (!in_dir(f, "report/") && !in_dir(f, "artifact/")) {
-      check_adhoc_serialization(f, out);
-    }
-    if (f.rel != "support/fp.hpp") check_float_compare(f, out);
-    if (!in_dir(f, "runtime/")) check_raw_thread(f, out);
-    if (in_dir(f, "mcmc/") || in_dir(f, "core/")) {
-      check_hot_std_function(f, out);
-    }
-    if (in_dir(f, "core/") || in_dir(f, "report/")) {
-      check_nested_vector_matrix(f, out);
-    }
-
-    if (is_core_or_stats && p.extension() == ".hpp") {
-      std::vector<PublicDecl> needs_impl;
-      scan_header(f, needs_impl, out);
-      if (!needs_impl.empty()) {
-        fs::path sibling = p;
-        sibling.replace_extension(".cpp");
-        std::optional<FileText> impl;
-        if (fs::exists(sibling)) impl = load(root, sibling);
-        check_impls(f, impl ? &*impl : nullptr, needs_impl, out);
-      }
-    }
-  }
-
-  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
-    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
-  });
-  return out;
+std::vector<Finding> run_lint(const std::filesystem::path& root) {
+  Options options;
+  options.root = root;
+  return run(options).findings;
 }
 
 }  // namespace srm::lint

@@ -1,7 +1,15 @@
-// srm-lint — repo-specific static checks that generic tools cannot express.
+// srm-lint — repo-specific static analysis that generic tools cannot
+// express. The analyzer runs three pass families over a single in-memory
+// snapshot of the tree (see scan.hpp):
 //
-// The linter scans the library source tree (src/) and enforces the
-// numerical-contract rules documented in README.md "Correctness tooling":
+// 1. Include-graph pass (include_graph.hpp): every quoted #include is
+//    resolved, the module graph is built, and it is checked against the
+//    layer DAG declared in tools/srm-lint/layers.txt. Back-edges,
+//    same-layer includes and include cycles are build-breaking — the
+//    layering is what keeps the subsystems (serve cache, SIMD lanes, new
+//    model families) pluggable.
+//
+// 2. Token-rule passes. Numerical/style contracts:
 //
 //   banned-random   No std::rand/srand or the *rand48 family anywhere in
 //                   library code; only the srm::random generators are
@@ -38,8 +46,38 @@
 //                   from the canonical JSON form. Shift-semantics
 //                   operator<< (no ostream parameter) stays legal.
 //
-// Any rule can be suppressed at a specific site with a justification
-// comment on the flagged line or the line above:
+//    Determinism rules guarding the bit-identity contract (results are
+//    bit-identical for any worker count, across interrupt/resume, and for
+//    any host locale):
+//
+//   unordered-output No std::unordered_map/std::unordered_set in
+//                   src/artifact/, src/report/ or src/cli/: hash-container
+//                   iteration order varies across libstdc++ versions and
+//                   ASLR runs, and those layers feed serialization and
+//                   rendered output directly. Use std::map or a sorted
+//                   vector.
+//   wallclock       No std::random_device, std::chrono::system_clock, or
+//                   C time sources (time/gettimeofday/clock_gettime/
+//                   localtime/gmtime/ctime) outside src/random/: any
+//                   wall-clock or entropy read in library code makes a
+//                   result depend on when/where it ran.
+//   pointer-order   No pointer-keyed std::map/std::set (or unordered
+//                   variants): pointer order is allocation order, which
+//                   varies run to run — key by a value identity instead.
+//   locale-format   No std::to_string, setlocale, or std::locale outside
+//                   src/support/: to_string on floating point formats via
+//                   the global C locale (a German locale prints "1,5"),
+//                   breaking byte-identical output. Use support::dec /
+//                   support::fixed (support/format.hpp), which are
+//                   to_chars-backed and locale-independent.
+//
+// 3. Contract-drift pass (contract.hpp, `srm-lint --self-check`): every
+//    registered rule must fire on its violating fixtures and stay quiet on
+//    the clean ones, and every scope/exemption path a rule names must still
+//    exist in the linted tree.
+//
+// Any token or include rule can be suppressed at a specific site with a
+// justification comment on the flagged line or the line above:
 //
 //   // srm-lint: allow(<rule>) — <reason>
 //
@@ -51,32 +89,54 @@
 
 #include <filesystem>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "finding.hpp"
+#include "include_graph.hpp"
+#include "scan.hpp"
 
 namespace srm::lint {
 
-struct Finding {
-  std::string file;  ///< path relative to the linted root
-  int line = 0;      ///< 1-based
-  std::string rule;
-  std::string message;
+/// Which pass implements a rule — the contract-drift check runs each rule
+/// against the fixture tree its pass understands.
+enum class PassKind { kToken, kIncludeGraph };
+
+/// Registry entry for one rule. `anchors` lists the scope/exemption paths
+/// the rule hard-codes (directory prefixes end in '/'); the contract-drift
+/// pass verifies each still exists in the linted tree so a rename cannot
+/// silently widen or narrow a rule.
+struct RuleInfo {
+  std::string_view name;
+  std::string_view summary;
+  PassKind pass = PassKind::kToken;
+  /// Fixture tree (under fixtures/) where the rule must produce findings.
+  std::string_view fixture_tree;
+  std::vector<std::string_view> anchors;
 };
 
-/// Replaces //, /* */ comments and string/char literal contents with spaces,
-/// preserving offsets and newlines so line numbers survive.
-std::string strip_comments_and_strings(const std::string& text);
+/// Every rule the analyzer enforces, in documentation order.
+const std::vector<RuleInfo>& registered_rules();
 
-/// Returns true if `raw_text` carries `// srm-lint: allow(<rule>)` on
-/// `line` or the line above it.
-bool is_suppressed(const std::string& raw_text, int line,
-                   const std::string& rule);
+struct Options {
+  std::filesystem::path root;
+  /// Layer contract file; empty skips the include-graph pass.
+  std::filesystem::path layers_file;
+  /// Run only the include-graph pass (used for tests/ in warn-only mode).
+  bool include_graph_only = false;
+};
 
-/// Lints every .hpp/.cpp under `root` (expected to be the repo's src/
-/// directory, or a fixture tree with the same layout). Findings are sorted
-/// by file, then line.
+struct Result {
+  std::vector<Finding> findings;  ///< sorted by (file, line, rule)
+  IncludeGraph graph;             ///< populated when the include pass ran
+  Layers layers;                  ///< the parsed layer contract (if any)
+};
+
+/// Runs the configured passes over `options.root`.
+/// Throws LayersError when the layer contract itself is invalid.
+Result run(const Options& options);
+
+/// Back-compatible helper: token-rule passes only, over `root`.
 std::vector<Finding> run_lint(const std::filesystem::path& root);
-
-/// Formats one finding as "file:line: [rule] message".
-std::string format_finding(const Finding& f);
 
 }  // namespace srm::lint

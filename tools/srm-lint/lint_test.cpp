@@ -229,4 +229,94 @@ TEST(SrmLint, FormatFindingIsGrepFriendly) {
   EXPECT_EQ(srm::lint::format_finding(f), "core/x.cpp:12: [iostream] message");
 }
 
+// --- Determinism rule family -------------------------------------------
+
+TEST(SrmLint, DetectsUnorderedContainersInOutputLayers) {
+  const auto all = run_lint(fixture("violations"));
+  const auto hits = findings_for_rule(all, "unordered-output");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_TRUE(
+      has_finding(all, "artifact/bad_unordered.cpp", 8, "unordered-output"));
+  EXPECT_TRUE(
+      has_finding(all, "artifact/bad_unordered.cpp", 11, "unordered-output"));
+  EXPECT_TRUE(has_finding(all, "report/bad_unordered_render.cpp", 8,
+                          "unordered-output"));
+}
+
+TEST(SrmLint, UnorderedOutputRuleScopedToSerializingLayers) {
+  // core/ok_unordered.cpp keeps an unordered_map whose iteration order
+  // never reaches output; it must stay clean.
+  const auto all = run_lint(fixture("violations"));
+  for (const auto& f : findings_for_rule(all, "unordered-output")) {
+    const bool in_scope = f.file.rfind("artifact/", 0) == 0 ||
+                          f.file.rfind("report/", 0) == 0 ||
+                          f.file.rfind("cli/", 0) == 0;
+    EXPECT_TRUE(in_scope) << srm::lint::format_finding(f);
+  }
+}
+
+TEST(SrmLint, DetectsWallclockSources) {
+  const auto all = run_lint(fixture("violations"));
+  const auto hits = findings_for_rule(all, "wallclock");
+  ASSERT_EQ(hits.size(), 3u)
+      << "random_device, system_clock and time() all fire; steady_clock "
+         "stays clean";
+  EXPECT_TRUE(has_finding(all, "mcmc/bad_wallclock.cpp", 9, "wallclock"));
+  EXPECT_TRUE(has_finding(all, "mcmc/bad_wallclock.cpp", 14, "wallclock"));
+  EXPECT_TRUE(has_finding(all, "mcmc/bad_wallclock.cpp", 16, "wallclock"));
+}
+
+TEST(SrmLint, WallclockRuleExemptsRandomDirectory) {
+  // random/ok_entropy.cpp seeds from std::random_device — the one place
+  // nondeterministic entropy is allowed to enter.
+  const auto all = run_lint(fixture("violations"));
+  for (const auto& f : findings_for_rule(all, "wallclock")) {
+    EXPECT_NE(f.file.rfind("random/", 0), 0u) << srm::lint::format_finding(f);
+  }
+}
+
+TEST(SrmLint, DetectsPointerKeyedContainers) {
+  const auto all = run_lint(fixture("violations"));
+  const auto hits = findings_for_rule(all, "pointer-order");
+  ASSERT_EQ(hits.size(), 2u)
+      << "pointer keys fire; pointer-valued mapped types stay clean";
+  EXPECT_TRUE(
+      has_finding(all, "core/bad_pointer_key.cpp", 11, "pointer-order"));
+  EXPECT_TRUE(
+      has_finding(all, "core/bad_pointer_key.cpp", 12, "pointer-order"));
+}
+
+TEST(SrmLint, DetectsLocaleSensitiveFormatting) {
+  const auto all = run_lint(fixture("violations"));
+  const auto hits = findings_for_rule(all, "locale-format");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_TRUE(has_finding(all, "data/bad_locale.cpp", 8, "locale-format"));
+  EXPECT_TRUE(has_finding(all, "data/bad_locale.cpp", 9, "locale-format"));
+}
+
+TEST(SrmLint, LocaleFormatRuleExemptsSupportDirectory) {
+  // support/ok_locale.cpp is where the to_chars-backed formatters live;
+  // the exemption keeps the rule enforceable everywhere else.
+  const auto all = run_lint(fixture("violations"));
+  for (const auto& f : findings_for_rule(all, "locale-format")) {
+    EXPECT_NE(f.file.rfind("support/", 0), 0u)
+        << srm::lint::format_finding(f);
+  }
+}
+
+TEST(SrmLint, RuleRegistryCoversEveryEmittedRule) {
+  // Every finding the analyzer can emit must name a registered rule, so
+  // the self-check provably covers the whole rule surface.
+  std::vector<std::string> names;
+  for (const auto& rule : srm::lint::registered_rules()) {
+    names.emplace_back(rule.name);
+  }
+  const auto all = run_lint(fixture("violations"));
+  for (const auto& f : all) {
+    EXPECT_NE(std::find(names.begin(), names.end(), f.rule), names.end())
+        << "unregistered rule: " << f.rule;
+  }
+  EXPECT_EQ(names.size(), 15u);
+}
+
 }  // namespace

@@ -1,35 +1,218 @@
-// srm-lint CLI. Usage: srm-lint <src-dir>
+// srm-lint CLI.
 //
-// Exit status: 0 when the tree is clean, 1 when findings were reported,
-// 2 on usage/IO errors. Registered as the `lint.srm_lint` ctest.
+//   srm-lint [options] <root>
+//     --layers FILE          enforce the layer DAG declared in FILE
+//     --include-graph-only   run only the include-graph pass (requires
+//                            --layers); used on tests/ in warn-only mode
+//     --dot FILE             write the module graph as Graphviz DOT
+//                            ('-' for stdout); requires --layers
+//     --format text|json     finding output format (default: text)
+//     --baseline FILE        suppress findings recorded in FILE; fail only
+//                            on (rule, file) groups that grew
+//     --write-baseline FILE  write current findings as a baseline and exit
+//     --warn-only            print findings but exit 0 (CI grace mode)
+//     --self-check           run the contract-drift pass instead of the
+//                            lint passes (requires --fixtures)
+//     --fixtures DIR         fixture directory for --self-check
+//
+// Exit status: 0 when clean (or --warn-only), 1 when findings were
+// reported, 2 on usage/IO/contract-file errors.
 #include <exception>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "contract.hpp"
 #include "lint.hpp"
+#include "report.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using srm::lint::Finding;
+
+int usage() {
+  std::cerr
+      << "usage: srm-lint [options] <root>\n"
+         "  --layers FILE          enforce the layer DAG from FILE\n"
+         "  --include-graph-only   run only the include-graph pass\n"
+         "  --dot FILE             write module graph DOT ('-' = stdout)\n"
+         "  --format text|json     finding output format\n"
+         "  --baseline FILE        suppress known findings, fail on new\n"
+         "  --write-baseline FILE  record current findings and exit\n"
+         "  --warn-only            print findings but exit 0\n"
+         "  --self-check           contract-drift pass (with --fixtures)\n"
+         "  --fixtures DIR         fixture directory for --self-check\n";
+  return 2;
+}
+
+std::string read_file_or_throw(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + p.string());
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void emit(const std::vector<Finding>& findings, const std::string& format) {
+  if (format == "json") {
+    std::cout << srm::lint::to_json(findings);
+    return;
+  }
+  for (const Finding& f : findings) {
+    std::cout << srm::lint::format_finding(f) << "\n";
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: srm-lint <src-dir>\n";
-    return 2;
+  fs::path root;
+  fs::path layers_file;
+  fs::path dot_file;
+  fs::path baseline_file;
+  fs::path write_baseline_file;
+  fs::path fixtures_dir;
+  std::string format = "text";
+  bool include_graph_only = false;
+  bool warn_only = false;
+  bool self_check = false;
+
+  const auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--layers") {
+      if ((value = need_value(i)) == nullptr) return usage();
+      layers_file = value;
+    } else if (arg == "--dot") {
+      if ((value = need_value(i)) == nullptr) return usage();
+      dot_file = value;
+    } else if (arg == "--format") {
+      if ((value = need_value(i)) == nullptr) return usage();
+      format = value;
+      if (format != "text" && format != "json") return usage();
+    } else if (arg == "--baseline") {
+      if ((value = need_value(i)) == nullptr) return usage();
+      baseline_file = value;
+    } else if (arg == "--write-baseline") {
+      if ((value = need_value(i)) == nullptr) return usage();
+      write_baseline_file = value;
+    } else if (arg == "--fixtures") {
+      if ((value = need_value(i)) == nullptr) return usage();
+      fixtures_dir = value;
+    } else if (arg == "--include-graph-only") {
+      include_graph_only = true;
+    } else if (arg == "--warn-only") {
+      warn_only = true;
+    } else if (arg == "--self-check") {
+      self_check = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "srm-lint: unknown option " << arg << "\n";
+      return usage();
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      return usage();
+    }
   }
-  const std::filesystem::path root(argv[1]);
-  if (!std::filesystem::is_directory(root)) {
+  if (root.empty() || !fs::is_directory(root)) {
     std::cerr << "srm-lint: not a directory: " << root << "\n";
-    return 2;
+    return usage();
   }
+  if (include_graph_only && layers_file.empty()) {
+    std::cerr << "srm-lint: --include-graph-only requires --layers\n";
+    return usage();
+  }
+  if (self_check && fixtures_dir.empty()) {
+    std::cerr << "srm-lint: --self-check requires --fixtures\n";
+    return usage();
+  }
+
   try {
-    const auto findings = srm::lint::run_lint(root);
-    for (const auto& f : findings) {
-      std::cout << srm::lint::format_finding(f) << "\n";
+    if (self_check) {
+      const auto drift = srm::lint::run_self_check(fixtures_dir, root);
+      emit(drift, format);
+      if (!drift.empty()) {
+        std::cout << drift.size()
+                  << " contract-drift finding(s): the rule registry, "
+                     "fixtures and exemption anchors disagree.\n";
+        return warn_only ? 0 : 1;
+      }
+      if (format != "json") std::cout << "srm-lint: contract intact\n";
+      return 0;
     }
-    if (!findings.empty()) {
-      std::cout << findings.size() << " finding(s). Fix them or suppress "
-                << "with `// srm-lint: allow(<rule>) — <reason>`.\n";
-      return 1;
+
+    srm::lint::Options options;
+    options.root = root;
+    options.layers_file = layers_file;
+    options.include_graph_only = include_graph_only;
+    const srm::lint::Result result = srm::lint::run(options);
+
+    if (!dot_file.empty()) {
+      if (layers_file.empty()) {
+        std::cerr << "srm-lint: --dot requires --layers\n";
+        return usage();
+      }
+      const std::string dot = result.graph.to_dot(result.layers);
+      if (dot_file == "-") {
+        std::cout << dot;
+      } else {
+        std::ofstream out(dot_file, std::ios::binary);
+        if (!out) throw std::runtime_error("cannot write " +
+                                           dot_file.string());
+        out << dot;
+      }
     }
-    std::cout << "srm-lint: clean\n";
+
+    if (!write_baseline_file.empty()) {
+      std::ofstream out(write_baseline_file, std::ios::binary);
+      if (!out) {
+        throw std::runtime_error("cannot write " +
+                                 write_baseline_file.string());
+      }
+      out << srm::lint::write_baseline(result.findings);
+      std::cout << "srm-lint: wrote baseline (" << result.findings.size()
+                << " finding(s)) to " << write_baseline_file.string()
+                << "\n";
+      return 0;
+    }
+
+    std::vector<Finding> to_report = result.findings;
+    std::vector<std::string> stale;
+    if (!baseline_file.empty()) {
+      const auto baseline = srm::lint::parse_baseline(
+          read_file_or_throw(baseline_file));
+      auto diff = srm::lint::apply_baseline(result.findings, baseline);
+      to_report = std::move(diff.fresh);
+      stale = std::move(diff.stale);
+    }
+
+    emit(to_report, format);
+    if (format != "json") {
+      for (const std::string& s : stale) {
+        std::cout << "stale baseline entry: " << s << "\n";
+      }
+    }
+    if (!to_report.empty()) {
+      if (format != "json") {
+        std::cout << to_report.size()
+                  << " finding(s). Fix them or suppress with "
+                     "`// srm-lint: allow(<rule>) — <reason>`.\n";
+      }
+      return warn_only ? 0 : 1;
+    }
+    if (format != "text") return 0;
+    std::cout << "srm-lint: clean"
+              << (baseline_file.empty() ? "" : " (vs. baseline)") << "\n";
     return 0;
+  } catch (const srm::lint::LayersError& e) {
+    std::cerr << "srm-lint: layer contract: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "srm-lint: " << e.what() << "\n";
     return 2;

@@ -1,0 +1,22 @@
+// Internal pass entry points shared between the driver (lint.cpp) and the
+// contract-drift check. Each pass appends findings for the whole file set;
+// scoping is decided per-rule inside the pass.
+#pragma once
+
+#include <vector>
+
+#include "finding.hpp"
+#include "scan.hpp"
+
+namespace srm::lint {
+
+/// Numerical/style contract rules: banned-random, log-domain, iostream,
+/// float-compare, raw-thread, hot-std-function, nested-vector-matrix,
+/// adhoc-serialization, expects.
+void run_contract_rules(const FileSet& files, std::vector<Finding>& out);
+
+/// Determinism rules guarding the bit-identity contract: unordered-output,
+/// wallclock, pointer-order, locale-format.
+void run_determinism_rules(const FileSet& files, std::vector<Finding>& out);
+
+}  // namespace srm::lint

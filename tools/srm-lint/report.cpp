@@ -1,0 +1,148 @@
+#include "report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace srm::lint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<Finding>& findings) {
+  // Per-rule totals first so a reviewer sees the shape before the list.
+  std::map<std::string, int> counts;
+  for (const Finding& f : findings) ++counts[f.rule];
+
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"tool\": \"srm-lint\",\n"
+      << "  \"schema\": 1,\n"
+      << "  \"total\": " << findings.size() << ",\n"
+      << "  \"counts\": {";
+  bool first = true;
+  for (const auto& [rule, n] : counts) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(rule)
+        << "\": " << n;
+    first = false;
+  }
+  out << (counts.empty() ? "" : "\n  ") << "},\n"
+      << "  \"findings\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    out << (first ? "\n" : ",\n") << "    {\"file\": \""
+        << json_escape(f.file) << "\", \"line\": " << f.line
+        << ", \"rule\": \"" << json_escape(f.rule) << "\", \"message\": \""
+        << json_escape(f.message) << "\"}";
+    first = false;
+  }
+  out << (findings.empty() ? "" : "\n  ") << "]\n"
+      << "}\n";
+  return out.str();
+}
+
+Baseline parse_baseline(const std::string& text) {
+  Baseline out;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t t1 = line.find('\t');
+    const std::size_t t2 =
+        t1 == std::string::npos ? std::string::npos : line.find('\t', t1 + 1);
+    if (t2 == std::string::npos) {
+      throw std::runtime_error(
+          "baseline line " + std::to_string(lineno) +
+          ": expected `<count>\\t<rule>\\t<file>`, got: " + line);
+    }
+    int count = 0;
+    try {
+      count = std::stoi(line.substr(0, t1));
+    } catch (const std::exception&) {
+      throw std::runtime_error("baseline line " + std::to_string(lineno) +
+                               ": bad count: " + line);
+    }
+    const std::string rule = line.substr(t1 + 1, t2 - t1 - 1);
+    const std::string file = line.substr(t2 + 1);
+    if (count <= 0 || rule.empty() || file.empty()) {
+      throw std::runtime_error("baseline line " + std::to_string(lineno) +
+                               ": bad entry: " + line);
+    }
+    out.counts[{file, rule}] += count;
+  }
+  return out;
+}
+
+std::string write_baseline(const std::vector<Finding>& findings) {
+  std::map<std::pair<std::string, std::string>, int> counts;  // (rule, file)
+  for (const Finding& f : findings) ++counts[{f.rule, f.file}];
+  std::ostringstream out;
+  out << "# srm-lint baseline: accepted findings per (rule, file).\n"
+      << "# Regenerate with `srm-lint --write-baseline FILE ...`; shrink\n"
+      << "# entries as debt is paid down. Format: <count>\\t<rule>\\t<file>\n";
+  for (const auto& [key, n] : counts) {
+    out << n << '\t' << key.first << '\t' << key.second << '\n';
+  }
+  return out.str();
+}
+
+BaselineDiff apply_baseline(const std::vector<Finding>& findings,
+                            const Baseline& baseline) {
+  std::map<std::pair<std::string, std::string>, std::vector<Finding>> groups;
+  for (const Finding& f : findings) {
+    groups[{f.file, f.rule}].push_back(f);
+  }
+  BaselineDiff diff;
+  for (const auto& [key, group] : groups) {
+    const auto it = baseline.counts.find(key);
+    const int accepted = it == baseline.counts.end() ? 0 : it->second;
+    if (static_cast<int>(group.size()) > accepted) {
+      diff.fresh.insert(diff.fresh.end(), group.begin(), group.end());
+    } else if (static_cast<int>(group.size()) < accepted) {
+      diff.stale.push_back(key.first + " [" + key.second + "]: baseline " +
+                           std::to_string(accepted) + ", now " +
+                           std::to_string(group.size()));
+    }
+  }
+  for (const auto& [key, accepted] : baseline.counts) {
+    if (!groups.contains(key)) {
+      diff.stale.push_back(key.first + " [" + key.second + "]: baseline " +
+                           std::to_string(accepted) + ", now 0");
+    }
+  }
+  std::sort(diff.fresh.begin(), diff.fresh.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return diff;
+}
+
+}  // namespace srm::lint

@@ -1,0 +1,52 @@
+// Output and baseline layer.
+//
+// JSON output (`--format json`) renders the findings as a stable, pretty
+// printed document so the CI artifact diffs cleanly between runs.
+//
+// A baseline file (`--baseline FILE`) suppresses known findings so a new
+// rule can land with a grace window: it records, per (rule, file), how many
+// findings are accepted. The lint run fails only when a (rule, file) group
+// grows beyond its recorded count; groups that shrink are reported as stale
+// entries (informational) so the baseline can be re-tightened. The format
+// is line-oriented and sorted — `<count>\t<rule>\t<file>` — so baseline
+// diffs in review show exactly which debt moved.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "finding.hpp"
+
+namespace srm::lint {
+
+/// Findings as a pretty-printed JSON document (stable key order).
+std::string to_json(const std::vector<Finding>& findings);
+
+struct Baseline {
+  /// (file, rule) → accepted finding count.
+  std::map<std::pair<std::string, std::string>, int> counts;
+};
+
+/// Parses baseline text (`<count>\t<rule>\t<file>` lines; '#' comments and
+/// blank lines ignored). Throws std::runtime_error on malformed lines.
+Baseline parse_baseline(const std::string& text);
+
+/// Serializes findings into baseline text, sorted by (rule, file).
+std::string write_baseline(const std::vector<Finding>& findings);
+
+struct BaselineDiff {
+  /// Findings in (file, rule) groups that exceed their baseline count —
+  /// these fail the run. The whole group is listed so the offending file
+  /// can be cleaned in one sitting.
+  std::vector<Finding> fresh;
+  /// Baseline entries whose group shrank or vanished; candidates for
+  /// removal from the baseline file.
+  std::vector<std::string> stale;
+};
+
+BaselineDiff apply_baseline(const std::vector<Finding>& findings,
+                            const Baseline& baseline);
+
+}  // namespace srm::lint

@@ -1,0 +1,181 @@
+// Determinism rules guarding the bit-identity contract (see lint.hpp):
+// results must be bit-identical for any worker count, across
+// interrupt/resume, and for any host locale or address-space layout. These
+// rules reject the source-level constructs that can silently break that —
+// hash-container iteration feeding output, wall-clock/entropy reads,
+// pointer-ordered containers, and locale-sensitive number formatting.
+#include <string_view>
+#include <unordered_set>
+
+#include "passes.hpp"
+
+namespace srm::lint {
+
+namespace {
+
+bool std_qualified(const std::string& s, std::size_t i) {
+  if (i < 2 || s[i - 1] != ':' || s[i - 2] != ':') return false;
+  return ident_before(s, i - 2) == "std";
+}
+
+bool call_follows(const std::string& s, std::size_t i, std::size_t len) {
+  const std::size_t after = skip_ws(s, i + len);
+  return after < s.size() && s[after] == '(';
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unordered-output
+// ---------------------------------------------------------------------------
+// Hash-container iteration order is a function of libstdc++ version, bucket
+// counts and (for pointer hashes) ASLR. In the output-bearing layers —
+// serialization (artifact/), rendered tables (report/) and the CLI — any
+// unordered container is one range-for away from nondeterministic bytes,
+// so the layers ban them outright.
+
+void check_unordered_output(const FileText& f, std::vector<Finding>& out) {
+  const std::string& s = f.stripped;
+  for_each_identifier(s, [&](std::string_view name, std::size_t i) {
+    if (name != "unordered_map" && name != "unordered_set" &&
+        name != "unordered_multimap" && name != "unordered_multiset") {
+      return;
+    }
+    if (!std_qualified(s, i)) return;
+    report(out, f, i, "unordered-output",
+           "std::" + std::string(name) +
+               " in an output-bearing layer; hash iteration order varies "
+               "across libstdc++ versions and runs — use std::map or a "
+               "sorted vector so serialized bytes stay deterministic");
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Rule: wallclock
+// ---------------------------------------------------------------------------
+// A wall-clock or entropy read makes a result depend on when and where it
+// ran. Seeding is the business of src/random/ (and benches, which are not
+// part of the library tree); everything else computes from its inputs.
+
+void check_wallclock(const FileText& f, std::vector<Finding>& out) {
+  static const std::unordered_set<std::string_view> kClockCalls = {
+      "time",      "gettimeofday", "clock_gettime",
+      "localtime", "gmtime",       "ctime"};
+  const std::string& s = f.stripped;
+  for_each_identifier(s, [&](std::string_view name, std::size_t i) {
+    if (name == "random_device") {
+      report(out, f, i, "wallclock",
+             "std::random_device outside src/random/; entropy reads make "
+             "results irreproducible — take a seed and derive substreams "
+             "via random::SeedSequence");
+      return;
+    }
+    if (name == "system_clock") {
+      report(out, f, i, "wallclock",
+             "std::chrono::system_clock outside src/random/; wall-clock "
+             "reads make results depend on when they ran — thread the "
+             "timestamp in as data if one is genuinely needed");
+      return;
+    }
+    if (kClockCalls.contains(name) && call_follows(s, i, name.size())) {
+      // Calls only (`time(nullptr)`), so members and locals that share the
+      // name stay legal; `run_time(...)` is already excluded because
+      // for_each_identifier yields exact tokens.
+      report(out, f, i, "wallclock",
+             std::string(name) +
+                 "() outside src/random/; wall-clock reads make results "
+                 "depend on when they ran");
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Rule: pointer-order
+// ---------------------------------------------------------------------------
+// Pointer comparison order is allocation order, which varies run to run
+// (heap layout, ASLR). A pointer-keyed map or set therefore iterates in a
+// nondeterministic order even though it is "sorted". Key by a value
+// identity (index, id, name) instead.
+
+void check_pointer_order(const FileText& f, std::vector<Finding>& out) {
+  static const std::unordered_set<std::string_view> kAssociative = {
+      "map", "set", "multimap", "multiset",
+      "unordered_map", "unordered_set"};
+  const std::string& s = f.stripped;
+  for_each_identifier(s, [&](std::string_view name, std::size_t i) {
+    if (!kAssociative.contains(name)) return;
+    if (!std_qualified(s, i)) return;
+    std::size_t j = skip_ws(s, i + name.size());
+    if (j >= s.size() || s[j] != '<') return;
+    // First template argument: everything up to the first top-level comma
+    // or the closing angle bracket.
+    int angle = 1;
+    int paren = 0;
+    std::size_t k = j + 1;
+    const std::size_t key_begin = k;
+    while (k < s.size() && angle > 0) {
+      const char c = s[k];
+      if (c == '<') ++angle;
+      if (c == '>') --angle;
+      if (c == '(') ++paren;
+      if (c == ')') --paren;
+      if (c == ',' && angle == 1 && paren == 0) break;
+      ++k;
+    }
+    const std::string_view key = std::string_view(s).substr(
+        key_begin, k - key_begin);
+    if (key.find('*') == std::string_view::npos) return;
+    report(out, f, i, "pointer-order",
+           "pointer-keyed std::" + std::string(name) +
+               "; pointer order is allocation order and varies run to run "
+               "— key by a value identity (index, id, name) instead");
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Rule: locale-format
+// ---------------------------------------------------------------------------
+// std::to_string formats through the global C locale: under de_DE a double
+// renders as "1,5" and the byte-identity contract on tables, CSV and JSON
+// is gone. support/format.hpp provides to_chars-backed replacements
+// (support::dec for integers, support::fixed for printf-%f-style doubles)
+// that produce "C"-locale bytes under any global locale, so everything
+// outside src/support/ must go through them.
+
+void check_locale_format(const FileText& f, std::vector<Finding>& out) {
+  const std::string& s = f.stripped;
+  for_each_identifier(s, [&](std::string_view name, std::size_t i) {
+    if (name == "setlocale" && call_follows(s, i, name.size())) {
+      report(out, f, i, "locale-format",
+             "setlocale mutates process-global formatting state; the "
+             "library must produce identical bytes under any locale");
+      return;
+    }
+    if (name == "locale" && std_qualified(s, i)) {
+      report(out, f, i, "locale-format",
+             "std::locale outside src/support/; locale objects leak into "
+             "stream formatting — keep the library locale-independent");
+      return;
+    }
+    if (name == "to_string" && std_qualified(s, i) &&
+        call_follows(s, i, name.size())) {
+      report(out, f, i, "locale-format",
+             "std::to_string formats via the global C locale (a German "
+             "locale prints doubles as \"1,5\"); use support::dec / "
+             "support::fixed from support/format.hpp");
+    }
+  });
+}
+
+}  // namespace
+
+void run_determinism_rules(const FileSet& files, std::vector<Finding>& out) {
+  for (const FileText& f : files.files()) {
+    if (f.in_dir("artifact/") || f.in_dir("report/") || f.in_dir("cli/")) {
+      check_unordered_output(f, out);
+    }
+    if (!f.in_dir("random/")) check_wallclock(f, out);
+    check_pointer_order(f, out);
+    if (!f.in_dir("support/")) check_locale_format(f, out);
+  }
+}
+
+}  // namespace srm::lint

@@ -1,0 +1,213 @@
+#include "scan.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace srm::lint {
+
+namespace fs = std::filesystem;
+
+std::vector<std::size_t> line_starts(const std::string& text) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+int line_of(const std::vector<std::size_t>& starts, std::size_t offset) {
+  auto it = std::upper_bound(starts.begin(), starts.end(), offset);
+  return static_cast<int>(it - starts.begin());
+}
+
+std::size_t skip_ws(const std::string& s, std::size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+    ++i;
+  }
+  return i;
+}
+
+std::size_t match_delim(const std::string& s, std::size_t open, char oc,
+                        char cc) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == oc) ++depth;
+    if (s[i] == cc && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+std::string ident_before(const std::string& s, std::size_t end) {
+  std::size_t e = end;
+  while (e > 0 && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  std::size_t b = e;
+  while (b > 0 && ident_char(s[b - 1])) --b;
+  return s.substr(b, e - b);
+}
+
+std::string strip_comments_and_strings(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size() && next != '\n') out[++i] = ' ';
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size() && next != '\n') out[++i] = ' ';
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Scans a raw file once for `srm-lint: allow(<rule>)` comments and returns
+/// the line→rules coverage map (each comment covers its line and the next).
+std::map<int, std::vector<std::string>> collect_suppressions(
+    const std::string& raw, const std::vector<std::size_t>& starts) {
+  std::map<int, std::vector<std::string>> out;
+  static constexpr std::string_view kMarker = "srm-lint: allow(";
+  std::size_t pos = 0;
+  while ((pos = raw.find(kMarker, pos)) != std::string::npos) {
+    const std::size_t open = pos + kMarker.size();
+    const std::size_t close = raw.find(')', open);
+    pos = open;
+    if (close == std::string::npos) continue;
+    const std::string rule = raw.substr(open, close - open);
+    const int line = line_of(starts, open);
+    out[line].push_back(rule);
+    out[line + 1].push_back(rule);
+  }
+  return out;
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+bool is_suppressed(const std::string& raw_text, int line,
+                   const std::string& rule) {
+  const auto starts = line_starts(raw_text);
+  const auto suppressions = collect_suppressions(raw_text, starts);
+  const auto it = suppressions.find(line);
+  if (it == suppressions.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), rule) !=
+         it->second.end();
+}
+
+std::string_view FileText::module() const {
+  const std::size_t slash = rel.find('/');
+  if (slash == std::string::npos) return {};
+  return std::string_view(rel).substr(0, slash);
+}
+
+bool FileText::suppressed(int line, std::string_view rule) const {
+  const auto it = suppressions.find(line);
+  if (it == suppressions.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), rule) !=
+         it->second.end();
+}
+
+FileSet FileSet::load(const fs::path& root) {
+  FileSet set;
+  set.root_ = root;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  set.files_.reserve(paths.size());
+  for (const fs::path& p : paths) {
+    FileText f;
+    f.rel = fs::relative(p, root).generic_string();
+    f.raw = read_file(p);
+    f.stripped = strip_comments_and_strings(f.raw);
+    f.starts = line_starts(f.stripped);
+    f.suppressions = collect_suppressions(f.raw, f.starts);
+    set.index_.emplace(f.rel, set.files_.size());
+    set.files_.push_back(std::move(f));
+  }
+  return set;
+}
+
+const FileText* FileSet::find(std::string_view rel) const {
+  const auto it = index_.find(rel);
+  if (it == index_.end()) return nullptr;
+  return &files_[it->second];
+}
+
+void report(std::vector<Finding>& out, const FileText& f, std::size_t offset,
+            const std::string& rule, std::string message) {
+  const int line = line_of(f.starts, offset);
+  if (f.suppressed(line, rule)) return;
+  out.push_back({f.rel, line, rule, std::move(message)});
+}
+
+std::string format_finding(const Finding& f) {
+  std::ostringstream out;
+  out << f.file << ':' << f.line << ": [" << f.rule << "] " << f.message;
+  return out.str();
+}
+
+}  // namespace srm::lint

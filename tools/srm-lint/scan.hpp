@@ -1,0 +1,122 @@
+// Shared scan infrastructure for every srm-lint pass.
+//
+// A `FileSet` walks the linted tree once, reads every C++ source file once,
+// and precomputes everything the passes share: the comment/literal-stripped
+// text, line-start offsets, and the `// srm-lint: allow(<rule>)` suppression
+// map. Passes never touch the filesystem again — the include-graph pass, the
+// token-rule passes and the sibling-implementation lookup of the `expects`
+// rule all read from the same in-memory snapshot. (The tool previously
+// re-read sibling files per rule and re-derived line tables per finding;
+// the lint ctest carries a timing assertion to keep it that way.)
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "finding.hpp"
+
+namespace srm::lint {
+
+/// Replaces //, /* */ comments and string/char literal contents with spaces,
+/// preserving offsets and newlines so line numbers survive.
+std::string strip_comments_and_strings(const std::string& text);
+
+/// Returns true if `raw_text` carries `// srm-lint: allow(<rule>)` on
+/// `line` or the line above it. (Convenience form for tests; the passes use
+/// the precomputed FileText::suppressed.)
+bool is_suppressed(const std::string& raw_text, int line,
+                   const std::string& rule);
+
+// ---------------------------------------------------------------------------
+// Character / token helpers
+// ---------------------------------------------------------------------------
+
+inline bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+inline bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<std::size_t> line_starts(const std::string& text);
+int line_of(const std::vector<std::size_t>& starts, std::size_t offset);
+std::size_t skip_ws(const std::string& s, std::size_t i);
+
+/// Offset one past the matching closer for the opener at `open`, or npos.
+std::size_t match_delim(const std::string& s, std::size_t open, char oc,
+                        char cc);
+
+/// The identifier ending at (exclusive) `end`, or empty.
+std::string ident_before(const std::string& s, std::size_t end);
+
+/// Calls `fn(name, offset)` for every identifier token in `s`.
+template <typename Fn>
+void for_each_identifier(const std::string& s, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (ident_start(s[i]) && (i == 0 || !ident_char(s[i - 1]))) {
+      std::size_t j = i;
+      while (j < s.size() && ident_char(s[j])) ++j;
+      fn(std::string_view(s).substr(i, j - i), i);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// One file's worth of shared scan state
+// ---------------------------------------------------------------------------
+
+struct FileText {
+  std::string rel;       ///< path relative to the linted root, '/'-separated
+  std::string raw;       ///< file contents as on disk
+  std::string stripped;  ///< comments and literal contents blanked
+  std::vector<std::size_t> starts;  ///< line start offsets (shared layout)
+  /// Lines covered by a suppression, mapped to the suppressed rule names.
+  /// An `allow(<rule>)` comment covers its own line and the line below.
+  std::map<int, std::vector<std::string>> suppressions;
+
+  /// First path component of `rel` ("support" for "support/fp.hpp"), or
+  /// empty for files directly at the root.
+  [[nodiscard]] std::string_view module() const;
+
+  [[nodiscard]] bool in_dir(std::string_view dir) const {
+    return rel.rfind(dir, 0) == 0;
+  }
+
+  [[nodiscard]] bool suppressed(int line, std::string_view rule) const;
+};
+
+/// The linted tree, loaded once. Files are sorted by relative path so every
+/// pass emits findings in a deterministic order.
+class FileSet {
+ public:
+  /// Reads every .hpp/.cpp/.h/.cc under `root`.
+  static FileSet load(const std::filesystem::path& root);
+
+  [[nodiscard]] const std::vector<FileText>& files() const { return files_; }
+
+  /// Lookup by root-relative path, or nullptr ('/'-separated).
+  [[nodiscard]] const FileText* find(std::string_view rel) const;
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+ private:
+  std::filesystem::path root_;
+  std::vector<FileText> files_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+/// Appends a finding unless the site is suppressed.
+void report(std::vector<Finding>& out, const FileText& f, std::size_t offset,
+            const std::string& rule, std::string message);
+
+}  // namespace srm::lint
