@@ -1,0 +1,278 @@
+// Estimation-service replay bench: cold vs warm vs disk tail latency.
+//
+// Drives an in-process serve::Service with thousands of interleaved fit
+// queries over a fleet of synthetic projects (data::simulate_replications),
+// the way a long-running estimation service sees traffic: a working set of
+// distinct posteriors queried over and over in a shuffled order.
+//
+//   phase cold   every distinct query once against a fresh service backed
+//                by a disk store — all responses are computed posteriors,
+//                and the store directory is populated as a side effect.
+//   phase warm   the full shuffled replay against the same service — the
+//                LRU holds the whole working set, so every response is a
+//                memory hit.
+//   phase disk   every distinct query against a fresh service over the
+//                now-populated store with a capacity-1 LRU, forcing each
+//                answer through the disk tier.
+//
+// Contracts checked on every run (the bench aborts with exit 1 if any
+// fails): response bodies are byte-identical across all three tiers per
+// query, and across worker counts (1 vs 4) for the whole replay; the warm
+// phase is 100% memory hits; warm p99 latency beats cold p99 by >= 10x.
+//
+// Output: a human-readable summary on stdout plus machine-readable JSON in
+// BENCH_serve.json (or the path given as the first non-flag argument).
+//
+//   --smoke       small fleet and MCMC settings; exercises every phase and
+//                 contract in seconds for CI, numbers are not comparable
+//   --threads N   worker threads for cold computations (default 4)
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/generator.hpp"
+#include "random/rng.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/service.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using srm::support::Json;
+
+struct Config {
+  bool smoke = false;
+  std::size_t threads = 4;
+  std::size_t projects = 120;       ///< synthetic fleet size
+  std::size_t project_days = 12;    ///< days per synthetic series
+  std::size_t queries = 3000;       ///< shuffled replay length
+  std::size_t burn_in = 50;
+  std::size_t iterations = 200;
+  std::string out_path = "BENCH_serve.json";
+};
+
+/// One fit query per (project, observation day) pair: the distinct
+/// posterior working set the service caches.
+std::vector<std::string> build_distinct_queries(
+    const std::vector<srm::data::BugCountData>& fleet, const Config& config) {
+  std::vector<std::string> queries;
+  queries.reserve(fleet.size() * 2);
+  for (const auto& project : fleet) {
+    Json::Array count_values;
+    for (const auto count : project.counts()) {
+      count_values.push_back(count);
+    }
+    const Json counts(count_values);
+    for (const std::size_t day :
+         {config.project_days / 2, config.project_days}) {
+      Json request = Json::Object{};
+      request.set("op", "fit");
+      Json inline_project = Json::Object{};
+      inline_project.set("name", project.name());
+      inline_project.set("counts", counts);
+      request.set("project", std::move(inline_project));
+      request.set("day", Json::from_unsigned(day));
+      Json gibbs = Json::Object{};
+      gibbs.set("chains", Json::from_unsigned(2));
+      gibbs.set("burn_in", Json::from_unsigned(config.burn_in));
+      gibbs.set("iterations", Json::from_unsigned(config.iterations));
+      gibbs.set("seed", std::int64_t{20240624});
+      request.set("gibbs", std::move(gibbs));
+      queries.push_back(request.dump());
+    }
+  }
+  return queries;
+}
+
+/// Seeded Fisher-Yates over the replay stream: every distinct query appears
+/// at least once, the rest is repeat traffic in shuffled arrival order.
+std::vector<std::string> build_replay(const std::vector<std::string>& distinct,
+                                      std::size_t total,
+                                      srm::random::Rng& rng) {
+  std::vector<std::string> replay = distinct;
+  while (replay.size() < total) {
+    replay.push_back(distinct[rng.uniform_index(distinct.size())]);
+  }
+  for (std::size_t i = replay.size(); i > 1; --i) {
+    std::swap(replay[i - 1], replay[rng.uniform_index(i)]);
+  }
+  return replay;
+}
+
+srm::serve::Service make_service(std::size_t capacity,
+                                 std::optional<fs::path> store) {
+  srm::serve::ServiceOptions options;
+  options.cache_capacity = capacity;
+  options.store_dir = std::move(store);
+  options.meta = false;  // response bytes are a pure function of the query
+  return srm::serve::Service(std::move(options));
+}
+
+bool check(bool condition, const std::string& what) {
+  if (!condition) std::cerr << "CONTRACT FAILED: " << what << "\n";
+  return condition;
+}
+
+int run(const Config& config) {
+  srm::runtime::ThreadPool::set_global_thread_count(config.threads);
+
+  const auto fleet = srm::data::simulate_replications(
+      /*initial_bugs=*/60, config.project_days,
+      [](std::size_t) { return 0.12; },
+      /*master_seed=*/1234, config.projects, "svc");
+  const auto distinct = build_distinct_queries(fleet, config);
+  srm::random::Rng rng(99);
+  const auto replay = build_replay(distinct, config.queries, rng);
+
+  const fs::path store_dir =
+      fs::temp_directory_path() /
+      (config.smoke ? "srm_perf_serve_smoke" : "srm_perf_serve");
+  fs::remove_all(store_dir);
+
+  std::cout << "perf_serve: " << fleet.size() << " projects, "
+            << distinct.size() << " distinct posteriors, " << replay.size()
+            << " replayed queries, threads=" << config.threads << "\n";
+
+  // --- cold: compute every distinct posterior once (populates the store).
+  auto service = make_service(/*capacity=*/distinct.size() + 1, store_dir);
+  std::map<std::string, std::string> cold_body;  // query -> response line
+  for (const auto& query : distinct) {
+    const auto response = service.handle_line(query);
+    if (!check(response.ok && response.cache_tag == "computed",
+               "cold query must compute: " + response.line)) {
+      return 1;
+    }
+    cold_body.emplace(query, response.line);
+  }
+
+  // --- warm: the full shuffled replay is served from memory.
+  bool ok = true;
+  for (const auto& query : replay) {
+    const auto response = service.handle_line(query);
+    ok = ok && check(response.ok && response.cache_tag == "hit",
+                     "warm replay must hit: " + response.line);
+    ok = ok && check(response.line == cold_body.at(query),
+                     "warm body differs from cold body");
+    if (!ok) return 1;
+  }
+  const Json hot_stats = service.stats_json();
+
+  // --- disk: a capacity-1 LRU over the populated store forces every
+  // distinct query through the disk tier of a fresh service.
+  auto disk_service = make_service(/*capacity=*/1, store_dir);
+  for (const auto& query : distinct) {
+    const auto response = disk_service.handle_line(query);
+    ok = ok && check(response.ok && response.cache_tag == "disk",
+                     "disk query must load from store: " + response.line);
+    ok = ok && check(response.line == cold_body.at(query),
+                     "disk body differs from cold body");
+    if (!ok) return 1;
+  }
+  const Json disk_stats = disk_service.stats_json();
+
+  // --- worker-count byte-identity: the same replay against fresh
+  // storeless services at 1 and 4 workers, dispatched in transport-sized
+  // batches so cold cells actually fan out to the pool.
+  std::vector<std::string> per_thread_lines[2];
+  const std::size_t worker_counts[2] = {1, 4};
+  for (int w = 0; w < 2; ++w) {
+    srm::runtime::ThreadPool::set_global_thread_count(worker_counts[w]);
+    auto replay_service = make_service(distinct.size() + 1, std::nullopt);
+    for (std::size_t start = 0; start < replay.size(); start += 64) {
+      const std::vector<std::string> batch(
+          replay.begin() + static_cast<std::ptrdiff_t>(start),
+          replay.begin() + static_cast<std::ptrdiff_t>(
+                               std::min(start + 64, replay.size())));
+      for (const auto& response : replay_service.handle_batch(batch)) {
+        ok = ok && check(response.ok, "replay error: " + response.line);
+        per_thread_lines[w].push_back(response.line);
+      }
+    }
+  }
+  srm::runtime::ThreadPool::set_global_thread_count(config.threads);
+  ok = ok && check(per_thread_lines[0] == per_thread_lines[1],
+                   "replay bytes differ between 1 and 4 workers");
+  if (!ok) return 1;
+
+  // --- latency + speedup report.
+  const Json& cold_latency = hot_stats.at("latency").at("computed");
+  const Json& warm_latency = hot_stats.at("latency").at("hit");
+  const Json& disk_latency = disk_stats.at("latency").at("disk");
+  const double cold_p99 = cold_latency.at("p99_us").as_double();
+  const double warm_p99 = std::max(warm_latency.at("p99_us").as_double(), 1.0);
+  const double speedup = cold_p99 / warm_p99;
+
+  std::cout << "  cold  p50/p99 us: " << cold_latency.at("p50_us").as_int()
+            << " / " << cold_latency.at("p99_us").as_int() << "\n"
+            << "  warm  p50/p99 us: " << warm_latency.at("p50_us").as_int()
+            << " / " << warm_latency.at("p99_us").as_int() << "\n"
+            << "  disk  p50/p99 us: " << disk_latency.at("p50_us").as_int()
+            << " / " << disk_latency.at("p99_us").as_int() << "\n"
+            << "  warm p99 speedup over cold: " << speedup << "x\n"
+            << "  byte-identity: cold==warm==disk over " << distinct.size()
+            << " posteriors (" << fleet.size()
+            << " projects), replay identical at 1 and 4 workers\n";
+
+  ok = check(speedup >= 10.0, "warm p99 must be >= 10x better than cold");
+
+  Json report = Json::Object{};
+  report.set("bench", "perf_serve");
+  report.set("smoke", config.smoke);
+  report.set("threads", Json::from_unsigned(config.threads));
+  report.set("projects", Json::from_unsigned(fleet.size()));
+  report.set("distinct_posteriors", Json::from_unsigned(distinct.size()));
+  report.set("replayed_queries", Json::from_unsigned(replay.size()));
+  Json gibbs = Json::Object{};
+  gibbs.set("chains", Json::from_unsigned(2));
+  gibbs.set("burn_in", Json::from_unsigned(config.burn_in));
+  gibbs.set("iterations", Json::from_unsigned(config.iterations));
+  report.set("gibbs", std::move(gibbs));
+  Json latency = Json::Object{};
+  latency.set("cold", cold_latency);
+  latency.set("warm", warm_latency);
+  latency.set("disk", disk_latency);
+  report.set("latency_us", std::move(latency));
+  report.set("warm_p99_speedup_over_cold", speedup);
+  Json identity = Json::Object{};
+  identity.set("tiers_byte_identical", true);
+  identity.set("worker_counts_byte_identical", true);
+  report.set("byte_identity", std::move(identity));
+  report.set("warm_hit_rate", 1.0);
+
+  std::ofstream out(config.out_path, std::ios::binary);
+  out << report.dump(2) << "\n";
+  std::cout << "wrote " << config.out_path << "\n";
+
+  fs::remove_all(store_dir);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      config.smoke = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      config.threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      config.out_path = arg;
+    }
+  }
+  if (config.smoke) {
+    config.projects = 12;
+    config.queries = 120;
+    config.burn_in = 10;
+    config.iterations = 40;
+  }
+  return run(config);
+}

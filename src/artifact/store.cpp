@@ -14,36 +14,13 @@ namespace {
 
 using support::Json;
 
-std::string read_file(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open " + path.string());
-  std::string content{std::istreambuf_iterator<char>(in),
-                      std::istreambuf_iterator<char>()};
-  if (in.bad()) throw Error("cannot read " + path.string());
-  return content;
-}
-
-/// Write-to-temp-then-rename: readers of `path` only ever see a complete
-/// file, and a killed run leaves at worst a stray .tmp that the next run
-/// overwrites.
-void write_atomic(const std::filesystem::path& path,
-                  const std::string& content) {
-  const std::filesystem::path temp = path.string() + ".tmp";
-  {
-    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    out << content;
-    out.close();
-    if (!out) throw Error("cannot write " + temp.string());
-  }
-  std::filesystem::rename(temp, path);
-}
-
 }  // namespace
 
 ArtifactStore::ArtifactStore(std::filesystem::path dir,
                              const data::BugCountData& base,
                              const report::SweepOptions& options, bool resume)
     : dir_(std::move(dir)),
+      cells_(dir_),
       base_(base),
       sweep_hash_(sweep_hash(base, options)),
       options_json_(to_json(options)) {
@@ -78,7 +55,7 @@ ArtifactStore::ArtifactStore(std::filesystem::path dir,
     SRM_EXPECTS(resume,
                 "artifact directory " + dir_.string() +
                     " already holds a manifest; pass --resume to continue it");
-    const Json manifest = Json::parse(read_file(manifest_path));
+    const Json manifest = Json::parse(read_text_file(manifest_path));
     const auto schema = manifest.at("schema_version").as_int();
     if (schema != kSchemaVersion) {
       throw InvalidArgument("artifact directory " + dir_.string() +
@@ -96,18 +73,13 @@ ArtifactStore::ArtifactStore(std::filesystem::path dir,
     }
   }
 
-  std::filesystem::create_directories(dir_ / "cells");
   for (auto& slot : slots_) {
-    slot.done = std::filesystem::exists(cell_path(slot.hash));
+    slot.done = cells_.contains(slot.hash);
     if (slot.done) ++preexisting_;
   }
   const std::lock_guard<std::mutex> lock(mutex_);
   write_manifest_locked(all_cells_done() &&
                         std::filesystem::exists(dir_ / "sweep.json"));
-}
-
-std::filesystem::path ArtifactStore::cell_path(const std::string& hash) const {
-  return dir_ / "cells" / (hash + ".json");
 }
 
 ArtifactStore::Plan ArtifactStore::plan(const core::ExperimentSpec& spec,
@@ -121,14 +93,11 @@ ArtifactStore::Plan ArtifactStore::plan(const core::ExperimentSpec& spec,
   SRM_EXPECTS(slot != nullptr,
               "planned cell " + hash + " is not part of this artifact's sweep");
   if (slot->done) {
-    const Json cell = Json::parse(read_file(cell_path(hash)));
-    const auto& stored_hash = cell.at("hash").as_string();
-    if (stored_hash != hash) {
-      throw InvalidArgument("artifact cell " + cell_path(hash).string() +
-                            " records hash " + stored_hash +
-                            " — the file was moved or corrupted");
-    }
-    reuse_out = observation_result_from_json(cell.at("result"));
+    const auto cell = cells_.load(hash);
+    SRM_EXPECTS(cell.has_value(),
+                "artifact cell " + cells_.cell_path(hash).string() +
+                    " disappeared between planning and reuse");
+    reuse_out = observation_result_from_json(cell->at("result"));
     return Plan::kReuse;
   }
   if (budget_ != 0 && fresh_planned_ >= budget_) return Plan::kSkip;
@@ -156,7 +125,7 @@ void ArtifactStore::on_computed(const core::ExperimentSpec& spec,
   cell.set("model", slot->model);
   cell.set("observation_day", Json::from_unsigned(observation_day));
   cell.set("result", to_json(result));
-  write_atomic(cell_path(hash), cell.dump(2));
+  cells_.save(hash, cell);
 
   slot->done = true;
   ++sampled_;
@@ -168,7 +137,7 @@ void ArtifactStore::finalize(const report::SweepResult& sweep) {
   SRM_EXPECTS(all_cells_done(),
               "cannot finalize a partial artifact directory (skipped cells "
               "remain; rerun with --resume and no budget)");
-  write_atomic(dir_ / "sweep.json", to_json(sweep).dump(2));
+  write_file_atomic(dir_ / "sweep.json", to_json(sweep).dump(2));
   write_manifest_locked(true);
 }
 
@@ -177,7 +146,7 @@ void ArtifactStore::record_run(const report::SweepExecution& execution) {
   const auto runs_path = dir_ / "runs.json";
   Json runs = Json::Array{};
   if (std::filesystem::exists(runs_path)) {
-    runs = Json::parse(read_file(runs_path));
+    runs = Json::parse(read_text_file(runs_path));
   }
   Json entry = Json::Object{};
   entry.set("cells_total", Json::from_unsigned(execution.cells_total));
@@ -186,7 +155,7 @@ void ArtifactStore::record_run(const report::SweepExecution& execution) {
   entry.set("cells_skipped", Json::from_unsigned(execution.cells_skipped));
   entry.set("complete", execution.complete());
   runs.push_back(std::move(entry));
-  write_atomic(runs_path, runs.dump(2));
+  write_file_atomic(runs_path, runs.dump(2));
 }
 
 std::size_t ArtifactStore::cells_sampled_this_run() const {
@@ -236,7 +205,7 @@ void ArtifactStore::write_manifest_locked(bool finalized) const {
   }
   manifest.set("cells_done", Json::from_unsigned(done));
   manifest.set("cells", std::move(cells));
-  write_atomic(dir_ / "manifest.json", manifest.dump(2));
+  write_file_atomic(dir_ / "manifest.json", manifest.dump(2));
 }
 
 report::SweepResult ArtifactStore::load_sweep(
@@ -245,7 +214,7 @@ report::SweepResult ArtifactStore::load_sweep(
   SRM_EXPECTS(std::filesystem::exists(path),
               "no sweep.json in " + dir.string() +
                   " — the artifact directory was never finalized");
-  return sweep_result_from_json(Json::parse(read_file(path)));
+  return sweep_result_from_json(Json::parse(read_text_file(path)));
 }
 
 }  // namespace srm::artifact

@@ -35,20 +35,13 @@
 #include <string>
 #include <vector>
 
+#include "artifact/cell_store.hpp"
 #include "core/experiment.hpp"
 #include "data/bug_count_data.hpp"
 #include "report/sweep.hpp"
 #include "support/json.hpp"
 
 namespace srm::artifact {
-
-/// Artifact directory schema version; bumped on any layout or
-/// serialization change so stale directories fail loudly instead of being
-/// misread.
-inline constexpr std::int64_t kSchemaVersion = 1;
-
-/// Library identity stamped into manifests.
-inline constexpr const char* kLibraryVersion = "bayes-srm 0.5.0";
 
 class ArtifactStore final : public core::ObservationStore {
  public:
@@ -106,9 +99,9 @@ class ArtifactStore final : public core::ObservationStore {
   };
 
   void write_manifest_locked(bool finalized) const;
-  [[nodiscard]] std::filesystem::path cell_path(const std::string& hash) const;
 
   std::filesystem::path dir_;
+  CellStore cells_;                       ///< the shared cells/ tier
   data::BugCountData base_;
   std::string sweep_hash_;
   support::Json options_json_;

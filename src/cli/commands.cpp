@@ -10,6 +10,7 @@
 #include "artifact/serialize.hpp"
 #include "artifact/store.hpp"
 #include "core/experiment.hpp"
+#include "core/fit.hpp"
 #include "core/loo.hpp"
 #include "core/streaming.hpp"
 #include "core/release_policy.hpp"
@@ -143,31 +144,32 @@ std::vector<std::size_t> parse_day_list(const std::string& text) {
 
 int run_fit(const Args& args, std::ostream& out) {
   const auto data = load_dataset(args);
-  core::ExperimentSpec spec;
-  spec.prior = parse_prior(args);
-  spec.model = parse_model(args);
-  spec.config = parse_config(args);
-  spec.gibbs = parse_gibbs(args);
-  spec.eventual_total = data.total();
+  core::FitRequest request;
+  request.prior = parse_prior(args);
+  request.model = parse_model(args);
+  request.config = parse_config(args);
+  request.gibbs = parse_gibbs(args);
+  request.observation_day = data.days();
+  request.eventual_total = data.total();
   const std::string format = args.get_string("format", "table");
   SRM_EXPECTS(format == "table" || format == "json",
               "unknown --format '" + format + "' (use table|json)");
   reject_unused(args);
 
-  const auto result = core::run_observation(data, spec, data.days());
+  const auto result = core::fit_cell(data, request);
   if (format == "json") {
     support::Json json = support::Json::Object{};
     json.set("dataset", data.name());
-    json.set("prior", core::to_string(spec.prior));
-    json.set("model", core::to_string(spec.model));
+    json.set("prior", core::to_string(request.prior));
+    json.set("model", core::to_string(request.model));
     json.set("result", artifact::to_json(result));
     out << json.dump(2);
     return 0;
   }
   out << "dataset: " << data.name() << " (" << data.total() << " bugs / "
       << data.days() << " days)\n";
-  out << "model: " << core::to_string(spec.prior) << " prior, "
-      << core::to_string(spec.model) << "\n\n";
+  out << "model: " << core::to_string(request.prior) << " prior, "
+      << core::to_string(request.model) << "\n\n";
   const auto& s = result.posterior.summary;
   out << "residual bug posterior:\n";
   out << "  mean   " << support::format_double(s.mean, 3) << '\n';
@@ -513,6 +515,10 @@ std::string usage() {
       "            completed cells, --format table|json|csv, --smoke for a\n"
       "            CI-scale grid, --max-cells N caps fresh cells (exit 3\n"
       "            marks a partial run), --obs-days D1,D2,..., --total N\n"
+      "  serve     long-running estimation service: one JSON request per\n"
+      "            line on stdin (or --socket PATH), cached posteriors\n"
+      "            (--store DIR, --cache-size N), fit/predict/release/\n"
+      "            select/stats/shutdown ops (see src/serve/protocol.hpp)\n"
       "common flags: --csv FILE|sys1|ntds, --days N, --prior poisson|negbin,\n"
       "  --model " + model_names_joined() +
       ", --chains, --burn-in, --iterations, --seed,\n"

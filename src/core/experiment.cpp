@@ -1,11 +1,6 @@
 #include "core/experiment.hpp"
 
-#include <algorithm>
-#include <array>
-
-#include "core/streaming.hpp"
-#include "diagnostics/online.hpp"
-#include "mcmc/accumulator.hpp"
+#include "core/fit.hpp"
 #include "support/error.hpp"
 
 namespace srm::core {
@@ -23,60 +18,11 @@ ObservationResult run_observation(const data::BugCountData& base,
                                   const ExperimentSpec& spec,
                                   std::size_t observation_day) {
   SRM_EXPECTS(observation_day >= 1, "observation day must be >= 1");
-  const auto observed = dataset_at_observation(base, observation_day);
-
-  BayesianSrm model(spec.prior, spec.model, observed, spec.config);
-
-  // Every per-parameter statistic and the residual summary come from these
-  // accumulators in both modes; with keep_traces the draws are stored and
-  // replayed through them, without it they are fed in-scan. Same sinks,
-  // same per-chain order => bit-identical results.
-  diagnostics::ParameterStatsAccumulator stats(model.state_size(),
-                                               spec.gibbs.chain_count,
-                                               spec.gibbs.iterations);
-  ResidualAccumulator residual(BayesianSrm::residual_index(),
-                               spec.gibbs.chain_count,
-                               spec.gibbs.iterations);
-
-  ObservationResult result;
-  result.observation_day = observation_day;
-  result.detected_so_far = observed.total();
-  result.actual_residual = spec.eventual_total - observed.total();
-
-  std::vector<std::string> names;
-  if (spec.gibbs.keep_traces) {
-    // Stored-trace mode: sample, then replay the traces through the sinks
-    // and score the pointwise matrix (the memory-heavy comparator path).
-    const auto run = mcmc::run_gibbs(model, spec.gibbs);
-    names = run.parameter_names();
-    const std::array<mcmc::PosteriorAccumulator*, 2> sinks{&stats, &residual};
-    mcmc::replay(run, sinks);
-    result.waic = compute_waic(model, run);
-  } else {
-    // Streaming mode: the scorer consumes each draw's fresh workspace
-    // buffers in-scan; no traces, no pointwise matrix, no second
-    // likelihood pass.
-    StreamingScorer scorer(model, spec.gibbs.chain_count,
-                           spec.gibbs.iterations);
-    const std::array<mcmc::PosteriorAccumulator*, 3> sinks{&scorer, &stats,
-                                                           &residual};
-    const auto run = mcmc::run_gibbs(model, spec.gibbs, sinks);
-    names = run.parameter_names();
-    result.waic = scorer.waic();
-  }
-  result.posterior = residual.finalize();
-
-  for (std::size_t p = 0; p < names.size(); ++p) {
-    const auto online = stats.parameter(p);
-    ParameterDiagnostics diag;
-    diag.name = names[p];
-    diag.posterior_mean = online.posterior_mean;
-    diag.ess = online.ess;
-    diag.psrf = online.psrf;
-    diag.geweke_z = online.geweke_z;
-    result.diagnostics.push_back(std::move(diag));
-  }
-  return result;
+  // The sweep-oriented entry points are projections of the single-cell fit
+  // API: one day of a spec is a FitRequest (core/fit.hpp), and every
+  // frontend — this driver, the CLI, the estimation service — shares that
+  // one path.
+  return fit_cell(base, single_cell_request(spec, observation_day));
 }
 
 std::vector<ObservationResult> run_experiment(const data::BugCountData& base,

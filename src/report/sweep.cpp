@@ -1,5 +1,6 @@
 #include "report/sweep.hpp"
 
+#include "core/fit.hpp"
 #include "data/datasets.hpp"
 #include "runtime/task_group.hpp"
 #include "support/error.hpp"
@@ -111,8 +112,9 @@ SweepResult run_sweep(const data::BugCountData& base,
   runtime::TaskGroup group;
   for (const auto& [ci, di] : pending) {
     group.run([&base, &sweep, &specs, &options, store, ci, di] {
-      sweep.cells[ci].results[di] = core::run_observation(
-          base, specs[ci], options.observation_days[di]);
+      sweep.cells[ci].results[di] = core::fit_cell(
+          base,
+          core::single_cell_request(specs[ci], options.observation_days[di]));
       if (store != nullptr) {
         // Worker-thread callback; the store contract requires this to be
         // thread-safe.

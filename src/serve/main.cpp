@@ -1,0 +1,36 @@
+// srm_cli — command-line front end for the bayes-srm library.
+//
+// Lives in serve/ (the top of the layer DAG) so the binary can dispatch
+// both the batch subcommands (cli/commands.hpp) and the long-running
+// estimation service (serve/serve_command.hpp); cli/ itself must not
+// depend on serve/.
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "serve/serve_command.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << srm::cli::usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "--help" || command == "help") {
+    std::cout << srm::cli::usage();
+    return 0;
+  }
+  std::vector<std::string> flags(argv + 2, argv + argc);
+  if (command == "serve") {
+    try {
+      const auto args = srm::cli::Args::parse(flags);
+      return srm::serve::run_serve(args, std::cin, std::cout, std::cerr);
+    } catch (const std::exception& error) {
+      std::cerr << "error: " << error.what() << '\n';
+      return 2;
+    }
+  }
+  return srm::cli::dispatch(command, flags, std::cout, std::cerr);
+}

@@ -1,0 +1,36 @@
+// The library's single clock read lives here — see metrics.hpp for the
+// determinism contract and tools/srm-lint (wallclock rule) for the
+// enforcement: every other file that names a clock fails the lint.
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace srm::serve {
+
+std::int64_t monotonic_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+support::Json LatencySeries::summary() const {
+  using support::Json;
+  auto sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto quantile = [&](double q) -> std::int64_t {
+    if (sorted.empty()) return 0;
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+  };
+  Json out = Json::Object{};
+  out.set("count", Json::from_unsigned(sorted.size()));
+  out.set("p50_us", quantile(0.50));
+  out.set("p90_us", quantile(0.90));
+  out.set("p99_us", quantile(0.99));
+  out.set("max_us", sorted.empty() ? 0 : sorted.back());
+  return out;
+}
+
+}  // namespace srm::serve

@@ -1,0 +1,48 @@
+// Service observability: wall-clock latency measurement and aggregate
+// counters for the estimation service.
+//
+// Determinism boundary: this module is the ONLY place in the library that
+// reads a clock (monotonic_ns(), implemented in metrics.cpp — the
+// documented srm-lint wallclock exemption). Everything it produces is
+// advisory telemetry: latency numbers ride in the `latency_us` meta field
+// and the `stats` query payload, both of which are explicitly OUTSIDE the
+// byte-identity contract (`--no-meta` strips the former; the latter is the
+// documented exempt payload). No clock value may flow into a result body.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace srm::serve {
+
+/// Monotonic nanoseconds since an arbitrary epoch. Only for durations.
+[[nodiscard]] std::int64_t monotonic_ns();
+
+/// Started at construction; elapsed_us() is a duration, never a timestamp.
+class Stopwatch {
+ public:
+  Stopwatch() : start_ns_(monotonic_ns()) {}
+  [[nodiscard]] std::int64_t elapsed_us() const {
+    return (monotonic_ns() - start_ns_) / 1000;
+  }
+
+ private:
+  std::int64_t start_ns_;
+};
+
+/// One tier's samples (microseconds); quantiles computed by sorting a copy
+/// on demand, so record() stays O(1) on the serving path.
+class LatencySeries {
+ public:
+  void record(std::int64_t us) { samples_.push_back(us); }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  /// {count, p50, p90, p99, max} — zeros when empty.
+  [[nodiscard]] support::Json summary() const;
+
+ private:
+  std::vector<std::int64_t> samples_;
+};
+
+}  // namespace srm::serve

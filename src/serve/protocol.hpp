@@ -1,0 +1,93 @@
+// The estimation service's line protocol.
+//
+// One JSON object per line in, one JSON object per line out (compact
+// form, no embedded newlines). Requests:
+//
+//   {"op": "fit",     "project": P, "day": D?, "total": T?, MODEL..., MCMC...}
+//   {"op": "predict", "project": P, "fit_days": M, MODEL..., MCMC...}
+//   {"op": "release", "project": P, "day": D?, "horizon": H?,
+//                     "day_cost": X?, "bug_cost": Y?, MODEL..., MCMC...}
+//   {"op": "select",  "project": P, "day": D?, "total": T?, MCMC...}
+//   {"op": "stats"}
+//   {"op": "shutdown"}
+//
+//   P         "sys1" | "ntds" | {"name": "...", "counts": [n, n, ...]}
+//   MODEL...  "prior": "poisson"|"negbin", "model": "model0".."model4",
+//             "config": {"lambda_max", "alpha_max", "theta_max",
+//                        "jeffreys", "scheme"}
+//   MCMC...   "gibbs": {"chains", "burn_in", "iterations", "thin", "seed"}
+//   ?         optional (day defaults to the project's last day, total to
+//             its observed total). An "id" member of any JSON type is
+//             echoed verbatim in the response. Unknown members are errors.
+//
+// Responses: {"id": ..., "ok": true, "op": "...", "hash": "...",
+//             "result": {...}} followed (unless --no-meta) by the meta
+// members "cache": "hit"|"disk"|"computed" and "latency_us". Failures:
+// {"id": ..., "ok": false, "error": "..."} — always a complete line, never
+// a partial write, whatever the input bytes were.
+//
+// Determinism contract at the service boundary: for a given request object
+// the response body WITHOUT the meta members is byte-identical regardless
+// of cache tier, worker count, or how requests interleave. The meta
+// members and the `stats` payload are the documented exemptions (they
+// carry wall-clock measurements and cache history by design).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "core/fit.hpp"
+#include "core/predictive.hpp"
+#include "core/release_policy.hpp"
+#include "data/bug_count_data.hpp"
+#include "support/json.hpp"
+
+namespace srm::serve {
+
+enum class Op { kFit, kPredict, kRelease, kSelect, kStats, kShutdown };
+
+[[nodiscard]] const char* to_string(Op op);
+
+/// A parsed, validated, defaulted request. `fit` carries the model/MCMC
+/// settings for every estimation op (predict/release/select reuse its
+/// prior/model/config/gibbs members).
+struct Request {
+  std::optional<support::Json> id;  ///< echoed verbatim when present
+  Op op = Op::kStats;
+  data::BugCountData project{"none", {0}};  ///< resolved dataset
+                                            ///< (estimation ops only)
+  core::FitRequest fit{};
+  std::size_t fit_days = 0;    ///< predict: fit prefix length
+  std::size_t horizon = 60;    ///< release: candidate days past `day`
+  core::ReleaseCosts costs{};  ///< release
+};
+
+/// Parses and validates one request object. Throws srm::InvalidArgument
+/// (with the offending member named) on any malformed, unknown, or
+/// out-of-range input; never partially succeeds.
+[[nodiscard]] Request parse_request(const support::Json& json);
+
+/// The request's canonical identity hash — the posterior-cache key.
+///
+/// fit/select cells use artifact::cell_hash, so a serve cache directory
+/// and a sweep artifact directory interoperate: a finished sweep
+/// warm-starts the service. predict/release hash their op-tagged canonical
+/// request JSON with the same FNV-1a. stats/shutdown have no identity.
+[[nodiscard]] std::string request_hash(const Request& request);
+
+/// Response skeletons. Meta members (cache/latency) are appended by the
+/// service after the body so the body prefix never depends on them.
+[[nodiscard]] support::Json make_response(const Request& request,
+                                          const std::string& hash,
+                                          support::Json result);
+[[nodiscard]] support::Json make_error(const std::optional<support::Json>& id,
+                                       const std::string& message);
+
+/// Serializers for the result payloads that are not already covered by
+/// artifact/serialize.hpp. Same contract: bit-exact doubles, fixed member
+/// order.
+[[nodiscard]] support::Json to_json(const core::PredictiveSummary& summary);
+[[nodiscard]] support::Json to_json(const core::ReleasePlan& plan);
+
+}  // namespace srm::serve

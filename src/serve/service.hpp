@@ -1,0 +1,103 @@
+// Service — the estimation service's dispatcher.
+//
+// handle_batch() takes the request lines that arrived together, resolves
+// every estimation request through the PosteriorCache, fans the missing
+// computations out onto the runtime ThreadPool (deduplicating identical
+// in-flight requests so N concurrent cold copies of one query compute
+// once), and assembles one response line per request, in request order.
+//
+// Threading model: all protocol work — parsing, cache lookups, LRU
+// mutation, disk writes, response assembly — happens on the caller's
+// (dispatcher) thread. Only the pure envelope computations run on pool
+// workers, each writing a distinct preallocated slot. This makes cache
+// state (and therefore the eviction sequence and the on-disk directory) a
+// deterministic function of the request stream, for any worker count.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "support/json.hpp"
+
+namespace srm::serve {
+
+struct ServiceOptions {
+  std::size_t cache_capacity = 256;
+  /// Disk tier directory (shared cells/ format with sweep artifacts).
+  std::optional<std::filesystem::path> store_dir;
+  /// Append "cache"/"latency_us" meta members to ok responses. Off
+  /// (--no-meta), response bytes are a pure function of the request — the
+  /// form the byte-identity contract and the CI cold/warm diff use.
+  bool meta = true;
+  /// Write a one-line cache/latency summary to `summary_out` every N
+  /// requests (0 = never).
+  std::size_t summary_every = 0;
+  std::ostream* summary_out = nullptr;
+};
+
+/// One response line plus the telemetry the bench driver wants without
+/// re-parsing it.
+struct ResponseInfo {
+  std::string line;         ///< compact JSON, no trailing newline
+  bool ok = false;
+  std::string cache_tag;    ///< "hit"|"disk"|"computed"|"" (stats/errors)
+  std::int64_t latency_us = 0;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options);
+
+  /// Processes one batch; returns one ResponseInfo per input line, in
+  /// input order. Blank lines yield no entry (they are flush hints).
+  std::vector<ResponseInfo> handle_batch(
+      const std::vector<std::string>& lines);
+
+  /// Convenience for single-request callers (tests, bench).
+  ResponseInfo handle_line(const std::string& line);
+
+  [[nodiscard]] bool shutdown_requested() const { return shutdown_; }
+
+  /// The `stats` query payload. Wall-clock latencies and cache history
+  /// make this the documented determinism exemption.
+  [[nodiscard]] support::Json stats_json() const;
+
+  // Counter accessors for tests.
+  [[nodiscard]] std::uint64_t memory_hits() const { return memory_hits_; }
+  [[nodiscard]] std::uint64_t disk_hits() const { return disk_hits_; }
+  [[nodiscard]] std::uint64_t computed() const { return computed_; }
+  [[nodiscard]] std::uint64_t dedup_shared() const { return dedup_shared_; }
+  [[nodiscard]] const PosteriorCache& cache() const { return cache_; }
+
+ private:
+  ServiceOptions options_;
+  PosteriorCache cache_;
+  bool shutdown_ = false;
+
+  std::uint64_t requests_total_ = 0;
+  std::uint64_t responses_ok_ = 0;
+  std::uint64_t responses_error_ = 0;
+  std::uint64_t memory_hits_ = 0;   ///< per request, by its cache tag
+  std::uint64_t disk_hits_ = 0;
+  std::uint64_t computed_ = 0;
+  std::uint64_t dedup_shared_ = 0;  ///< needs that joined an in-flight twin
+  std::uint64_t batches_ = 0;
+  std::size_t max_batch_ = 0;
+  std::uint64_t since_summary_ = 0;
+
+  LatencySeries latency_computed_;
+  LatencySeries latency_memory_;
+  LatencySeries latency_disk_;
+
+  void record_latency(const std::string& tag, std::int64_t us);
+  void maybe_write_summary();
+};
+
+}  // namespace srm::serve

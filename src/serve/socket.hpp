@@ -1,0 +1,28 @@
+// Minimal unix-domain-socket transport for the estimation service.
+//
+// The server owns one listening socket (--socket PATH) and accepts
+// connections serially: each client gets the full line protocol against
+// the SAME Service instance, so the posterior cache stays warm across
+// connections. One connection at a time keeps the dispatcher
+// single-threaded — the concurrency lives in the compute pool, not in
+// connection handling — which is what makes cache state deterministic.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace srm::serve {
+
+class Service;
+
+/// True when this build/platform supports unix sockets (POSIX only).
+[[nodiscard]] bool socket_transport_available();
+
+/// Binds `path`, accepts connections serially, and runs the line protocol
+/// over each until the peer disconnects or a shutdown request arrives.
+/// Removes a stale socket file at `path` before binding and unlinks it on
+/// exit. Returns the process exit code.
+int serve_over_socket(Service& service, const std::string& path,
+                      std::size_t max_batch);
+
+}  // namespace srm::serve

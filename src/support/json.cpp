@@ -47,6 +47,13 @@ void write_escaped(std::string& out, const std::string& s) {
 // Parser
 // ---------------------------------------------------------------------------
 
+/// Maximum container nesting the parser accepts. The recursive-descent
+/// parser uses one stack frame per level, so this cap is what turns a
+/// hostile "[[[[[…" document into a clean srm::InvalidArgument instead of
+/// a stack overflow. 128 is far beyond any document this library writes
+/// (cell envelopes nest < 10 deep).
+constexpr int kMaxParseDepth = 128;
+
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
@@ -85,7 +92,7 @@ class Parser {
   }
 
   Json parse_value(int depth) {
-    if (depth > 128) fail("nesting too deep");
+    if (depth > kMaxParseDepth) fail("nesting too deep");
     skip_ws();
     const char c = peek();
     switch (c) {
@@ -259,23 +266,42 @@ class Parser {
     }
   }
 
+  [[nodiscard]] bool digit_at(std::size_t pos) const {
+    return pos < text_.size() && text_[pos] >= '0' && text_[pos] <= '9';
+  }
+
+  // Strict RFC 8259 number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?
+  // [0-9]+)?. Untrusted service input means the lenient scan that once
+  // lived here (which took ".5", "01", "1." or "1e+") is no longer
+  // acceptable — anything off-grammar fails with an offset instead of
+  // guessing.
   Json parse_number() {
     const std::size_t begin = pos_;
     if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (!digit_at(pos_)) fail("invalid number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (digit_at(pos_)) fail("leading zero in number");
+    } else {
+      while (digit_at(pos_)) ++pos_;
+    }
     bool is_double = false;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c >= '0' && c <= '9') {
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      if (!digit_at(pos_)) fail("expected digit after decimal point");
+      while (digit_at(pos_)) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
         ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
-        is_double = is_double || c == '.' || c == 'e' || c == 'E';
-        ++pos_;
-      } else {
-        break;
       }
+      if (!digit_at(pos_)) fail("expected digit in exponent");
+      while (digit_at(pos_)) ++pos_;
     }
     const std::string_view token = text_.substr(begin, pos_ - begin);
-    if (token.empty() || token == "-") fail("invalid number");
     const char* b = token.data();
     const char* e = b + token.size();
     if (!is_double) {

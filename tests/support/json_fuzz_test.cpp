@@ -1,0 +1,159 @@
+// Fuzz-style hardening tests for Json::parse on untrusted input.
+//
+// The estimation service (src/serve/) feeds raw network/stdin bytes into
+// this parser, so its failure contract is part of the service's security
+// posture: for ANY byte sequence, parse() either returns a value or throws
+// srm::InvalidArgument — never crashes, never overflows the stack, never
+// returns a half-built value.
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "random/pcg.hpp"
+#include "support/error.hpp"
+
+namespace srm::support {
+namespace {
+
+void expect_rejects(const std::string& text) {
+  EXPECT_THROW((void)Json::parse(text), srm::InvalidArgument)
+      << "input accepted: " << text;
+}
+
+TEST(JsonFuzzTest, EveryPrefixOfAValidDocumentIsRejected) {
+  const std::string doc =
+      R"({"op": "fit", "day": 42, "gibbs": {"seed": 7, "thin": [1, 2.5e3]},)"
+      R"( "name": "sysé", "ok": true, "none": null})";
+  ASSERT_NO_THROW((void)Json::parse(doc));
+  for (std::size_t cut = 0; cut < doc.size(); ++cut) {
+    expect_rejects(doc.substr(0, cut));
+  }
+}
+
+TEST(JsonFuzzTest, DeepNestingThrowsInsteadOfOverflowingTheStack) {
+  // A million unclosed '[' must die at the depth cap, not in a recursion
+  // that eats one stack frame per byte.
+  expect_rejects(std::string(1'000'000, '['));
+  const std::string deep_balanced =
+      std::string(200, '[') + "1" + std::string(200, ']');
+  expect_rejects(deep_balanced);
+  // Just inside the cap still parses.
+  const std::string shallow = std::string(100, '[') + std::string(100, ']');
+  EXPECT_NO_THROW((void)Json::parse(shallow));
+}
+
+TEST(JsonFuzzTest, HugeNumbersThrowInsteadOfMisparsing) {
+  expect_rejects("1e999");
+  expect_rejects("-1e999");
+  expect_rejects(std::string(400, '9'));  // > DBL_MAX once past int64
+  // Out-of-int64 but in-double range degrades to double, by design.
+  const auto big = Json::parse("92233720368547758080");  // 10 * 2^63
+  EXPECT_TRUE(big.is_double());
+}
+
+TEST(JsonFuzzTest, StrictNumberGrammar) {
+  expect_rejects("01");
+  expect_rejects("-01");
+  expect_rejects("+1");
+  expect_rejects(".5");
+  expect_rejects("-.5");
+  expect_rejects("1.");
+  expect_rejects("1.e3");
+  expect_rejects("1e");
+  expect_rejects("1e+");
+  expect_rejects("1e2.5");
+  expect_rejects("0x10");
+  expect_rejects("-");
+  expect_rejects("--1");
+  expect_rejects("1-1");
+  EXPECT_EQ(Json::parse("0").as_int(), 0);
+  EXPECT_EQ(Json::parse("-0").as_int(), 0);
+  EXPECT_EQ(Json::parse("0.5").as_double(), 0.5);
+  EXPECT_EQ(Json::parse("1e2").as_double(), 100.0);
+  EXPECT_EQ(Json::parse("-1E-2").as_double(), -0.01);
+}
+
+TEST(JsonFuzzTest, InvalidEscapesAndSurrogates) {
+  expect_rejects(R"("\u")");
+  expect_rejects(R"("\u12")");
+  expect_rejects(R"("\uZZZZ")");
+  expect_rejects(R"("\x41")");
+  expect_rejects(R"("\ud800")");          // lone high surrogate
+  expect_rejects(R"("\udc00")");          // lone low surrogate
+  expect_rejects(R"("\ud800A")");    // high + non-low
+  expect_rejects(R"("\ud800\n")");
+  expect_rejects(std::string("\"\x01\""));  // raw control character
+  expect_rejects("\"unterminated");
+  expect_rejects("\"trailing backslash\\");
+  // A correct pair decodes to the astral code point's UTF-8 bytes.
+  const auto pair = Json::parse(R"("😀")");
+  EXPECT_EQ(pair.as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonFuzzTest, MalformedStructures) {
+  expect_rejects("");
+  expect_rejects("   ");
+  expect_rejects("{");
+  expect_rejects("}");
+  expect_rejects("{\"a\" 1}");
+  expect_rejects("{\"a\": 1,}");
+  expect_rejects("{\"a\": 1 \"b\": 2}");
+  expect_rejects("{1: 2}");
+  expect_rejects("[1, ]");
+  expect_rejects("[1 2]");
+  expect_rejects("[1] [2]");
+  expect_rejects("truex");
+  expect_rejects("nul");
+  expect_rejects("Infinit");
+  expect_rejects("NaNaN");
+}
+
+TEST(JsonFuzzTest, RandomByteSoupNeverCrashes) {
+  // Seeded (deterministic) byte soup: every outcome must be a clean value
+  // or a clean srm::InvalidArgument. Any other escape (segfault, other
+  // exception type) fails the test run itself.
+  random::Pcg64 rng(0x5eedf00dULL);
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t length = rng() % 64;
+    std::string text(length, '\0');
+    for (auto& byte : text) byte = static_cast<char>(rng() % 256);
+    try {
+      (void)Json::parse(text);
+    } catch (const srm::InvalidArgument&) {
+      // expected for almost all inputs
+    }
+  }
+}
+
+TEST(JsonFuzzTest, RandomStructuralSoupNeverCrashes) {
+  // Same contract over JSON-ish punctuation, which exercises the parser's
+  // recursion and container handling much harder than raw bytes.
+  constexpr char kAlphabet[] = "{}[],:\"\\0123456789.eE+-truefalsn ";
+  random::Pcg64 rng(0xabad1deaULL);
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t length = rng() % 96;
+    std::string text(length, '\0');
+    for (auto& byte : text) {
+      byte = kAlphabet[rng() % (sizeof(kAlphabet) - 1)];
+    }
+    try {
+      (void)Json::parse(text);
+    } catch (const srm::InvalidArgument&) {
+    }
+  }
+}
+
+TEST(JsonFuzzTest, ErrorsCarryAnOffset) {
+  try {
+    (void)Json::parse("{\"a\": 01}");
+    FAIL() << "expected InvalidArgument";
+  } catch (const srm::InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("offset"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace srm::support

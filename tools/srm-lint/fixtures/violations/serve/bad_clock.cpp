@@ -1,0 +1,18 @@
+// wallclock: monotonic clock reads in serve/ outside metrics.cpp. The
+// service must route all timing through serve::monotonic_ns so latency
+// can never leak into payload bytes from an ad-hoc clock read.
+#include <chrono>
+
+namespace fx::serve {
+
+long long stamp_response() {
+  const auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}
+
+long long stamp_precise() {
+  const auto now = std::chrono::high_resolution_clock::now();
+  return now.time_since_epoch().count();
+}
+
+}  // namespace fx::serve

@@ -1,0 +1,18 @@
+// unordered-output: hash containers in the service layer. The posterior
+// cache serializes responses directly, so iteration order reaches bytes.
+#include <string>
+#include <unordered_map>
+
+namespace fx::serve {
+
+int cache_occupancy() {
+  std::unordered_map<std::string, int> residents;
+  residents.emplace("f5785daf471c13ac", 1);
+  int total = 0;
+  for (const auto& [hash, pinned] : residents) {
+    total += pinned + static_cast<int>(hash.size());
+  }
+  return total;
+}
+
+}  // namespace fx::serve

@@ -1,0 +1,9 @@
+// Clean: serve/ is a frontend layer (line-oriented JSON on stdout), so
+// the iostream rule exempts it like cli/ and report/.
+#include <iostream>
+
+namespace fx::serve {
+
+void emit_response_line() { std::cout << "{\"ok\":true}\n"; }
+
+}  // namespace fx::serve

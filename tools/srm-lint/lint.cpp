@@ -40,10 +40,10 @@ const std::vector<RuleInfo>& registered_rules() {
        "violations",
        {"core/", "stats/"}},
       {"iostream",
-       "no std::cout/std::cerr outside cli/ and report/",
+       "no std::cout/std::cerr outside cli/, report/ and serve/",
        PassKind::kToken,
        "violations",
-       {"cli/", "report/"}},
+       {"cli/", "report/", "serve/"}},
       {"float-compare",
        "no floating ==/!= against literals outside support/fp.hpp",
        PassKind::kToken,
@@ -78,18 +78,19 @@ const std::vector<RuleInfo>& registered_rules() {
        {"report/", "artifact/"}},
       // Determinism rules (bit-identity contract).
       {"unordered-output",
-       "no std::unordered_map/std::unordered_set in artifact/, report/ or "
-       "cli/; hash iteration order is nondeterministic and those layers "
-       "feed serialized output",
+       "no std::unordered_map/std::unordered_set in artifact/, report/, "
+       "cli/ or serve/; hash iteration order is nondeterministic and those "
+       "layers feed serialized output",
        PassKind::kToken,
        "violations",
-       {"artifact/", "report/", "cli/"}},
+       {"artifact/", "report/", "cli/", "serve/"}},
       {"wallclock",
-       "no std::random_device, std::chrono::system_clock or C time sources "
-       "outside random/",
+       "no std::random_device, std::chrono::system_clock, monotonic clocks "
+       "or C time sources outside random/; serve/metrics.cpp is the one "
+       "sanctioned monotonic read (latency-stats path only)",
        PassKind::kToken,
        "violations",
-       {"random/"}},
+       {"random/", "serve/metrics.cpp"}},
       {"pointer-order",
        "no pointer-keyed std::map/std::set; pointer order is allocation "
        "order and varies run to run",

@@ -17,9 +17,10 @@
 //   log-domain      No tgamma and no exp(lgamma(...)) composition in
 //                   src/core/ or src/stats/: likelihood/posterior code must
 //                   stay in the log domain (tgamma overflows beyond ~171!).
-//   iostream        No std::cout/std::cerr outside the CLI and report
-//                   layers; library code reports through return values and
-//                   exceptions.
+//   iostream        No std::cout/std::cerr outside the CLI, report and
+//                   serve layers; library code reports through return
+//                   values and exceptions. (serve/ is a frontend: its
+//                   binary and stream transport own stdout/stderr.)
 //   float-compare   No floating-point ==/!= against floating literals
 //                   outside the approved helpers in support/fp.hpp.
 //   raw-thread      No std::thread / std::jthread / std::async outside
@@ -51,16 +52,20 @@
 //    any host locale):
 //
 //   unordered-output No std::unordered_map/std::unordered_set in
-//                   src/artifact/, src/report/ or src/cli/: hash-container
-//                   iteration order varies across libstdc++ versions and
-//                   ASLR runs, and those layers feed serialization and
-//                   rendered output directly. Use std::map or a sorted
-//                   vector.
-//   wallclock       No std::random_device, std::chrono::system_clock, or
-//                   C time sources (time/gettimeofday/clock_gettime/
+//                   src/artifact/, src/report/, src/cli/ or src/serve/:
+//                   hash-container iteration order varies across libstdc++
+//                   versions and ASLR runs, and those layers feed
+//                   serialization and rendered output directly. Use
+//                   std::map or a sorted vector.
+//   wallclock       No std::random_device, std::chrono::system_clock,
+//                   monotonic clocks (steady_clock/high_resolution_clock),
+//                   or C time sources (time/gettimeofday/clock_gettime/
 //                   localtime/gmtime/ctime) outside src/random/: any
 //                   wall-clock or entropy read in library code makes a
-//                   result depend on when/where it ran.
+//                   result depend on when/where it ran. One documented
+//                   exemption: src/serve/metrics.cpp may read the
+//                   monotonic clock, feeding the latency-stats path only
+//                   (response meta and the `stats` op, never payloads).
 //   pointer-order   No pointer-keyed std::map/std::set (or unordered
 //                   variants): pointer order is allocation order, which
 //                   varies run to run — key by a value identity instead.

@@ -234,13 +234,15 @@ TEST(SrmLint, FormatFindingIsGrepFriendly) {
 TEST(SrmLint, DetectsUnorderedContainersInOutputLayers) {
   const auto all = run_lint(fixture("violations"));
   const auto hits = findings_for_rule(all, "unordered-output");
-  ASSERT_EQ(hits.size(), 3u);
+  ASSERT_EQ(hits.size(), 4u);
   EXPECT_TRUE(
       has_finding(all, "artifact/bad_unordered.cpp", 8, "unordered-output"));
   EXPECT_TRUE(
       has_finding(all, "artifact/bad_unordered.cpp", 11, "unordered-output"));
   EXPECT_TRUE(has_finding(all, "report/bad_unordered_render.cpp", 8,
                           "unordered-output"));
+  EXPECT_TRUE(
+      has_finding(all, "serve/bad_unordered.cpp", 9, "unordered-output"));
 }
 
 TEST(SrmLint, UnorderedOutputRuleScopedToSerializingLayers) {
@@ -250,7 +252,8 @@ TEST(SrmLint, UnorderedOutputRuleScopedToSerializingLayers) {
   for (const auto& f : findings_for_rule(all, "unordered-output")) {
     const bool in_scope = f.file.rfind("artifact/", 0) == 0 ||
                           f.file.rfind("report/", 0) == 0 ||
-                          f.file.rfind("cli/", 0) == 0;
+                          f.file.rfind("cli/", 0) == 0 ||
+                          f.file.rfind("serve/", 0) == 0;
     EXPECT_TRUE(in_scope) << srm::lint::format_finding(f);
   }
 }
@@ -258,12 +261,14 @@ TEST(SrmLint, UnorderedOutputRuleScopedToSerializingLayers) {
 TEST(SrmLint, DetectsWallclockSources) {
   const auto all = run_lint(fixture("violations"));
   const auto hits = findings_for_rule(all, "wallclock");
-  ASSERT_EQ(hits.size(), 3u)
-      << "random_device, system_clock and time() all fire; steady_clock "
-         "stays clean";
+  ASSERT_EQ(hits.size(), 5u)
+      << "random_device, system_clock, time(), steady_clock and "
+         "high_resolution_clock all fire";
   EXPECT_TRUE(has_finding(all, "mcmc/bad_wallclock.cpp", 9, "wallclock"));
   EXPECT_TRUE(has_finding(all, "mcmc/bad_wallclock.cpp", 14, "wallclock"));
   EXPECT_TRUE(has_finding(all, "mcmc/bad_wallclock.cpp", 16, "wallclock"));
+  EXPECT_TRUE(has_finding(all, "serve/bad_clock.cpp", 9, "wallclock"));
+  EXPECT_TRUE(has_finding(all, "serve/bad_clock.cpp", 14, "wallclock"));
 }
 
 TEST(SrmLint, WallclockRuleExemptsRandomDirectory) {
@@ -272,6 +277,16 @@ TEST(SrmLint, WallclockRuleExemptsRandomDirectory) {
   const auto all = run_lint(fixture("violations"));
   for (const auto& f : findings_for_rule(all, "wallclock")) {
     EXPECT_NE(f.file.rfind("random/", 0), 0u) << srm::lint::format_finding(f);
+  }
+}
+
+TEST(SrmLint, WallclockRuleExemptsServeMetricsOnly) {
+  // serve/metrics.cpp is the library's one sanctioned monotonic-clock
+  // read (latency-stats path); it reads steady_clock and must stay
+  // clean. serve/bad_clock.cpp proves the rest of serve/ is still armed.
+  const auto all = run_lint(fixture("violations"));
+  for (const auto& f : findings_for_rule(all, "wallclock")) {
+    EXPECT_NE(f.file, "serve/metrics.cpp") << srm::lint::format_finding(f);
   }
 }
 

@@ -510,14 +510,16 @@ void check_impls(const FileText& header, const FileText* impl,
 
 void run_contract_rules(const FileSet& files, std::vector<Finding>& out) {
   for (const FileText& f : files.files()) {
-    const bool is_cli_or_report =
-        f.in_dir("cli/") || f.in_dir("report/");
+    // serve/ is a frontend like cli/: its binary and stream transport own
+    // stdout/stderr, so the iostream ban does not apply there.
+    const bool is_frontend_or_report =
+        f.in_dir("cli/") || f.in_dir("report/") || f.in_dir("serve/");
     const bool is_core_or_stats =
         f.in_dir("core/") || f.in_dir("stats/");
 
     check_banned_random(f, out);
     if (is_core_or_stats) check_log_domain(f, out);
-    if (!is_cli_or_report) check_iostream(f, out);
+    if (!is_frontend_or_report) check_iostream(f, out);
     if (!f.in_dir("report/") && !f.in_dir("artifact/")) {
       check_adhoc_serialization(f, out);
     }

@@ -54,6 +54,11 @@ void check_unordered_output(const FileText& f, std::vector<Finding>& out) {
 // A wall-clock or entropy read makes a result depend on when and where it
 // ran. Seeding is the business of src/random/ (and benches, which are not
 // part of the library tree); everything else computes from its inputs.
+// Monotonic clocks (steady_clock / high_resolution_clock) are covered too:
+// they cannot leak into payload bytes by accident if they cannot be read.
+// The single sanctioned read is serve/metrics.cpp, which feeds the
+// latency-stats path only — meta fields and the `stats` op, never response
+// payloads (see src/serve/metrics.hpp for the boundary).
 
 void check_wallclock(const FileText& f, std::vector<Finding>& out) {
   static const std::unordered_set<std::string_view> kClockCalls = {
@@ -73,6 +78,14 @@ void check_wallclock(const FileText& f, std::vector<Finding>& out) {
              "std::chrono::system_clock outside src/random/; wall-clock "
              "reads make results depend on when they ran — thread the "
              "timestamp in as data if one is genuinely needed");
+      return;
+    }
+    if (name == "steady_clock" || name == "high_resolution_clock") {
+      report(out, f, i, "wallclock",
+             "std::chrono::" + std::string(name) +
+                 " outside serve/metrics.cpp; monotonic reads may only feed "
+                 "the latency-stats path — route timing through "
+                 "serve::monotonic_ns so payload bytes stay deterministic");
       return;
     }
     if (kClockCalls.contains(name) && call_follows(s, i, name.size())) {
@@ -169,10 +182,16 @@ void check_locale_format(const FileText& f, std::vector<Finding>& out) {
 
 void run_determinism_rules(const FileSet& files, std::vector<Finding>& out) {
   for (const FileText& f : files.files()) {
-    if (f.in_dir("artifact/") || f.in_dir("report/") || f.in_dir("cli/")) {
+    if (f.in_dir("artifact/") || f.in_dir("report/") || f.in_dir("cli/") ||
+        f.in_dir("serve/")) {
       check_unordered_output(f, out);
     }
-    if (!f.in_dir("random/")) check_wallclock(f, out);
+    // serve/metrics.cpp is the library's one sanctioned monotonic-clock
+    // read: it feeds latency stats (meta fields and the `stats` op), never
+    // response payloads. Everything else stays clock-free.
+    if (!f.in_dir("random/") && f.rel != "serve/metrics.cpp") {
+      check_wallclock(f, out);
+    }
     check_pointer_order(f, out);
     if (!f.in_dir("support/")) check_locale_format(f, out);
   }
