@@ -3,15 +3,20 @@
 // Part 1 times single-chain steady-state scans (workspace-threaded
 // BayesianSrm::update, collapsed scheme, full 96-day sys1 dataset) for every
 // prior x detection-model pair of the paper grid and reports iters/sec.
-// Part 2 runs the full paper sweep (2 priors x 5 models x 9 observation
-// days) single-threaded and compares its wall time against the pre-kernel
-// baseline recorded in BENCH_runtime.json (63466.1 ms at threads=1).
+// Part 2 re-times the pow/log-heavy heterogeneous models (model2..model4)
+// with the SIMD detection kernels (GibbsOptions::vectorized) and reports
+// the scalar-vs-vectorized speedup per cell.
+// Part 3 runs the full paper sweep (2 priors x 5 models x 9 observation
+// days) single-threaded in both modes and compares the scalar wall time
+// against the pre-kernel baseline recorded in BENCH_runtime.json
+// (63466.1 ms at threads=1).
 //
 // Output: a human-readable summary on stdout plus machine-readable JSON in
 // BENCH_gibbs.json (or the path given as argv[1]).
 //
 //   --smoke       tiny iteration counts and a reduced sweep; exercises every
-//                 code path in seconds for CI, numbers are not comparable
+//                 code path (both modes included) in seconds for CI,
+//                 numbers are not comparable
 //   --threads N   worker threads for the sweep phase (default 1, matching
 //                 the baseline). Requesting more threads than the machine
 //                 has cores adds an oversubscription warning to the JSON.
@@ -23,6 +28,7 @@
 #include <vector>
 
 #include "core/bayes_srm.hpp"
+#include "core/detection_simd.hpp"
 #include "data/datasets.hpp"
 #include "random/rng.hpp"
 #include "report/sweep.hpp"
@@ -41,11 +47,20 @@ struct KernelSample {
   double us_per_scan = 0.0;
 };
 
+/// A scalar/vectorized pair for one heterogeneous-model cell.
+struct SimdSample {
+  std::string prior;
+  int model_id = 0;
+  double scalar_us = 0.0;
+  double vectorized_us = 0.0;
+};
+
 KernelSample time_kernel(srm::core::PriorKind prior, int model_id,
                          const srm::data::BugCountData& data, int warmup,
-                         int iters) {
+                         int iters, bool vectorized = false) {
   const srm::core::BayesianSrm model(
-      prior, static_cast<srm::core::DetectionModelKind>(model_id), data, {});
+      prior, static_cast<srm::core::DetectionModelKind>(model_id), data, {},
+      vectorized);
   srm::random::Rng rng(42);
   auto state = model.initial_state(rng);
   const auto workspace = model.make_workspace();
@@ -66,8 +81,25 @@ KernelSample time_kernel(srm::core::PriorKind prior, int model_id,
   return s;
 }
 
-std::string to_json(const std::vector<KernelSample>& kernel, bool smoke,
+double time_sweep(const srm::data::BugCountData& data,
+                  const srm::report::SweepOptions& options,
+                  std::size_t threads) {
+  srm::runtime::ThreadPool::set_global_thread_count(threads);
+  const auto start = std::chrono::steady_clock::now();
+  const auto sweep = srm::report::run_sweep(data, options);
+  const auto stop = std::chrono::steady_clock::now();
+  srm::runtime::ThreadPool::set_global_thread_count(0);
+  if (sweep.cells.size() != 10) {
+    std::cerr << "sweep produced an unexpected cell count\n";
+    std::exit(1);
+  }
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+std::string to_json(const std::vector<KernelSample>& kernel,
+                    const std::vector<SimdSample>& simd, bool smoke,
                     std::size_t sweep_threads, double sweep_wall_ms,
+                    double simd_sweep_wall_ms,
                     const std::vector<std::string>& warnings) {
   std::ostringstream out;
   out << "{\n"
@@ -84,6 +116,24 @@ std::string to_json(const std::vector<KernelSample>& kernel, bool smoke,
         << (i + 1 < kernel.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
+      << "  \"simd\": {\n"
+      << "    \"isa\": \"" << srm::core::simd_kernels::isa_name() << "\",\n"
+      << "    \"kernel\": [\n";
+  for (std::size_t i = 0; i < simd.size(); ++i) {
+    const auto& s = simd[i];
+    out << "      {\"prior\": \"" << s.prior
+        << "\", \"model\": " << s.model_id
+        << ", \"scalar_us_per_scan\": " << s.scalar_us
+        << ", \"vectorized_us_per_scan\": " << s.vectorized_us
+        << ", \"speedup\": " << s.scalar_us / s.vectorized_us << "}"
+        << (i + 1 < simd.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n"
+      << "    \"sweep\": {\"threads\": " << sweep_threads
+      << ", \"scalar_wall_ms\": " << sweep_wall_ms
+      << ", \"vectorized_wall_ms\": " << simd_sweep_wall_ms
+      << ", \"speedup\": " << sweep_wall_ms / simd_sweep_wall_ms << "}\n"
+      << "  },\n"
       << "  \"sweep\": {\"threads\": " << sweep_threads << ", \"wall_ms\": "
       << sweep_wall_ms;
   if (!smoke) {
@@ -138,6 +188,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The SIMD fork only reroutes the pow/log-heavy heterogeneous models;
+  // model0/1 (and the extension models) never consult the flag.
+  std::cout << "simd kernels (isa=" << srm::core::simd_kernels::isa_name()
+            << ", --vectorized fork, models 2-4)\n";
+  std::vector<SimdSample> simd;
+  for (const auto prior : {srm::core::PriorKind::kPoisson,
+                           srm::core::PriorKind::kNegativeBinomial}) {
+    for (int model_id = 2; model_id <= 4; ++model_id) {
+      SimdSample s;
+      s.prior = srm::core::to_string(prior);
+      s.model_id = model_id;
+      for (const auto& k : kernel) {
+        if (k.prior == s.prior && k.model_id == model_id) {
+          s.scalar_us = k.us_per_scan;
+        }
+      }
+      s.vectorized_us =
+          time_kernel(prior, model_id, data, warmup, iters, true).us_per_scan;
+      simd.push_back(s);
+      std::cout << "  prior=" << s.prior << " model=" << s.model_id
+                << "  scalar=" << s.scalar_us << " us/scan  vectorized="
+                << s.vectorized_us << " us/scan  speedup="
+                << s.scalar_us / s.vectorized_us << "x\n";
+    }
+  }
+
   std::vector<std::string> warnings;
   const std::size_t cores = srm::runtime::ThreadPool::default_thread_count();
   if (sweep_threads > cores) {
@@ -155,18 +231,8 @@ int main(int argc, char** argv) {
     options.gibbs.burn_in = 50;
     options.gibbs.iterations = 100;
   }
-  srm::runtime::ThreadPool::set_global_thread_count(sweep_threads);
-  const auto start = std::chrono::steady_clock::now();
-  const auto sweep = srm::report::run_sweep(data, options);
-  const auto stop = std::chrono::steady_clock::now();
-  srm::runtime::ThreadPool::set_global_thread_count(0);
-  if (sweep.cells.size() != 10) {
-    std::cerr << "sweep produced an unexpected cell count\n";
-    return 1;
-  }
-  const double sweep_wall_ms =
-      std::chrono::duration<double, std::milli>(stop - start).count();
-  std::cout << "full sweep: threads=" << sweep_threads << "  wall="
+  const double sweep_wall_ms = time_sweep(data, options, sweep_threads);
+  std::cout << "full sweep (scalar): threads=" << sweep_threads << "  wall="
             << sweep_wall_ms / 1000.0 << "s";
   if (!smoke) {
     std::cout << "  baseline=" << kBaselineSweepWallMs / 1000.0
@@ -174,12 +240,22 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n";
 
+  auto simd_options = options;
+  simd_options.gibbs.vectorized = true;
+  const double simd_sweep_wall_ms =
+      time_sweep(data, simd_options, sweep_threads);
+  std::cout << "full sweep (vectorized): threads=" << sweep_threads
+            << "  wall=" << simd_sweep_wall_ms / 1000.0
+            << "s  speedup-vs-scalar="
+            << sweep_wall_ms / simd_sweep_wall_ms << "x\n";
+
   std::ofstream out(output_path);
   if (!out) {
     std::cerr << "cannot write " << output_path << "\n";
     return 1;
   }
-  out << to_json(kernel, smoke, sweep_threads, sweep_wall_ms, warnings);
+  out << to_json(kernel, simd, smoke, sweep_threads, sweep_wall_ms,
+                 simd_sweep_wall_ms, warnings);
   std::cout << "wrote " << output_path << "\n";
   return 0;
 }

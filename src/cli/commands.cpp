@@ -94,6 +94,8 @@ mcmc::GibbsOptions parse_gibbs(const Args& args) {
   // retained draw count); --keep-traces restores full chain storage.
   // Commands that consume the raw run (predict, release) force it back on.
   gibbs.keep_traces = args.has("keep-traces");
+  // Opt-in SIMD batch kernels; forks result identity (see GibbsOptions).
+  gibbs.vectorized = args.has("vectorized");
   return gibbs;
 }
 
@@ -209,7 +211,7 @@ int run_select(const Args& args, std::ostream& out) {
   for (const auto prior :
        {core::PriorKind::kPoisson, core::PriorKind::kNegativeBinomial}) {
     for (const auto kind : core::all_detection_model_kinds()) {
-      core::BayesianSrm model(prior, kind, data, config);
+      core::BayesianSrm model(prior, kind, data, config, gibbs.vectorized);
       Row row{core::to_string(prior), core::to_string(kind), 0.0, 0.0, 0.0};
       if (gibbs.keep_traces) {
         const auto run = mcmc::run_gibbs(model, gibbs);
@@ -392,7 +394,7 @@ int run_release(const Args& args, std::ostream& out) {
       static_cast<std::size_t>(args.get_int("horizon", 60));
   reject_unused(args);
 
-  core::BayesianSrm model(prior, kind, data, config);
+  core::BayesianSrm model(prior, kind, data, config, gibbs.vectorized);
   const auto run = mcmc::run_gibbs(model, gibbs);
   const auto posterior = core::summarize_residual_posterior(run);
   const auto [lo, hi] = posterior.credible_interval(0.95);
@@ -444,6 +446,7 @@ int run_sweep(const Args& args, std::ostream& out) {
   options.gibbs.seed = static_cast<std::uint64_t>(
       args.get_int("seed", static_cast<std::int64_t>(options.gibbs.seed)));
   if (args.has("keep-traces")) options.gibbs.keep_traces = true;
+  if (args.has("vectorized")) options.gibbs.vectorized = true;
   options.base_config.lambda_max =
       args.get_double("lambda-max", options.base_config.lambda_max);
   options.base_config.alpha_max =
@@ -525,6 +528,9 @@ std::string usage() {
       "  --thin N        keep every N-th retained scan (default 1)\n"
       "  --keep-traces   store full chains instead of streaming accumulators\n"
       "                  (identical output; only memory use differs)\n"
+      "  --vectorized    SIMD detection kernels for model2/3/4 (faster, but\n"
+      "                  draws differ from scalar at the ULP level, so\n"
+      "                  artifact/serve hashes change with this flag)\n"
       "  --lambda-max, --alpha-max, --theta-max, --jeffreys,\n"
       "  --threads N  worker threads for chains/sweeps/scoring\n"
       "               (0 = all hardware threads; SRM_THREADS env also works;\n"

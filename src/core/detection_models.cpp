@@ -4,6 +4,8 @@
 #include <limits>
 #include <cmath>
 
+#include "core/detection_simd.hpp"
+#include "core/detection_tables.hpp"
 #include "support/error.hpp"
 #include "support/format.hpp"
 
@@ -23,30 +25,9 @@ void check_batch(const DetectionModel& model, std::size_t days,
               "batch detection output buffer is smaller than `days`");
 }
 
-// Day-indexed constants shared across probes. The tables are thread_local
-// (concurrent chains must not contend) and grow on demand, so any day count
-// seen during warm-up is served allocation-free in steady state. Entries
-// are computed by the exact expressions the scalar channel uses, so the
-// cached values are bit-identical to the inline ones.
-
-/// log(1), log(2), ..., log(days) — model2's day term.
-const std::vector<double>& cached_log_days(std::size_t days) {
-  thread_local std::vector<double> cache;
-  for (std::size_t d = cache.size() + 1; d <= days; ++d) {
-    cache.push_back(std::log(static_cast<double>(d)));
-  }
-  return cache;
-}
-
-/// log(d + 2) / (d + 1) for d = 1..days — model3's hazard exponent.
-const std::vector<double>& cached_pareto_exponents(std::size_t days) {
-  thread_local std::vector<double> cache;
-  for (std::size_t i = cache.size() + 1; i <= days; ++i) {
-    const double d = static_cast<double>(i);
-    cache.push_back(std::log(d + 2.0) / (d + 1.0));
-  }
-  return cache;
-}
+// Day-indexed constants (log d, the Pareto hazard exponent) live in the
+// shared thread_local tables of detection_tables.hpp; each model pulls the
+// column it needs per probe.
 
 class ConstantModel final : public DetectionModel {
  public:
@@ -152,6 +133,7 @@ class PadgettSpurrierModel final : public DetectionModel {
 
 class LogLogisticModel final : public DetectionModel {
  public:
+  explicit LogLogisticModel(bool vectorized) : vectorized_(vectorized) {}
   DetectionModelKind kind() const override {
     return DetectionModelKind::kLogLogistic;
   }
@@ -186,7 +168,12 @@ class LogLogisticModel final : public DetectionModel {
   void probabilities_into(std::size_t days, std::span<const double> zeta,
                           std::span<double> out) const override {
     check_batch(*this, days, zeta, out);
-    const auto& log_day = cached_log_days(days);
+    const auto& log_day = day_tables(days).log_day;
+    if (vectorized_) {
+      simd_kernels::loglogistic_detection(days, zeta[0], zeta[1], log_day,
+                                          out, {});
+      return;
+    }
     const double mu = zeta[0];
     const double gamma = zeta[1];
     const double one_minus_mu = 1.0 - mu;
@@ -198,7 +185,12 @@ class LogLogisticModel final : public DetectionModel {
   void log_survivals_into(std::size_t days, std::span<const double> zeta,
                           std::span<double> out) const override {
     check_batch(*this, days, zeta, out);
-    const auto& log_day = cached_log_days(days);
+    const auto& log_day = day_tables(days).log_day;
+    if (vectorized_) {
+      simd_kernels::loglogistic_detection(days, zeta[0], zeta[1], log_day,
+                                          {}, out);
+      return;
+    }
     const double mu = zeta[0];
     const double gamma = zeta[1];
     for (std::size_t day = 1; day <= days; ++day) {
@@ -213,7 +205,13 @@ class LogLogisticModel final : public DetectionModel {
                       std::span<double> log_survivals_out) const override {
     check_batch(*this, days, zeta, probabilities_out);
     check_batch(*this, days, zeta, log_survivals_out);
-    const auto& log_day = cached_log_days(days);
+    const auto& log_day = day_tables(days).log_day;
+    if (vectorized_) {
+      simd_kernels::loglogistic_detection(days, zeta[0], zeta[1], log_day,
+                                          probabilities_out,
+                                          log_survivals_out);
+      return;
+    }
     const double mu = zeta[0];
     const double gamma = zeta[1];
     const double one_minus_mu = 1.0 - mu;
@@ -226,10 +224,14 @@ class LogLogisticModel final : public DetectionModel {
           !std::isfinite(t) ? 0.0 : std::log(t + mu) - std::log1p(t);
     }
   }
+
+ private:
+  bool vectorized_ = false;
 };
 
 class ParetoModel final : public DetectionModel {
  public:
+  explicit ParetoModel(bool vectorized) : vectorized_(vectorized) {}
   DetectionModelKind kind() const override {
     return DetectionModelKind::kPareto;
   }
@@ -258,7 +260,11 @@ class ParetoModel final : public DetectionModel {
   void probabilities_into(std::size_t days, std::span<const double> zeta,
                           std::span<double> out) const override {
     check_batch(*this, days, zeta, out);
-    const auto& exponents = cached_pareto_exponents(days);
+    const auto& exponents = day_tables(days).pareto_exponent;
+    if (vectorized_) {
+      simd_kernels::pareto_detection(days, zeta[0], exponents, out, {});
+      return;
+    }
     const double mu = zeta[0];
     for (std::size_t day = 1; day <= days; ++day) {
       out[day - 1] = 1.0 - std::pow(mu, exponents[day - 1]);
@@ -267,7 +273,11 @@ class ParetoModel final : public DetectionModel {
   void log_survivals_into(std::size_t days, std::span<const double> zeta,
                           std::span<double> out) const override {
     check_batch(*this, days, zeta, out);
-    const auto& exponents = cached_pareto_exponents(days);
+    const auto& exponents = day_tables(days).pareto_exponent;
+    if (vectorized_) {
+      simd_kernels::pareto_detection(days, zeta[0], exponents, {}, out);
+      return;
+    }
     const double log_mu = std::log(zeta[0]);
     for (std::size_t day = 1; day <= days; ++day) {
       out[day - 1] = exponents[day - 1] * log_mu;
@@ -278,7 +288,12 @@ class ParetoModel final : public DetectionModel {
                       std::span<double> log_survivals_out) const override {
     check_batch(*this, days, zeta, probabilities_out);
     check_batch(*this, days, zeta, log_survivals_out);
-    const auto& exponents = cached_pareto_exponents(days);
+    const auto& exponents = day_tables(days).pareto_exponent;
+    if (vectorized_) {
+      simd_kernels::pareto_detection(days, zeta[0], exponents,
+                                     probabilities_out, log_survivals_out);
+      return;
+    }
     const double mu = zeta[0];
     const double log_mu = std::log(mu);
     for (std::size_t day = 1; day <= days; ++day) {
@@ -287,10 +302,14 @@ class ParetoModel final : public DetectionModel {
       log_survivals_out[day - 1] = exponent * log_mu;
     }
   }
+
+ private:
+  bool vectorized_ = false;
 };
 
 class WeibullModel final : public DetectionModel {
  public:
+  explicit WeibullModel(bool vectorized) : vectorized_(vectorized) {}
   DetectionModelKind kind() const override {
     return DetectionModelKind::kWeibull;
   }
@@ -326,6 +345,11 @@ class WeibullModel final : public DetectionModel {
   void probabilities_into(std::size_t days, std::span<const double> zeta,
                           std::span<double> out) const override {
     check_batch(*this, days, zeta, out);
+    if (vectorized_) {
+      simd_kernels::weibull_detection(days, zeta[0], zeta[1],
+                                      day_tables(days).log_day, out, {});
+      return;
+    }
     const double mu = zeta[0];
     const double omega = zeta[1];
     double prev = std::pow(0.0, omega);
@@ -338,6 +362,11 @@ class WeibullModel final : public DetectionModel {
   void log_survivals_into(std::size_t days, std::span<const double> zeta,
                           std::span<double> out) const override {
     check_batch(*this, days, zeta, out);
+    if (vectorized_) {
+      simd_kernels::weibull_detection(days, zeta[0], zeta[1],
+                                      day_tables(days).log_day, {}, out);
+      return;
+    }
     const double omega = zeta[1];
     const double log_mu = std::log(zeta[0]);
     double prev = std::pow(0.0, omega);
@@ -352,6 +381,12 @@ class WeibullModel final : public DetectionModel {
                       std::span<double> log_survivals_out) const override {
     check_batch(*this, days, zeta, probabilities_out);
     check_batch(*this, days, zeta, log_survivals_out);
+    if (vectorized_) {
+      simd_kernels::weibull_detection(days, zeta[0], zeta[1],
+                                      day_tables(days).log_day,
+                                      probabilities_out, log_survivals_out);
+      return;
+    }
     const double mu = zeta[0];
     const double omega = zeta[1];
     const double log_mu = std::log(mu);
@@ -364,6 +399,9 @@ class WeibullModel final : public DetectionModel {
       prev = cur;
     }
   }
+
+ private:
+  bool vectorized_ = false;
 };
 
 class RayleighModel final : public DetectionModel {
@@ -600,19 +638,19 @@ std::vector<double> DetectionModel::probabilities(
   return p;
 }
 
-std::unique_ptr<DetectionModel> make_detection_model(
-    DetectionModelKind kind) {
+std::unique_ptr<DetectionModel> make_detection_model(DetectionModelKind kind,
+                                                     bool vectorized) {
   switch (kind) {
     case DetectionModelKind::kConstant:
       return std::make_unique<ConstantModel>();
     case DetectionModelKind::kPadgettSpurrier:
       return std::make_unique<PadgettSpurrierModel>();
     case DetectionModelKind::kLogLogistic:
-      return std::make_unique<LogLogisticModel>();
+      return std::make_unique<LogLogisticModel>(vectorized);
     case DetectionModelKind::kPareto:
-      return std::make_unique<ParetoModel>();
+      return std::make_unique<ParetoModel>(vectorized);
     case DetectionModelKind::kWeibull:
-      return std::make_unique<WeibullModel>();
+      return std::make_unique<WeibullModel>(vectorized);
     case DetectionModelKind::kRayleigh:
       return std::make_unique<RayleighModel>();
     case DetectionModelKind::kLearningCurve:

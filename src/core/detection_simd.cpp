@@ -1,0 +1,207 @@
+// The one core/ TU that may be compiled with wider-ISA flags (see
+// src/core/CMakeLists.txt): every kernel here runs on the support/simd
+// lane layer, whose backend is chosen by this TU's compile flags alone.
+#include "core/detection_simd.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/simd/math.hpp"
+
+namespace srm::core::simd_kernels {
+
+namespace {
+
+using simd::VecD;
+
+constexpr std::size_t kLanes = simd::kLanes;
+
+/// Loads a full lane block from `src + i`, padding lanes past `n` with
+/// `pad` so the tail of a day range can run through the same vector code
+/// without reading past the end.
+VecD load_padded(const double* src, std::size_t i, std::size_t n,
+                 double pad) {
+  if (i + kLanes <= n) return simd::vload(src + i);
+  double buf[kLanes];
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    buf[l] = i + l < n ? src[i + l] : pad;
+  }
+  return simd::vload(buf);
+}
+
+/// Stores the lanes of `v` that fall inside `n` back to `dst + i`.
+void store_clipped(double* dst, std::size_t i, std::size_t n, VecD v) {
+  if (i + kLanes <= n) {
+    simd::vstore(dst + i, v);
+    return;
+  }
+  double buf[kLanes];
+  simd::vstore(buf, v);
+  for (std::size_t l = 0; i + l < n; ++l) dst[i + l] = buf[l];
+}
+
+}  // namespace
+
+const char* isa_name() { return simd::kIsaName; }
+
+// All three heterogeneous kernels need mu^e with a probe-constant base, so
+// they hoist log(mu) to one scalar std::log per probe and compute
+// exp(e * log_mu) instead of calling the (much costlier) vector pow. The
+// product e * log_mu adds one rounding of at most |e * log_mu| * 2^-53
+// relative on top of exp's own budget — at the exp overflow threshold
+// that is ~710 * 2^-53, i.e. far below the channel tolerances the
+// equivalence tests assert. The overflow semantics are identical: a
+// saturating product lands exactly on exp's inf / 0 rails.
+
+void loglogistic_detection(std::size_t days, double mu, double gamma,
+                           std::span<const double> log_day,
+                           std::span<double> probabilities,
+                           std::span<double> log_survivals) {
+  SRM_EXPECTS(log_day.size() >= days &&
+                  (probabilities.empty() || probabilities.size() >= days) &&
+                  (log_survivals.empty() || log_survivals.size() >= days),
+              "loglogistic_detection spans must cover `days`");
+  const VecD vmu = simd::vset1(mu);
+  const VecD vone = simd::vset1(1.0);
+  const VecD vshift = simd::vset1(1.0 - gamma);
+  const VecD vlog_mu = simd::vset1(std::log(mu));
+  const VecD vone_minus_mu = simd::vset1(1.0 - mu);
+  const VecD vmu_minus_one = simd::vset1(mu - 1.0);
+  const VecD vinf = simd::vset1(simd::kInf);
+  const VecD vzero = simd::vset1(0.0);
+  for (std::size_t i = 0; i < days; i += kLanes) {
+    // Pad with log(1): the padded lanes stay finite and are clipped away.
+    const VecD e = load_padded(log_day.data(), i, days, 0.0) + vshift;
+    const VecD t = simd::exp(e * vlog_mu);
+    if (!probabilities.empty()) {
+      store_clipped(probabilities.data(), i, days,
+                    vone_minus_mu / (t + vone));
+    }
+    if (!log_survivals.empty()) {
+      // q = (mu^e + mu) / (mu^e + 1), one transcendental either way:
+      // for q <= 1/2 take log(q) of the accurately-formed quotient (its
+      // relative error stays a few ULP and |log q| >= log 2, so the
+      // textbook log(t+mu) - log1p(t) cancellation never appears); for
+      // q > 1/2 switch to log1p(s) with s = (mu-1)/(1+t), |s| < 1/2,
+      // which stays exact as q -> 1. Both branches share the single
+      // log evaluation: log1p(s) == log(u) + (s - (u-1))/u with u = 1+s
+      // (the same correction simd::log1p uses), so the blend picks the
+      // log argument and the correction term per lane.
+      const VecD den = t + vone;
+      const VecD q = (t + vmu) / den;
+      const VecD s = vmu_minus_one / den;
+      const VecD small_q = simd::vlt(q, simd::vset1(0.5));
+      const VecD u = simd::vselect(small_q, q, vone + s);
+      const VecD corr =
+          simd::vselect(small_q, vzero, (s - (u - vone)) / u);
+      // When mu^e overflows, q is inf/inf == NaN; the select rescues the
+      // lane to the exact q -> 1 limit, lq == 0.
+      VecD lq = simd::log(u) + corr;
+      lq = simd::vselect(simd::vge(t, vinf), vzero, lq);
+      store_clipped(log_survivals.data(), i, days, lq);
+    }
+  }
+}
+
+void pareto_detection(std::size_t days, double mu,
+                      std::span<const double> exponents,
+                      std::span<double> probabilities,
+                      std::span<double> log_survivals) {
+  SRM_EXPECTS(exponents.size() >= days &&
+                  (probabilities.empty() || probabilities.size() >= days) &&
+                  (log_survivals.empty() || log_survivals.size() >= days),
+              "pareto_detection spans must cover `days`");
+  const VecD vone = simd::vset1(1.0);
+  const VecD vlog_mu = simd::vset1(std::log(mu));
+  for (std::size_t i = 0; i < days; i += kLanes) {
+    const VecD e = load_padded(exponents.data(), i, days, 0.0);
+    if (!probabilities.empty()) {
+      store_clipped(probabilities.data(), i, days,
+                    vone - simd::exp(e * vlog_mu));
+    }
+    if (!log_survivals.empty()) {
+      store_clipped(log_survivals.data(), i, days, e * vlog_mu);
+    }
+  }
+}
+
+void weibull_detection(std::size_t days, double mu, double omega,
+                       std::span<const double> log_day,
+                       std::span<double> probabilities,
+                       std::span<double> log_survivals) {
+  SRM_EXPECTS(log_day.size() >= days &&
+                  (probabilities.empty() || probabilities.size() >= days) &&
+                  (log_survivals.empty() || log_survivals.size() >= days),
+              "weibull_detection spans must cover `days`");
+  if (probabilities.empty() && log_survivals.empty()) return;
+  const VecD vone = simd::vset1(1.0);
+  const VecD vomega = simd::vset1(omega);
+  const VecD vlog_mu = simd::vset1(std::log(mu));
+  // Two passes so no lane result ever feeds the next group through a
+  // store/shuffle/load carry (which would serialize the groups). Pass 1
+  // streams the day powers d^omega = exp(omega * log d) into one of the
+  // output buffers as scratch; pass 2 forms e_d = d^omega - (d-1)^omega
+  // with a one-element-shifted load and overwrites the scratch with the
+  // real channel value. Pass 2 walks the groups BACKWARD: group i reads
+  // scratch[i-1 .. i+2] and writes [i .. i+3], so earlier (not yet
+  // processed) groups only ever read scratch the later writes have not
+  // touched.
+  double* scratch = probabilities.empty() ? log_survivals.data()
+                                          : probabilities.data();
+  for (std::size_t i = 0; i < days; i += kLanes) {
+    // Padded lanes (log 1 -> d^omega = 1) only feed clipped stores and
+    // pass 2 never reads at or past `days`.
+    store_clipped(scratch, i, days,
+                  simd::exp(vomega * load_padded(log_day.data(), i, days,
+                                                 0.0)));
+  }
+  const std::size_t groups = (days + kLanes - 1) / kLanes;
+  for (std::size_t g = groups; g-- > 0;) {
+    const std::size_t i = g * kLanes;
+    const VecD cur = load_padded(scratch, i, days, 0.0);
+    VecD shifted;
+    if (i == 0) {
+      // pow(0, omega) == 0 for the omega > 0 the support allows: the
+      // day-0 seed of the previous day-power.
+      double head[kLanes];
+      head[0] = std::pow(0.0, omega);
+      for (std::size_t l = 1; l < kLanes; ++l) {
+        head[l] = l - 1 < days ? scratch[l - 1] : 0.0;
+      }
+      shifted = simd::vload(head);
+    } else {
+      shifted = load_padded(scratch, i - 1, days, 0.0);
+    }
+    const VecD e = cur - shifted;
+    if (!log_survivals.empty()) {
+      store_clipped(log_survivals.data(), i, days, e * vlog_mu);
+    }
+    if (!probabilities.empty()) {
+      store_clipped(probabilities.data(), i, days,
+                    vone - simd::exp(e * vlog_mu));
+    }
+  }
+}
+
+void log_into(std::span<const double> in, std::span<double> out) {
+  SRM_EXPECTS(out.size() >= in.size(),
+              "log_into output must cover the input");
+  const std::size_t n = in.size();
+  for (std::size_t i = 0; i < n; i += kLanes) {
+    store_clipped(out.data(), i, n,
+                  simd::log(load_padded(in.data(), i, n, 1.0)));
+  }
+}
+
+void log1p_neg_into(std::span<const double> in, std::span<double> out) {
+  SRM_EXPECTS(out.size() >= in.size(),
+              "log1p_neg_into output must cover the input");
+  const std::size_t n = in.size();
+  const VecD vzero = simd::vset1(0.0);
+  for (std::size_t i = 0; i < n; i += kLanes) {
+    store_clipped(out.data(), i, n,
+                  simd::log1p(vzero - load_padded(in.data(), i, n, 0.0)));
+  }
+}
+
+}  // namespace srm::core::simd_kernels

@@ -1,0 +1,61 @@
+// Vectorized batch kernels for the pow/log-heavy detection models
+// (model2/3/4) and the pointwise log-likelihood fill. These are the
+// `GibbsOptions::vectorized` fork of the scalar batch channels in
+// detection_models.cpp: same formulas, evaluated four days per step on
+// the support/simd lane layer, so results differ from the scalar channel
+// only by the documented ULP budget of the vectorized transcendentals.
+//
+// This header is ISA-neutral; the implementation TU (detection_simd.cpp)
+// is the single core/ translation unit CMake may compile with wider-ISA
+// flags (`SRM_SIMD=ON` adds -mavx2 there and nowhere else), keeping every
+// scalar-path TU byte-identical to the default build.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace srm::core::simd_kernels {
+
+/// Lane backend the kernels were compiled against: "avx2", "sse2",
+/// "neon", or "scalar". Surfaced by the bench and docs.
+const char* isa_name();
+
+/// Model2 (discrete log-logistic hazard) batch channel. Fills, for
+/// i = 1..days with e_i = log_day[i-1] - gamma + 1 and t_i = mu^{e_i}:
+///   probabilities[i-1]  = (1 - mu) / (t_i + 1)
+///   log_survivals[i-1]  = log(t_i + mu) - log1p(t_i), or 0 when t_i
+///                         overflows (matching the scalar channel's
+///                         !isfinite guard)
+/// Either output span may be empty to skip that channel; non-empty spans
+/// must hold at least `days` entries, as must `log_day`.
+void loglogistic_detection(std::size_t days, double mu, double gamma,
+                           std::span<const double> log_day,
+                           std::span<double> probabilities,
+                           std::span<double> log_survivals);
+
+/// Model3 (discrete Pareto hazard) batch channel: with e_i =
+/// exponents[i-1] = log(i+2)/(i+1),
+///   probabilities[i-1] = 1 - mu^{e_i}
+///   log_survivals[i-1] = e_i * log(mu)
+void pareto_detection(std::size_t days, double mu,
+                      std::span<const double> exponents,
+                      std::span<double> probabilities,
+                      std::span<double> log_survivals);
+
+/// Model4 (discrete Weibull hazard) batch channel: with e_i =
+/// i^omega - (i-1)^omega (day powers formed as exp(omega * log_day)),
+///   probabilities[i-1] = 1 - mu^{e_i}
+///   log_survivals[i-1] = e_i * log(mu)
+void weibull_detection(std::size_t days, double mu, double omega,
+                       std::span<const double> log_day,
+                       std::span<double> probabilities,
+                       std::span<double> log_survivals);
+
+/// out[i] = log(in[i]) for i = 0..in.size()-1 — the pointwise scorer's
+/// log(p) sweep. out.size() >= in.size().
+void log_into(std::span<const double> in, std::span<double> out);
+
+/// out[i] = log1p(-in[i]) — the pointwise scorer's log(1-p) sweep.
+void log1p_neg_into(std::span<const double> in, std::span<double> out);
+
+}  // namespace srm::core::simd_kernels

@@ -1,0 +1,20 @@
+#include "core/detection_tables.hpp"
+
+#include <cmath>
+
+namespace srm::core {
+
+// srm-lint: allow(expects) — total domain: any day count is valid
+const DayTables& day_tables(std::size_t days) {
+  thread_local DayTables tables;
+  for (std::size_t d = tables.log_day.size() + 1; d <= days; ++d) {
+    tables.log_day.push_back(std::log(static_cast<double>(d)));
+  }
+  for (std::size_t i = tables.pareto_exponent.size() + 1; i <= days; ++i) {
+    const double d = static_cast<double>(i);
+    tables.pareto_exponent.push_back(std::log(d + 2.0) / (d + 1.0));
+  }
+  return tables;
+}
+
+}  // namespace srm::core

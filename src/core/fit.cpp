@@ -40,7 +40,8 @@ ObservationResult fit_cell(const data::BugCountData& base,
   SRM_EXPECTS(request.observation_day >= 1, "observation day must be >= 1");
   const auto observed = dataset_at_observation(base, request.observation_day);
 
-  BayesianSrm model(request.prior, request.model, observed, request.config);
+  BayesianSrm model(request.prior, request.model, observed, request.config,
+                    request.gibbs.vectorized);
 
   // Every per-parameter statistic and the residual summary come from these
   // accumulators in both modes; with keep_traces the draws are stored and

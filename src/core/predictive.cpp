@@ -113,7 +113,8 @@ PredictiveSummary fit_and_score_holdout(const data::BugCountData& full,
                                         const mcmc::GibbsOptions& gibbs) {
   SRM_EXPECTS(fit_days >= 1 && fit_days < full.days(),
               "fit window must be a strict prefix");
-  BayesianSrm model(prior, model_kind, full.truncated(fit_days), config);
+  BayesianSrm model(prior, model_kind, full.truncated(fit_days), config,
+                    gibbs.vectorized);
   const auto run = mcmc::run_gibbs(model, gibbs);
   return score_holdout(model, run, full);
 }

@@ -81,14 +81,21 @@ mcmc::GibbsOptions parse_gibbs(const Json* value) {
   // chains (predict/release); neither flag is part of the cache identity.
   gibbs.keep_traces = false;
   if (value == nullptr) return gibbs;
-  reject_unknown_members(*value, "gibbs",
-                         {"chains", "burn_in", "iterations", "thin", "seed"});
+  reject_unknown_members(
+      *value, "gibbs",
+      {"chains", "burn_in", "iterations", "thin", "seed", "vectorized"});
   gibbs.chain_count = member_size(*value, "chains", gibbs.chain_count);
   gibbs.burn_in = member_size(*value, "burn_in", gibbs.burn_in);
   gibbs.iterations = member_size(*value, "iterations", gibbs.iterations);
   gibbs.thin = member_size(*value, "thin", gibbs.thin);
   if (const Json* seed = value->find("seed"); seed != nullptr) {
     gibbs.seed = static_cast<std::uint64_t>(seed->as_int());
+  }
+  // Result-determining (SIMD kernels fork the draws), so unlike the
+  // execution flags above it joins the cache identity in canonical_gibbs.
+  if (const Json* vectorized = value->find("vectorized");
+      vectorized != nullptr) {
+    gibbs.vectorized = vectorized->as_bool();
   }
   SRM_EXPECTS(gibbs.chain_count >= 1, "gibbs.chains must be >= 1");
   SRM_EXPECTS(gibbs.iterations >= 1, "gibbs.iterations must be >= 1");
@@ -151,6 +158,9 @@ Json canonical_gibbs(const mcmc::GibbsOptions& gibbs) {
   json.set("iterations", Json::from_unsigned(gibbs.iterations));
   json.set("thin", Json::from_unsigned(gibbs.thin));
   json.set("seed", static_cast<std::int64_t>(gibbs.seed));
+  // Omit-if-false, mirroring the artifact layer: scalar requests keep
+  // their pre-flag identity bytes, vectorized ones get distinct cells.
+  if (gibbs.vectorized) json.set("vectorized", true);
   return json;
 }
 

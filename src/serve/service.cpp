@@ -56,7 +56,8 @@ Json release_envelope(const Request& request, const std::string& hash) {
   const auto observed = core::dataset_at_observation(
       request.project, request.fit.observation_day);
   const core::BayesianSrm model(request.fit.prior, request.fit.model,
-                                observed, request.fit.config);
+                                observed, request.fit.config,
+                                gibbs.vectorized);
   const auto run = mcmc::run_gibbs(model, gibbs);
   const auto plan = core::plan_release(model, run, request.horizon,
                                        request.costs);

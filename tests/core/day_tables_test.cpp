@@ -1,0 +1,54 @@
+// Pinning tests for the shared per-day caches: the consolidated
+// core/detection_tables helper must reproduce, bit for bit, the ad-hoc
+// thread-local tables the detection models used to grow inline — any
+// drift here would silently re-key every fixed-seed MCMC trace.
+#include "core/detection_tables.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using srm::core::day_tables;
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+TEST(DayTables, LogDayMatchesAdHocFormulaBitwise) {
+  const auto& tables = day_tables(500);
+  ASSERT_GE(tables.log_day.size(), 500u);
+  for (std::size_t d = 1; d <= 500; ++d) {
+    ASSERT_EQ(bits(tables.log_day[d - 1]),
+              bits(std::log(static_cast<double>(d))))
+        << "day " << d;
+  }
+}
+
+TEST(DayTables, ParetoExponentMatchesAdHocFormulaBitwise) {
+  const auto& tables = day_tables(500);
+  ASSERT_GE(tables.pareto_exponent.size(), 500u);
+  for (std::size_t i = 1; i <= 500; ++i) {
+    const double d = static_cast<double>(i);
+    ASSERT_EQ(bits(tables.pareto_exponent[i - 1]),
+              bits(std::log(d + 2.0) / (d + 1.0)))
+        << "day " << i;
+  }
+}
+
+TEST(DayTables, GrowsMonotonicallyWithoutRecomputing) {
+  // Growing must append, never reallocate values: the prefix stays
+  // bit-identical after a larger request (same thread_local instance).
+  const auto& small = day_tables(10);
+  std::vector<double> prefix(small.log_day.begin(), small.log_day.begin() + 10);
+  const auto& big = day_tables(1000);
+  ASSERT_GE(big.log_day.size(), 1000u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(bits(big.log_day[i]), bits(prefix[i])) << "index " << i;
+  }
+  // A smaller follow-up request must not shrink the tables.
+  EXPECT_GE(day_tables(5).log_day.size(), 1000u);
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+// Tests for the vectorized detection-model fork (`make_detection_model`
+// with vectorized=true) and the raw simd_kernels channels: the flagged
+// path must agree with the scalar channel to within the documented ULP
+// budgets of the vectorized transcendentals, and must reproduce the
+// scalar channel's overflow semantics (model2's q -> 1 guard).
+#include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/detection_models.hpp"
+#include "core/detection_simd.hpp"
+#include "core/detection_tables.hpp"
+
+namespace {
+
+using srm::core::DetectionModelKind;
+using srm::core::DetectionModelLimits;
+using srm::core::make_detection_model;
+
+constexpr std::size_t kDays = 150;
+
+/// Mixed absolute/relative closeness: the vectorized transcendentals are
+/// within tens of ULPs of libm, so channel values agree to ~1e-12
+/// relative with a small absolute floor for near-cancelled results.
+void expect_close(double scalar, double vectorized, const char* what,
+                  std::size_t day) {
+  if (std::isinf(scalar) || std::isinf(vectorized)) {
+    ASSERT_EQ(scalar, vectorized) << what << " day " << day;
+    return;
+  }
+  ASSERT_NEAR(scalar, vectorized, 1e-12 + 1e-10 * std::abs(scalar))
+      << what << " day " << day;
+}
+
+class VectorizedDetection
+    : public ::testing::TestWithParam<DetectionModelKind> {};
+
+TEST_P(VectorizedDetection, ChannelsTrackScalarWithinBudget) {
+  const auto scalar = make_detection_model(GetParam());
+  const auto vectorized = make_detection_model(GetParam(), true);
+  const auto supports = scalar->parameter_supports(DetectionModelLimits{});
+  const double fractions[] = {1e-9, 0.1, 0.5, 0.9, 1.0 - 1e-9};
+
+  std::vector<double> zeta(supports.size());
+  std::vector<double> sp(kDays), vp(kDays), sq(kDays), vq(kDays);
+  const auto probe = [&](const std::vector<double>& z) {
+    scalar->probabilities_into(kDays, z, sp);
+    vectorized->probabilities_into(kDays, z, vp);
+    scalar->log_survivals_into(kDays, z, sq);
+    vectorized->log_survivals_into(kDays, z, vq);
+    for (std::size_t day = 1; day <= kDays; ++day) {
+      expect_close(sp[day - 1], vp[day - 1], "probability", day);
+      expect_close(sq[day - 1], vq[day - 1], "log_survival", day);
+    }
+    // The fused channel must match the single channels.
+    std::vector<double> fp(kDays), fq(kDays);
+    vectorized->detection_into(kDays, z, fp, fq);
+    for (std::size_t day = 1; day <= kDays; ++day) {
+      ASSERT_EQ(fp[day - 1], vp[day - 1]) << "fused p day " << day;
+      ASSERT_EQ(fq[day - 1], vq[day - 1]) << "fused q day " << day;
+    }
+  };
+
+  if (supports.size() == 1) {
+    for (const double f : fractions) {
+      zeta[0] = supports[0].lower + f * (supports[0].upper - supports[0].lower);
+      probe(zeta);
+    }
+  } else {
+    for (const double f0 : fractions) {
+      for (const double f1 : fractions) {
+        zeta[0] =
+            supports[0].lower + f0 * (supports[0].upper - supports[0].lower);
+        zeta[1] =
+            supports[1].lower + f1 * (supports[1].upper - supports[1].lower);
+        probe(zeta);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HeterogeneousModels, VectorizedDetection,
+                         ::testing::Values(DetectionModelKind::kLogLogistic,
+                                           DetectionModelKind::kPareto,
+                                           DetectionModelKind::kWeibull));
+
+TEST(VectorizedDetection, Model2OverflowYieldsZeroLogSurvival) {
+  // mu -> 0 with gamma far above 1 + log(day) makes the exponent deeply
+  // negative, so t = mu^e overflows; the scalar channel pins log q to 0
+  // there and the SIMD kernel must too.
+  const auto& log_day = srm::core::day_tables(kDays).log_day;
+  std::vector<double> lq(kDays);
+  srm::core::simd_kernels::loglogistic_detection(
+      kDays, 1e-300, 400.0, log_day, {}, lq);
+  for (std::size_t day = 1; day <= kDays; ++day) {
+    ASSERT_EQ(lq[day - 1], 0.0) << "day " << day;
+  }
+}
+
+TEST(VectorizedDetection, EmptySpanSkipsChannel) {
+  const auto& tables = srm::core::day_tables(kDays);
+  std::vector<double> p(kDays, -1.0);
+  // Empty log-survival span: only probabilities are written.
+  srm::core::simd_kernels::pareto_detection(kDays, 0.5,
+                                            tables.pareto_exponent, p, {});
+  for (std::size_t day = 1; day <= kDays; ++day) {
+    ASSERT_GE(p[day - 1], 0.0) << "day " << day;
+    ASSERT_LE(p[day - 1], 1.0) << "day " << day;
+  }
+  // Empty probability span: only log-survivals are written.
+  std::vector<double> lq(kDays, 1.0);
+  srm::core::simd_kernels::weibull_detection(kDays, 0.5, 1.5,
+                                             tables.log_day, {}, lq);
+  for (std::size_t day = 1; day <= kDays; ++day) {
+    ASSERT_LE(lq[day - 1], 0.0) << "day " << day;
+  }
+}
+
+TEST(VectorizedDetection, PointwiseSweepsMatchScalarTranscendentals) {
+  std::vector<double> p(37);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = static_cast<double>(i + 1) / static_cast<double>(p.size() + 1);
+  }
+  std::vector<double> lp(p.size()), l1mp(p.size());
+  srm::core::simd_kernels::log_into(p, lp);
+  srm::core::simd_kernels::log1p_neg_into(p, l1mp);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    ASSERT_NEAR(lp[i], std::log(p[i]), 1e-13) << "i=" << i;
+    ASSERT_NEAR(l1mp[i], std::log1p(-p[i]), 1e-13) << "i=" << i;
+  }
+}
+
+TEST(VectorizedDetection, ScalarFactoryDefaultIsUnchanged) {
+  // make_detection_model's default must stay the scalar channel: the
+  // vectorized fork is opt-in per call site (GibbsOptions::vectorized).
+  const auto a = make_detection_model(DetectionModelKind::kLogLogistic);
+  const auto b = make_detection_model(DetectionModelKind::kLogLogistic, false);
+  std::vector<double> pa(kDays), pb(kDays);
+  const std::vector<double> zeta = {0.37, 0.8};
+  a->probabilities_into(kDays, zeta, pa);
+  b->probabilities_into(kDays, zeta, pb);
+  for (std::size_t day = 1; day <= kDays; ++day) {
+    ASSERT_EQ(pa[day - 1], pb[day - 1]) << "day " << day;
+  }
+}
+
+}  // namespace

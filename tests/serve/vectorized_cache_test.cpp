@@ -1,0 +1,87 @@
+// Cache-identity tests for the `vectorized` gibbs flag: the scalar and
+// vectorized forks produce different posteriors, so they must occupy
+// DISTINCT cache cells — a vectorized request served from a scalar cell
+// (or vice versa) would be silent cache poisoning. Each flag's responses
+// stay byte-stable across the cold/warm tiers, and the scalar request's
+// hash is byte-identical to the pre-flag wire format (omit-if-false
+// serialization).
+#include "serve/service.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+namespace serve = srm::serve;
+using srm::support::Json;
+
+serve::Service make_service() {
+  serve::ServiceOptions options;
+  options.cache_capacity = 8;
+  options.meta = false;
+  return serve::Service(std::move(options));
+}
+
+/// A laptop-instant fit request; `vectorized` toggles only the gibbs flag.
+std::string fit_line(bool vectorized) {
+  return std::string(R"({"op":"fit","project":)"
+                     R"({"name":"svc","counts":[4,3,2,2,1,0,1,0]},)") +
+         R"("day":6,"model":"model2","gibbs":{"chains":2,"burn_in":10,)"
+         R"("iterations":40,"seed":7)" +
+         (vectorized ? R"(,"vectorized":true}})" : "}}");
+}
+
+TEST(VectorizedCache, FlagForksTheRequestHash) {
+  const auto scalar =
+      serve::parse_request(Json::parse(fit_line(false)));
+  const auto vectorized =
+      serve::parse_request(Json::parse(fit_line(true)));
+  EXPECT_FALSE(scalar.fit.gibbs.vectorized);
+  EXPECT_TRUE(vectorized.fit.gibbs.vectorized);
+  EXPECT_NE(serve::request_hash(scalar), serve::request_hash(vectorized));
+}
+
+TEST(VectorizedCache, ExplicitFalseHashesLikeAnAbsentFlag) {
+  // Omit-if-false canonicalization: requests written before the flag
+  // existed and requests spelling "vectorized":false share a cell.
+  const std::string explicit_false =
+      std::string(R"({"op":"fit","project":)"
+                  R"({"name":"svc","counts":[4,3,2,2,1,0,1,0]},)") +
+      R"("day":6,"model":"model2","gibbs":{"chains":2,"burn_in":10,)"
+      R"("iterations":40,"seed":7,"vectorized":false}})";
+  const auto absent = serve::parse_request(Json::parse(fit_line(false)));
+  const auto spelled = serve::parse_request(Json::parse(explicit_false));
+  EXPECT_EQ(serve::request_hash(absent), serve::request_hash(spelled));
+}
+
+TEST(VectorizedCache, BothFlagsOccupyDistinctByteStableCells) {
+  auto service = make_service();
+
+  const auto scalar_cold = service.handle_line(fit_line(false));
+  ASSERT_TRUE(scalar_cold.ok) << scalar_cold.line;
+  EXPECT_EQ(scalar_cold.cache_tag, "computed");
+
+  // The vectorized twin must compute its own cell, not hit the scalar one.
+  const auto vec_cold = service.handle_line(fit_line(true));
+  ASSERT_TRUE(vec_cold.ok) << vec_cold.line;
+  EXPECT_EQ(vec_cold.cache_tag, "computed");
+  EXPECT_EQ(service.computed(), 2u);
+  EXPECT_EQ(service.cache().size(), 2u);
+
+  // Warm lookups stay within their own flag, byte-identical per flag.
+  const auto scalar_warm = service.handle_line(fit_line(false));
+  const auto vec_warm = service.handle_line(fit_line(true));
+  ASSERT_TRUE(scalar_warm.ok);
+  ASSERT_TRUE(vec_warm.ok);
+  EXPECT_EQ(scalar_warm.cache_tag, "hit");
+  EXPECT_EQ(vec_warm.cache_tag, "hit");
+  EXPECT_EQ(scalar_warm.line, scalar_cold.line);
+  EXPECT_EQ(vec_warm.line, vec_cold.line);
+  EXPECT_NE(scalar_cold.line, vec_cold.line);
+}
+
+}  // namespace

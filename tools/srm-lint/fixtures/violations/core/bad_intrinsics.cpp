@@ -1,0 +1,12 @@
+// raw-intrinsics: ISA headers and raw builtins outside support/simd/.
+#include <immintrin.h>  // line 2: raw-intrinsics
+#include <arm_neon.h>   // line 3: raw-intrinsics
+
+namespace srm::core {
+
+double sum_fast(const double* data) {
+  // Raw ISA builtin call: must fire even without the header spelling.
+  return __builtin_ia32_hsub_pd(data[0], data[1]);  // line 9: raw-intrinsics
+}
+
+}  // namespace srm::core

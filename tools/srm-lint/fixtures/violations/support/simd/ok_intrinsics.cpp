@@ -1,0 +1,13 @@
+// support/simd/ is the one sanctioned home for ISA-specific code: the lane
+// layer wraps these behind a portable interface. Must stay finding-free.
+#include <immintrin.h>
+#include <emmintrin.h>
+
+namespace srm::simd {
+
+double lane_sum(const double* data) {
+  return __builtin_ia32_vec_ext_v2df(__extension__(__v2df){data[0], data[1]},
+                                     0);
+}
+
+}  // namespace srm::simd

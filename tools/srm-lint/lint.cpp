@@ -103,6 +103,14 @@ const std::vector<RuleInfo>& registered_rules() {
        PassKind::kToken,
        "violations",
        {"support/"}},
+      {"raw-intrinsics",
+       "no <immintrin.h>/<emmintrin.h>/<arm_neon.h> includes and no "
+       "__builtin_ia32_* outside support/simd/; all ISA-specific code goes "
+       "through the lane layer so every other TU stays portable and "
+       "baseline-compiled",
+       PassKind::kToken,
+       "violations",
+       {"support/simd/"}},
   };
   return kRules;
 }

@@ -75,6 +75,12 @@
 //                   breaking byte-identical output. Use support::dec /
 //                   support::fixed (support/format.hpp), which are
 //                   to_chars-backed and locale-independent.
+//   raw-intrinsics  No <immintrin.h>/<emmintrin.h>/<arm_neon.h> includes
+//                   and no __builtin_ia32_* builtins outside
+//                   src/support/simd/: all ISA-specific code goes through
+//                   the lane layer (support/simd/lanes.hpp), so every
+//                   other TU stays portable and compiles at the baseline
+//                   ISA — only the one kernel TU ever gets -mavx2.
 //
 // 3. Contract-drift pass (contract.hpp, `srm-lint --self-check`): every
 //    registered rule must fire on its violating fixtures and stay quiet on

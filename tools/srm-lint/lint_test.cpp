@@ -331,7 +331,27 @@ TEST(SrmLint, RuleRegistryCoversEveryEmittedRule) {
     EXPECT_NE(std::find(names.begin(), names.end(), f.rule), names.end())
         << "unregistered rule: " << f.rule;
   }
-  EXPECT_EQ(names.size(), 15u);
+  EXPECT_EQ(names.size(), 16u);
+}
+
+TEST(SrmLint, DetectsRawIntrinsics) {
+  const auto all = run_lint(fixture("violations"));
+  const auto hits = findings_for_rule(all, "raw-intrinsics");
+  ASSERT_EQ(hits.size(), 3u)
+      << "both ISA headers and the raw builtin fire outside support/simd/";
+  EXPECT_TRUE(has_finding(all, "core/bad_intrinsics.cpp", 2, "raw-intrinsics"));
+  EXPECT_TRUE(has_finding(all, "core/bad_intrinsics.cpp", 3, "raw-intrinsics"));
+  EXPECT_TRUE(has_finding(all, "core/bad_intrinsics.cpp", 9, "raw-intrinsics"));
+}
+
+TEST(SrmLint, RawIntrinsicsRuleExemptsSimdDirectory) {
+  // support/simd/ok_intrinsics.cpp is the lane layer's sanctioned home for
+  // ISA headers and builtins; the exemption keeps every other TU portable.
+  const auto all = run_lint(fixture("violations"));
+  for (const auto& f : findings_for_rule(all, "raw-intrinsics")) {
+    EXPECT_NE(f.file.rfind("support/simd/", 0), 0u)
+        << srm::lint::format_finding(f);
+  }
 }
 
 }  // namespace

@@ -96,6 +96,38 @@ void check_raw_thread(const FileText& f, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: raw-intrinsics
+// ---------------------------------------------------------------------------
+
+void check_raw_intrinsics(const FileText& f, std::vector<Finding>& out) {
+  // ISA headers are dotted names inside an #include, so identifier walking
+  // cannot see them — scan the stripped text for the exact header spellings.
+  // (strip_comments_and_strings leaves <...> include targets intact; only
+  // the "..." quoted form is blanked, and ISA headers are system headers.)
+  static constexpr std::string_view kBannedHeaders[] = {
+      "<immintrin.h>", "<emmintrin.h>", "<arm_neon.h>"};
+  const std::string& s = f.stripped;
+  for (const std::string_view header : kBannedHeaders) {
+    std::size_t pos = 0;
+    while ((pos = s.find(header, pos)) != std::string::npos) {
+      report(out, f, pos, "raw-intrinsics",
+             "include of " + std::string(header) +
+                 " outside support/simd/; ISA-specific code goes through "
+                 "the lane layer (support/simd/lanes.hpp) so every other "
+                 "TU stays portable and baseline-compiled");
+      pos += header.size();
+    }
+  }
+  for_each_identifier(s, [&](std::string_view name, std::size_t i) {
+    if (name.rfind("__builtin_ia32_", 0) != 0) return;
+    report(out, f, i, "raw-intrinsics",
+           std::string(name) +
+               " outside support/simd/; raw ISA builtins bypass the lane "
+               "layer and break the portable scalar fallback");
+  });
+}
+
+// ---------------------------------------------------------------------------
 // Rule: hot-std-function
 // ---------------------------------------------------------------------------
 
@@ -525,6 +557,7 @@ void run_contract_rules(const FileSet& files, std::vector<Finding>& out) {
     }
     if (f.rel != "support/fp.hpp") check_float_compare(f, out);
     if (!f.in_dir("runtime/")) check_raw_thread(f, out);
+    if (!f.in_dir("support/simd/")) check_raw_intrinsics(f, out);
     if (f.in_dir("mcmc/") || f.in_dir("core/")) {
       check_hot_std_function(f, out);
     }

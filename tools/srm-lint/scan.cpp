@@ -155,7 +155,17 @@ bool is_suppressed(const std::string& raw_text, int line,
 std::string_view FileText::module() const {
   const std::size_t slash = rel.find('/');
   if (slash == std::string::npos) return {};
-  return std::string_view(rel).substr(0, slash);
+  // Directories nested under support/ are modules of their own (the SIMD
+  // lane layer lives in support/simd/ but is layered separately), so peel
+  // one more component there.
+  const std::string_view first = std::string_view(rel).substr(0, slash);
+  if (first == "support") {
+    const std::size_t next = rel.find('/', slash + 1);
+    if (next != std::string::npos) {
+      return std::string_view(rel).substr(slash + 1, next - slash - 1);
+    }
+  }
+  return first;
 }
 
 bool FileText::suppressed(int line, std::string_view rule) const {

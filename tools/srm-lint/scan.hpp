@@ -85,7 +85,9 @@ struct FileText {
   std::map<int, std::vector<std::string>> suppressions;
 
   /// First path component of `rel` ("support" for "support/fp.hpp"), or
-  /// empty for files directly at the root.
+  /// empty for files directly at the root. Directories nested under
+  /// support/ are their own modules ("simd" for "support/simd/lanes.hpp"),
+  /// so the lane layer can be layered independently of support proper.
   [[nodiscard]] std::string_view module() const;
 
   [[nodiscard]] bool in_dir(std::string_view dir) const {
