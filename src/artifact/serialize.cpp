@@ -58,6 +58,7 @@ Json to_json(const mcmc::GibbsOptions& gibbs) {
   // Omit-if-false so artifacts written by scalar runs keep their exact
   // pre-flag bytes (resume diffs them byte for byte).
   if (gibbs.vectorized) json.set("vectorized", true);
+  if (gibbs.chain_lanes) json.set("chain_lanes", true);
   return json;
 }
 
@@ -73,6 +74,9 @@ mcmc::GibbsOptions gibbs_options_from_json(const Json& json) {
   // Optional for backward compatibility: pre-SIMD artifacts lack the key.
   if (const Json* vectorized = json.find("vectorized")) {
     gibbs.vectorized = vectorized->as_bool();
+  }
+  if (const Json* lanes = json.find("chain_lanes")) {
+    gibbs.chain_lanes = lanes->as_bool();
   }
   return gibbs;
 }

@@ -96,6 +96,9 @@ mcmc::GibbsOptions parse_gibbs(const Args& args) {
   gibbs.keep_traces = args.has("keep-traces");
   // Opt-in SIMD batch kernels; forks result identity (see GibbsOptions).
   gibbs.vectorized = args.has("vectorized");
+  // Opt-in lane-parallel chain executor; its own identity fork, orthogonal
+  // to --vectorized (see GibbsOptions::chain_lanes).
+  gibbs.chain_lanes = args.has("chain-lanes");
   return gibbs;
 }
 
@@ -447,6 +450,7 @@ int run_sweep(const Args& args, std::ostream& out) {
       args.get_int("seed", static_cast<std::int64_t>(options.gibbs.seed)));
   if (args.has("keep-traces")) options.gibbs.keep_traces = true;
   if (args.has("vectorized")) options.gibbs.vectorized = true;
+  if (args.has("chain-lanes")) options.gibbs.chain_lanes = true;
   options.base_config.lambda_max =
       args.get_double("lambda-max", options.base_config.lambda_max);
   options.base_config.alpha_max =
@@ -531,6 +535,10 @@ std::string usage() {
       "  --vectorized    SIMD detection kernels for model2/3/4 (faster, but\n"
       "                  draws differ from scalar at the ULP level, so\n"
       "                  artifact/serve hashes change with this flag)\n"
+      "  --chain-lanes   run up to 4 chains packed in SIMD lanes (every\n"
+      "                  model; per-chain draws identical for any lane or\n"
+      "                  thread count, but a fork from the scalar path, so\n"
+      "                  hashes change with this flag too)\n"
       "  --lambda-max, --alpha-max, --theta-max, --jeffreys,\n"
       "  --threads N  worker threads for chains/sweeps/scoring\n"
       "               (0 = all hardware threads; SRM_THREADS env also works;\n"

@@ -1,0 +1,290 @@
+// The second core/ TU that may be compiled with wider-ISA flags (see
+// src/core/CMakeLists.txt): like detection_simd.cpp it runs entirely on
+// the support/simd lane layer and keeps its include surface minimal so no
+// wider-ISA code can leak into shared inline functions.
+#include "core/lane_kernels.hpp"
+
+#include "support/error.hpp"
+#include "support/simd/mask.hpp"
+#include "support/simd/math.hpp"
+
+namespace srm::core::lane_kernels {
+
+namespace {
+
+using simd::VecD;
+
+static_assert(kChainLanes == simd::kLanes,
+              "lane kernels pack exactly one chain per simd lane");
+
+constexpr std::size_t kL = kChainLanes;
+
+// Each kernel walks the days once, one vector op per day whose lanes hold
+// the four chains' values. Per-lane carries (the Weibull day-power) and
+// accumulators advance vertically, so every lane's sequence of operations
+// — and therefore its bits — is the sequence it would see packed alone.
+
+void constant_lanes(std::size_t days, VecD vmu, double* prob, double* lq) {
+  const VecD vone = simd::vset1(1.0);
+  const VecD vzero = simd::vset1(0.0);
+  const VecD vneginf = simd::vset1(-simd::kInf);
+  // p and log q are day-invariant: q = 1 - mu, with certain detection
+  // (mu >= 1) pinned to -inf exactly as the scalar channel does.
+  const VecD vlq = simd::vselect(simd::vge(vmu, vone), vneginf,
+                                 simd::log1p(vzero - vmu));
+  for (std::size_t i = 0; i < days; ++i) {
+    simd::vstore(prob + i * kL, vmu);
+    simd::vstore(lq + i * kL, vlq);
+  }
+}
+
+void padgett_lanes(std::size_t days, VecD vmu, VecD vtheta, double* prob,
+                   double* lq) {
+  const VecD vone = simd::vset1(1.0);
+  const VecD vlog_mu = simd::log(vmu);
+  for (std::size_t i = 0; i < days; ++i) {
+    // q_i = mu / (theta i + 1) exactly.
+    const VecD vden =
+        vtheta * simd::vset1(static_cast<double>(i + 1)) + vone;
+    simd::vstore(prob + i * kL, vone - vmu / vden);
+    simd::vstore(lq + i * kL, vlog_mu - simd::log(vden));
+  }
+}
+
+void loglogistic_lanes(std::size_t days, VecD vmu, VecD vgamma,
+                       std::span<const double> log_day, double* prob,
+                       double* lq) {
+  const VecD vone = simd::vset1(1.0);
+  const VecD vzero = simd::vset1(0.0);
+  const VecD vhalf = simd::vset1(0.5);
+  const VecD vinf = simd::vset1(simd::kInf);
+  const VecD vshift = vone - vgamma;
+  const VecD vlog_mu = simd::log(vmu);
+  const VecD vone_minus_mu = vone - vmu;
+  const VecD vmu_minus_one = vmu - vone;
+  for (std::size_t i = 0; i < days; ++i) {
+    const VecD e = simd::vset1(log_day[i]) + vshift;
+    const VecD t = simd::exp(e * vlog_mu);
+    const VecD den = t + vone;
+    simd::vstore(prob + i * kL, vone_minus_mu / den);
+    // Same blended single-log evaluation of log q = log((t + mu)/(t + 1))
+    // as detection_simd.cpp, with mu a lane vector instead of a broadcast:
+    // for q <= 1/2 take log(q) directly, for q > 1/2 switch to log1p(s)
+    // with s = (mu-1)/(1+t); both share the one log via the log1p
+    // correction. A lane whose mu^e overflowed is rescued to the exact
+    // q -> 1 limit, lq = 0.
+    const VecD q = (t + vmu) / den;
+    const VecD s = vmu_minus_one / den;
+    const VecD small_q = simd::vlt(q, vhalf);
+    const VecD u = simd::vselect(small_q, q, vone + s);
+    const VecD corr = simd::vselect(small_q, vzero, (s - (u - vone)) / u);
+    VecD vlq = simd::log(u) + corr;
+    vlq = simd::vselect(simd::vge(t, vinf), vzero, vlq);
+    simd::vstore(lq + i * kL, vlq);
+  }
+}
+
+void pareto_lanes(std::size_t days, VecD vmu,
+                  std::span<const double> exponents, double* prob,
+                  double* lq) {
+  const VecD vone = simd::vset1(1.0);
+  const VecD vlog_mu = simd::log(vmu);
+  for (std::size_t i = 0; i < days; ++i) {
+    const VecD t = simd::vset1(exponents[i]) * vlog_mu;
+    simd::vstore(prob + i * kL, vone - simd::exp(t));
+    simd::vstore(lq + i * kL, t);
+  }
+}
+
+void weibull_lanes(std::size_t days, VecD vmu, VecD vomega,
+                   std::span<const double> log_day, double* prob,
+                   double* lq) {
+  const VecD vone = simd::vset1(1.0);
+  const VecD vlog_mu = simd::log(vmu);
+  // Day-power carry: prev = 0^omega = 0 for the omega > 0 the support
+  // allows; lanes probing outside the support are masked by the caller.
+  VecD vprev = simd::vset1(0.0);
+  for (std::size_t i = 0; i < days; ++i) {
+    const VecD vcur = simd::exp(vomega * simd::vset1(log_day[i]));
+    const VecD t = (vcur - vprev) * vlog_mu;
+    simd::vstore(prob + i * kL, vone - simd::exp(t));
+    simd::vstore(lq + i * kL, t);
+    vprev = vcur;
+  }
+}
+
+void rayleigh_lanes(std::size_t days, VecD vmu, double* prob, double* lq) {
+  const VecD vone = simd::vset1(1.0);
+  const VecD vlog_mu = simd::log(vmu);
+  for (std::size_t i = 0; i < days; ++i) {
+    // Hazard exponent 2d - 1 is exact in double for every day count.
+    const VecD t =
+        simd::vset1(2.0 * static_cast<double>(i + 1) - 1.0) * vlog_mu;
+    simd::vstore(prob + i * kL, vone - simd::exp(t));
+    simd::vstore(lq + i * kL, t);
+  }
+}
+
+void learning_curve_lanes(std::size_t days, VecD vmu, VecD vtheta,
+                          double* prob, double* lq) {
+  const VecD vone = simd::vset1(1.0);
+  const VecD vone_minus_mu = vone - vmu;
+  for (std::size_t i = 0; i < days; ++i) {
+    const VecD vtheta_i =
+        vtheta * simd::vset1(static_cast<double>(i + 1));
+    simd::vstore(prob + i * kL, vmu * vtheta_i / (vtheta_i + vone));
+    // q = (theta i (1 - mu) + 1) / (theta i + 1) exactly.
+    simd::vstore(lq + i * kL, simd::log(vtheta_i * vone_minus_mu + vone) -
+                                  simd::log1p(vtheta_i));
+  }
+}
+
+}  // namespace
+
+const char* isa_name() { return simd::kIsaName; }
+
+void detection_lanes(int model_kind, std::size_t days, const double* zeta_soa,
+                     std::span<const double> log_day,
+                     std::span<const double> pareto_exponent,
+                     double* probabilities, double* log_survivals) {
+  SRM_EXPECTS(zeta_soa != nullptr && probabilities != nullptr &&
+                  log_survivals != nullptr,
+              "detection_lanes requires zeta and both channel buffers");
+  const VecD z0 = simd::vload(zeta_soa);
+  switch (model_kind) {
+    case 0:
+      constant_lanes(days, z0, probabilities, log_survivals);
+      return;
+    case 1:
+      padgett_lanes(days, z0, simd::vload(zeta_soa + kL), probabilities,
+                    log_survivals);
+      return;
+    case 2:
+      SRM_EXPECTS(log_day.size() >= days,
+                  "detection_lanes needs log_day for model2");
+      loglogistic_lanes(days, z0, simd::vload(zeta_soa + kL), log_day,
+                        probabilities, log_survivals);
+      return;
+    case 3:
+      SRM_EXPECTS(pareto_exponent.size() >= days,
+                  "detection_lanes needs pareto_exponent for model3");
+      pareto_lanes(days, z0, pareto_exponent, probabilities, log_survivals);
+      return;
+    case 4:
+      SRM_EXPECTS(log_day.size() >= days,
+                  "detection_lanes needs log_day for model4");
+      weibull_lanes(days, z0, simd::vload(zeta_soa + kL), log_day,
+                    probabilities, log_survivals);
+      return;
+    case 5:
+      rayleigh_lanes(days, z0, probabilities, log_survivals);
+      return;
+    case 6:
+      learning_curve_lanes(days, z0, simd::vload(zeta_soa + kL),
+                           probabilities, log_survivals);
+      return;
+    default:
+      break;
+  }
+  SRM_EXPECTS(false, "detection_lanes: unknown detection model kind");
+}
+
+// The reductions mirror the scalar two-channel kernels of likelihood.cpp
+// lane-for-lane, replacing their early returns and `continue`s with masks:
+// a `valid` ledger collects the impossible-configuration conditions (final
+// result -inf), a per-day `skip` mask zeroes the day's contribution. Data
+// branches (x_i == 0, exponent == 0) are lane-invariant — the packed
+// chains share one dataset — so they stay scalar per day. Accumulation is
+// vertical in day order, so each lane's sum sequence is the scalar loop's.
+
+void collapsed_base_lanes(const LaneDayData& data, const double* probabilities,
+                          const double* log_survivals, double* base_out,
+                          double* logq_sum_out) {
+  SRM_EXPECTS(data.counts != nullptr && data.cumulative != nullptr &&
+                  probabilities != nullptr && log_survivals != nullptr,
+              "collapsed_base_lanes requires day data and both channels");
+  const VecD vzero = simd::vset1(0.0);
+  const VecD vone = simd::vset1(1.0);
+  const VecD vneg_zero = simd::vset1(-0.0);
+  const VecD vneginf = simd::vset1(-simd::kInf);
+  VecD total = vzero;
+  VecD qsum = vzero;
+  VecD valid = simd::veq(vzero, vzero);  // all lanes true
+  for (std::size_t i = 0; i < data.days; ++i) {
+    const VecD p = simd::vload(probabilities + i * kL);
+    const VecD lq = simd::vload(log_survivals + i * kL);
+    qsum = qsum + lq;
+    const std::int64_t x = data.counts[i];
+    const std::int64_t exponent = data.total - data.cumulative[i];
+    const VecD p_le0 = simd::vle(p, vzero);
+    const VecD q_ninf = simd::veq(lq, vneginf);
+    const VecD skip = simd::vor(p_le0, q_ninf);
+    VecD x_term;
+    if (x != 0) {
+      x_term = simd::vset1(static_cast<double>(x)) * simd::log(p);
+      valid = simd::vandnot(valid, p_le0);
+    } else {
+      // Zero-count shortcut with the exact bits of the skipped product:
+      // 0 * log(p) is -0.0 for p < 1.
+      x_term = simd::vselect(simd::vlt(p, vone), vneg_zero, vzero);
+    }
+    if (exponent != 0) valid = simd::vandnot(valid, q_ninf);
+    const VecD term =
+        x_term + simd::vset1(static_cast<double>(exponent)) * lq;
+    total = total + simd::vselect(skip, vzero, term);
+  }
+  simd::vstore(base_out, simd::vselect(valid, total, vneginf));
+  simd::vstore(logq_sum_out, qsum);
+}
+
+void zeta_kernel_lanes(const LaneDayData& data, const double* initial_bugs,
+                       const double* probabilities,
+                       const double* log_survivals, double* out) {
+  SRM_EXPECTS(data.counts != nullptr && data.cumulative != nullptr &&
+                  initial_bugs != nullptr && probabilities != nullptr &&
+                  log_survivals != nullptr,
+              "zeta_kernel_lanes requires day data, N, and both channels");
+  const VecD vzero = simd::vset1(0.0);
+  const VecD vone = simd::vset1(1.0);
+  const VecD vneg_zero = simd::vset1(-0.0);
+  const VecD vneginf = simd::vset1(-simd::kInf);
+  const VecD vn = simd::vload(initial_bugs);
+  VecD total = vzero;
+  VecD valid = simd::vge(vn, simd::vset1(static_cast<double>(data.total)));
+  for (std::size_t i = 0; i < data.days; ++i) {
+    const VecD p = simd::vload(probabilities + i * kL);
+    const VecD lq = simd::vload(log_survivals + i * kL);
+    const std::int64_t x = data.counts[i];
+    const VecD after =
+        vn - simd::vset1(static_cast<double>(data.cumulative[i]));
+    const VecD p_le0 = simd::vle(p, vzero);
+    const VecD q_ninf = simd::veq(lq, vneginf);
+    const VecD skip = simd::vor(p_le0, q_ninf);
+    VecD x_term;
+    if (x != 0) {
+      x_term = simd::vset1(static_cast<double>(x)) * simd::log(p);
+      valid = simd::vandnot(valid, p_le0);
+    } else {
+      x_term = simd::vselect(simd::vlt(p, vone), vneg_zero, vzero);
+    }
+    // Certain detection is only possible when nothing remains after day i;
+    // `after` is per-lane here (each chain carries its own N).
+    valid = simd::vandnot(valid, simd::vand(q_ninf, simd::vneq(after, vzero)));
+    const VecD term = x_term + after * lq;
+    total = total + simd::vselect(skip, vzero, term);
+  }
+  simd::vstore(out, simd::vselect(valid, total, vneginf));
+}
+
+void logq_sum_lanes(std::size_t days, const double* log_survivals,
+                    double* out) {
+  SRM_EXPECTS(log_survivals != nullptr && out != nullptr,
+              "logq_sum_lanes requires the channel and an output");
+  VecD qsum = simd::vset1(0.0);
+  for (std::size_t i = 0; i < days; ++i) {
+    qsum = qsum + simd::vload(log_survivals + i * kL);
+  }
+  simd::vstore(out, qsum);
+}
+
+}  // namespace srm::core::lane_kernels

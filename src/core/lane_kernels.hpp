@@ -1,0 +1,84 @@
+// Lane-parallel chain kernels: the detection channels and likelihood
+// reductions of four independent Gibbs chains evaluated together, one
+// chain per SIMD lane.
+//
+// Where detection_simd.hpp vectorizes *within* one likelihood evaluation
+// (across days, one chain), these kernels vectorize *across chains*: every
+// day is one vector op whose lanes hold the four chains' probe parameters,
+// so every model — including model0/model1, whose per-day math is too thin
+// for within-evaluation SIMD — gets the full lane win. Buffers are SoA:
+// zeta is parameter-major (`zeta_soa[param * kChainLanes + lane]`), the
+// channel outputs day-major (`out[day * kChainLanes + lane]`).
+//
+// Lane-independence contract (what makes packed chains bit-identical to
+// solo ones): every value written for lane l is a pure function of lane
+// l's inputs. The implementation uses only the vertical exact ops of
+// support/simd/lanes.hpp and the backend-identical transcendentals of
+// support/simd/math.hpp, so the contract holds on every backend and the
+// golden lane digests pin one result across all of them.
+//
+// Like detection_simd.hpp, this header is ISA-neutral; only the matching
+// .cpp may be compiled with wider-ISA flags (see src/core/CMakeLists.txt).
+// It deliberately avoids the detection-model headers so the wide TU pulls
+// in as little inline code as possible: the model is identified by the
+// integer value of core::DetectionModelKind.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace srm::core::lane_kernels {
+
+/// Chains packed per call — the simd::kLanes of the kernel TU's backend
+/// (static_asserted there). Fixed at 4 on every backend.
+inline constexpr std::size_t kChainLanes = 4;
+
+/// The lane backend the kernel TU was compiled against ("avx2", "sse2",
+/// "neon", or "scalar").
+const char* isa_name();
+
+/// Fills both detection channels for all lanes: probabilities and
+/// log-survivals, day-major with stride kChainLanes. `model_kind` is the
+/// integer value of the chain's core::DetectionModelKind; `zeta_soa` holds
+/// the per-lane parameter vectors, parameter-major. `log_day` /
+/// `pareto_exponent` are the shared day tables (detection_tables.hpp) —
+/// identical across lanes because the packed chains sample one dataset.
+/// Lanes probing outside the parameter support may produce NaN/inf channel
+/// values; callers mask those lanes off afterwards.
+void detection_lanes(int model_kind, std::size_t days, const double* zeta_soa,
+                     std::span<const double> log_day,
+                     std::span<const double> pareto_exponent,
+                     double* probabilities, double* log_survivals);
+
+/// Day-shared observation data for the reductions, borrowed straight from
+/// data::BugCountData — the kernels widen each entry to its exact double
+/// (counts are far below 2^53) at the point of use, like the scalar loops.
+struct LaneDayData {
+  std::size_t days = 0;
+  std::int64_t total = 0;                    ///< s_k
+  const std::int64_t* counts = nullptr;      ///< x_i, entry [i] for day i+1
+  const std::int64_t* cumulative = nullptr;  ///< s_i, entry [i] for day i+1
+};
+
+/// Per-lane log_likelihood_collapsed_base plus the per-lane sum of log
+/// q_i (the survival ingredient), in one day sweep. Mirrors the scalar
+/// kernel's semantics lane-for-lane: impossible configurations yield
+/// -inf, skipped days contribute nothing, and the day order of the
+/// accumulation is the scalar loop's.
+void collapsed_base_lanes(const LaneDayData& data, const double* probabilities,
+                          const double* log_survivals, double* base_out,
+                          double* logq_sum_out);
+
+/// Per-lane log_likelihood_zeta_kernel with per-lane initial bug counts N
+/// (exact doubles). Same masking semantics as the scalar kernel.
+void zeta_kernel_lanes(const LaneDayData& data, const double* initial_bugs,
+                       const double* probabilities,
+                       const double* log_survivals, double* out);
+
+/// Per-lane sum of log q_i over all days (stable_survival's log domain);
+/// a lane with any -inf entry sums to -inf.
+void logq_sum_lanes(std::size_t days, const double* log_survivals,
+                    double* out);
+
+}  // namespace srm::core::lane_kernels

@@ -1,0 +1,153 @@
+#include "mcmc/slice_lanes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace srm::mcmc {
+
+// Per-lane control flow is deliberately scalar: the costly part of a slice
+// transition is the density, which the callback batches across lanes; the
+// bookkeeping around it is a handful of compares per lane per round. Scalar
+// bookkeeping also makes the lane-independence argument airtight — every
+// branch below reads only lane-local values.
+void slice_sample_lanes(random::Rng* const* rngs, double* x,
+                        std::size_t lane_count, LaneLogDensityRef log_density,
+                        const SliceOptions& options) {
+  SRM_EXPECTS(lane_count >= 1 && lane_count <= kChainLanes,
+              "slice_sample_lanes packs 1..kChainLanes lanes");
+  SRM_EXPECTS(options.initial_width > 0.0,
+              "slice_sample_lanes requires a positive initial width");
+  SRM_EXPECTS(options.lower < options.upper,
+              "slice_sample_lanes requires lower < upper");
+
+  const double w = options.initial_width;
+  const unsigned all = (1U << lane_count) - 1U;
+
+  double x0[kChainLanes];
+  double probe[kChainLanes];
+  double log_y[kChainLanes];
+  double left[kChainLanes];
+  double right[kChainLanes];
+  double density[kChainLanes];
+  int step_budget[kChainLanes];
+
+  for (std::size_t l = 0; l < lane_count; ++l) {
+    SRM_EXPECTS(x[l] >= options.lower && x[l] <= options.upper,
+                "slice_sample_lanes requires x inside the support");
+    x0[l] = x[l];
+    probe[l] = x[l];
+  }
+
+  // Vertical slice level per lane: y_l = f(x0_l) + log U_l. One batched
+  // density round serves every lane.
+  log_density(probe, all, density);
+  for (std::size_t l = 0; l < lane_count; ++l) {
+    SRM_EXPECTS(std::isfinite(density[l]),
+                "slice_sample_lanes requires finite density at the current "
+                "point");
+    log_y[l] = density[l] + std::log(rngs[l]->uniform_open());
+    left[l] = x0[l] - w * rngs[l]->uniform();
+    right[l] = left[l] + w;
+    left[l] = std::max(left[l], options.lower);
+    right[l] = std::min(right[l], options.upper);
+  }
+
+  // Left stepping-out, mask-and-retire. A lane stays in the round exactly
+  // when the scalar sampler would evaluate the density: endpoint strictly
+  // inside the bound and step budget remaining (the budget decrement
+  // mirrors the scalar short-circuit `left > lower && j-- > 0 && ...`).
+  // Stepping out draws no variates, so retiring is pure mask bookkeeping.
+  for (std::size_t l = 0; l < lane_count; ++l) {
+    step_budget[l] = options.max_step_out;
+  }
+  unsigned active = 0;
+  for (std::size_t l = 0; l < lane_count; ++l) {
+    if (left[l] > options.lower && step_budget[l]-- > 0) {
+      active |= 1U << l;
+      probe[l] = left[l];
+    }
+  }
+  while (active != 0) {
+    log_density(probe, active, density);
+    for (std::size_t l = 0; l < lane_count; ++l) {
+      if ((active & (1U << l)) == 0) continue;
+      if (!(density[l] > log_y[l])) {
+        active &= ~(1U << l);
+        continue;
+      }
+      left[l] = std::max(left[l] - w, options.lower);
+      if (left[l] > options.lower && step_budget[l]-- > 0) {
+        probe[l] = left[l];
+      } else {
+        active &= ~(1U << l);
+      }
+    }
+  }
+
+  // Right stepping-out, same shape.
+  for (std::size_t l = 0; l < lane_count; ++l) {
+    step_budget[l] = options.max_step_out;
+  }
+  for (std::size_t l = 0; l < lane_count; ++l) {
+    if (right[l] < options.upper && step_budget[l]-- > 0) {
+      active |= 1U << l;
+      probe[l] = right[l];
+    }
+  }
+  while (active != 0) {
+    log_density(probe, active, density);
+    for (std::size_t l = 0; l < lane_count; ++l) {
+      if ((active & (1U << l)) == 0) continue;
+      if (!(density[l] > log_y[l])) {
+        active &= ~(1U << l);
+        continue;
+      }
+      right[l] = std::min(right[l] + w, options.upper);
+      if (right[l] < options.upper && step_budget[l]-- > 0) {
+        probe[l] = right[l];
+      } else {
+        active &= ~(1U << l);
+      }
+    }
+  }
+
+  // Shrinkage. Every lane is active; a lane retires on acceptance (its
+  // draw lands in x), on bracket collapse, or at the shrink cap (both keep
+  // x0, the no-op move). Only active lanes draw the placement variate, so
+  // a lane accepting on its first shrink consumes exactly one uniform here
+  // no matter how long its neighbours keep shrinking.
+  int shrink_left[kChainLanes];
+  active = options.max_shrink > 0 ? all : 0U;
+  for (std::size_t l = 0; l < lane_count; ++l) {
+    shrink_left[l] = options.max_shrink;
+    x[l] = x0[l];  // default result: the no-op move
+  }
+  while (active != 0) {
+    for (std::size_t l = 0; l < lane_count; ++l) {
+      if ((active & (1U << l)) != 0) {
+        probe[l] = left[l] + (right[l] - left[l]) * rngs[l]->uniform_open();
+      }
+    }
+    log_density(probe, active, density);
+    for (std::size_t l = 0; l < lane_count; ++l) {
+      if ((active & (1U << l)) == 0) continue;
+      if (density[l] > log_y[l]) {
+        x[l] = probe[l];
+        active &= ~(1U << l);
+        continue;
+      }
+      if (probe[l] < x0[l]) {
+        left[l] = probe[l];
+      } else {
+        right[l] = probe[l];
+      }
+      if (right[l] - left[l] < 1e-300 || --shrink_left[l] == 0) {
+        active &= ~(1U << l);
+      }
+    }
+  }
+}
+
+}  // namespace srm::mcmc

@@ -1,0 +1,54 @@
+// Batched slice sampler for lane-parallel chains: up to four independent
+// univariate slice transitions advance together, one per SIMD lane, with
+// mask-and-retire control flow.
+//
+// Each lane runs exactly the Neal stepping-out/shrinkage algorithm of
+// slice.cpp against its own RNG stream, but the (expensive) log-density
+// evaluations of all still-active lanes are batched into one callback per
+// round so the model can vectorize them across lanes. Divergent control
+// flow — one lane accepting on its first shrink while another steps out to
+// the cap — is handled by retiring finished lanes from the active mask:
+// retired lanes stop drawing variates and their density slots are ignored,
+// so every lane's draw sequence (and therefore its chain) is bit-identical
+// to running that lane alone, for any pack size and any lane position.
+//
+// The density callback may evaluate ALL lanes every round (that is the
+// point — vertical SIMD is cheapest unmasked); only the lanes named in the
+// active mask need valid results, and results for a lane must never depend
+// on another lane's probe value.
+#pragma once
+
+#include <cstddef>
+
+#include "mcmc/slice.hpp"
+#include "random/rng.hpp"
+#include "support/function_ref.hpp"
+
+namespace srm::mcmc {
+
+/// Fixed lane capacity of the batched samplers. Matches simd::kLanes (the
+/// core lane kernels static_assert the two agree) without making mcmc
+/// include the simd backend headers.
+inline constexpr std::size_t kChainLanes = 4;
+
+/// Batched log-density evaluation: `xs[l]` is lane l's probe point,
+/// `active` a bitmask of lanes whose result will be read, `out[l]` the log
+/// density at `xs[l]`. Lanes outside `active` may receive garbage, but an
+/// active lane's result must be a pure function of that lane's probe (and
+/// per-lane state) — never of its neighbours'.
+using LaneLogDensityRef =
+    support::function_ref<void(const double* xs, unsigned active,
+                               double* out)>;
+
+/// One slice-sampling transition per lane, `lane_count` lanes packed.
+///
+/// `x[l]` holds lane l's current point on entry and its new draw on exit;
+/// `rngs[l]` is lane l's private stream, advanced only by lane l's own
+/// draws. All lanes share one SliceOptions (the packed chains sample the
+/// same coordinate of the same model). Preconditions per lane mirror
+/// slice_sample: x inside the support with finite density.
+void slice_sample_lanes(random::Rng* const* rngs, double* x,
+                        std::size_t lane_count, LaneLogDensityRef log_density,
+                        const SliceOptions& options);
+
+}  // namespace srm::mcmc

@@ -1,0 +1,114 @@
+// Lane-mask helpers for mask-and-retire control flow: compressing a VecD
+// comparison mask into a scalar per-lane bitmask (and back), plus the
+// and-not combinator the masked reductions use to retire lanes.
+//
+// These exist for the lane-parallel chain executor: four independent Gibbs
+// chains run in the four lanes, and the batched slice sampler retires each
+// lane from a step-out or shrink round as soon as its own chain is done.
+// The scalar bitmask is the retire ledger — bit l set means lane l is
+// still active — while vandnot/vselect apply it back to vector state.
+//
+// Like everything in support/simd, every operation is an exact lanewise
+// bit manipulation, identical on all backends, and the whole API lives in
+// the backend-named inline namespace so differently-flagged TUs can never
+// link against each other's instantiations.
+#pragma once
+
+#include "support/simd/lanes.hpp"
+
+SRM_SIMD_NS_BEGIN
+
+/// All `kLanes` mask bits set.
+inline constexpr unsigned kFullLaneMask = (1U << kLanes) - 1U;
+
+#if defined(SRM_SIMD_BACKEND_AVX2)
+
+/// Bit l of the result is the sign/mask bit of lane l (comparison masks
+/// are all-ones or all-zero per lane, so this compresses them losslessly).
+inline unsigned movemask(VecD a) {
+  return static_cast<unsigned>(_mm256_movemask_pd(a.v));
+}
+
+/// Lanewise `a & ~b` — the retire step of a mask ledger held in lanes.
+inline VecD vandnot(VecD a, VecD b) {
+  return {_mm256_andnot_pd(b.v, a.v)};
+}
+
+#elif defined(SRM_SIMD_BACKEND_SSE2)
+
+inline unsigned movemask(VecD a) {
+  return static_cast<unsigned>(_mm_movemask_pd(a.lo)) |
+         (static_cast<unsigned>(_mm_movemask_pd(a.hi)) << 2);
+}
+
+inline VecD vandnot(VecD a, VecD b) {
+  return {_mm_andnot_pd(b.lo, a.lo), _mm_andnot_pd(b.hi, a.hi)};
+}
+
+#elif defined(SRM_SIMD_BACKEND_NEON)
+
+inline unsigned movemask(VecD a) {
+  const uint64x2_t lo = vreinterpretq_u64_f64(a.lo);
+  const uint64x2_t hi = vreinterpretq_u64_f64(a.hi);
+  return static_cast<unsigned>(vgetq_lane_u64(lo, 0) >> 63) |
+         (static_cast<unsigned>(vgetq_lane_u64(lo, 1) >> 63) << 1) |
+         (static_cast<unsigned>(vgetq_lane_u64(hi, 0) >> 63) << 2) |
+         (static_cast<unsigned>(vgetq_lane_u64(hi, 1) >> 63) << 3);
+}
+
+inline VecD vandnot(VecD a, VecD b) {
+  const uint64x2_t ones = vdupq_n_u64(~0ULL);
+  return from_mask(vandq_u64(vreinterpretq_u64_f64(a.lo),
+                             veorq_u64(vreinterpretq_u64_f64(b.lo), ones)),
+                   vandq_u64(vreinterpretq_u64_f64(a.hi),
+                             veorq_u64(vreinterpretq_u64_f64(b.hi), ones)));
+}
+
+#else  // scalar fallback
+
+inline unsigned movemask(VecD a) {
+  VecI bits = to_bits(a);
+  unsigned m = 0;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    m |= static_cast<unsigned>(bits.l[l] >> 63) << l;
+  }
+  return m;
+}
+
+inline VecD vandnot(VecD a, VecD b) {
+  VecI ia = to_bits(a);
+  const VecI ib = to_bits(b);
+  for (std::size_t l = 0; l < kLanes; ++l) ia.l[l] &= ~ib.l[l];
+  return from_bits(ia);
+}
+
+#endif
+
+/// Expands a scalar per-lane bitmask back into a VecD comparison mask
+/// (all-ones lanes where the bit is set). Inverse of movemask on masks.
+inline VecD lane_mask(unsigned bits) {
+  double buf[kLanes];
+  VecI on = iset1(~0ULL);
+  VecI off = iset1(0ULL);
+  VecD von = from_bits(on);
+  VecD voff = from_bits(off);
+  vstore(buf, voff);
+  double onbuf[kLanes];
+  vstore(onbuf, von);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    if ((bits >> l) & 1U) buf[l] = onbuf[l];
+  }
+  return vload(buf);
+}
+
+/// Gathers element `offset` of each of the `kLanes` per-lane arrays into a
+/// vector — the lane-indexed load the SoA chain workspaces use to pack
+/// per-chain scalars (state coordinates, slice probes) into lanes.
+inline VecD vgather_lanes(const double* const ptrs[kLanes],
+                          std::size_t offset) {
+  double buf[kLanes];
+  for (std::size_t l = 0; l < kLanes; ++l) buf[l] = ptrs[l][offset];
+  return vload(buf);
+}
+
+SRM_SIMD_NS_END

@@ -1,0 +1,203 @@
+// Property tests for the mask-and-retire batched slice sampler.
+//
+// The binding contract (slice_lanes.hpp): every lane's draw sequence is
+// bit-identical to running that lane alone — packing must not change any
+// chain's variates, for any pack size, lane position, or divergence in
+// step-out/shrink control flow. The tests pin that by running the same
+// (x0, seed, density) through a packed call and through the scalar
+// slice_sample of slice.cpp, then comparing both the draw and the number
+// of variates consumed (via the next raw engine output).
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mcmc/slice.hpp"
+#include "mcmc/slice_lanes.hpp"
+#include "random/rng.hpp"
+
+namespace {
+
+using srm::mcmc::kChainLanes;
+using srm::mcmc::SliceOptions;
+using srm::random::Rng;
+
+// Per-lane scalar target densities with deliberately different control
+// flow: the wide normal accepts early, the spike shrinks for many rounds,
+// the flat plateau steps out to the cap and accepts its first shrink draw.
+double normal_ld(double x, double sd) { return -0.5 * (x / sd) * (x / sd); }
+double flat_ld(double /*x*/) { return 0.0; }
+
+enum class Shape { kWide, kNarrow, kSpike, kFlat };
+
+double eval_shape(Shape shape, double x) {
+  switch (shape) {
+    case Shape::kWide:
+      return normal_ld(x, 3.0);
+    case Shape::kNarrow:
+      return normal_ld(x, 0.5);
+    case Shape::kSpike:
+      return normal_ld(x, 1e-3);
+    case Shape::kFlat:
+      return flat_ld(x);
+  }
+  return 0.0;
+}
+
+struct LaneSetup {
+  Shape shape;
+  double x0;
+  std::uint64_t seed;
+};
+
+// Runs `setups` packed, then each lane solo through the scalar sampler,
+// and asserts draw-for-draw equality plus identical RNG consumption.
+void expect_pack_matches_solo(const std::vector<LaneSetup>& setups,
+                              const SliceOptions& options) {
+  const std::size_t lanes = setups.size();
+  ASSERT_GE(lanes, 1u);
+  ASSERT_LE(lanes, kChainLanes);
+
+  std::vector<Rng> packed_rngs;
+  packed_rngs.reserve(lanes);
+  for (const LaneSetup& s : setups) packed_rngs.emplace_back(s.seed);
+  Rng* rng_ptrs[kChainLanes];
+  double x[kChainLanes];
+  for (std::size_t l = 0; l < lanes; ++l) {
+    rng_ptrs[l] = &packed_rngs[l];
+    x[l] = setups[l].x0;
+  }
+  const auto lane_density = [&](const double* xs, unsigned /*active*/,
+                                double* out) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      out[l] = eval_shape(setups[l].shape, xs[l]);
+    }
+  };
+  srm::mcmc::slice_sample_lanes(rng_ptrs, x, lanes, lane_density, options);
+
+  for (std::size_t l = 0; l < lanes; ++l) {
+    Rng solo(setups[l].seed);
+    const auto solo_density = [&](double v) {
+      return eval_shape(setups[l].shape, v);
+    };
+    const double expected =
+        srm::mcmc::slice_sample(solo, setups[l].x0, solo_density, options);
+    EXPECT_EQ(x[l], expected) << "lane " << l << " draw diverged from solo";
+    // Same consumption: the engines must agree on the next raw output.
+    EXPECT_EQ(packed_rngs[l].next_u64(), solo.next_u64())
+        << "lane " << l << " consumed a different number of variates";
+  }
+}
+
+TEST(SliceLanes, FullPackMatchesSoloAcrossDivergentShapes) {
+  // Four lanes whose step-out and shrink counts all differ.
+  expect_pack_matches_solo({{Shape::kWide, 1.5, 11},
+                            {Shape::kNarrow, -0.25, 22},
+                            {Shape::kSpike, 1e-4, 33},
+                            {Shape::kFlat, 0.0, 44}},
+                           SliceOptions{});
+}
+
+TEST(SliceLanes, PartialPacksOfTwoAndThreeMatchSolo) {
+  expect_pack_matches_solo(
+      {{Shape::kSpike, -1e-4, 101}, {Shape::kWide, 2.0, 202}},
+      SliceOptions{});
+  expect_pack_matches_solo({{Shape::kNarrow, 0.7, 301},
+                            {Shape::kFlat, 0.25, 302},
+                            {Shape::kWide, -3.0, 303}},
+                           SliceOptions{});
+}
+
+TEST(SliceLanes, SingleLanePackEqualsScalarSampler) {
+  for (const Shape shape :
+       {Shape::kWide, Shape::kNarrow, Shape::kSpike, Shape::kFlat}) {
+    expect_pack_matches_solo({{shape, 0.5, 777}}, SliceOptions{});
+  }
+}
+
+TEST(SliceLanes, AllLanesDivergeToMaxStepOut) {
+  // A flat plateau on a bounded support: every endpoint keeps passing the
+  // slice test, so all lanes burn their full step-out budget (or hit the
+  // bounds) before the first shrink draw — which is then always accepted.
+  SliceOptions options;
+  options.lower = -4.0;
+  options.upper = 4.0;
+  options.initial_width = 0.5;
+  options.max_step_out = 3;  // retires on the budget, not the bounds
+  expect_pack_matches_solo({{Shape::kFlat, -1.0, 1},
+                            {Shape::kFlat, 0.0, 2},
+                            {Shape::kFlat, 1.0, 3},
+                            {Shape::kFlat, 2.5, 4}},
+                           options);
+}
+
+TEST(SliceLanes, EarlyRetireNextToLongShrinker) {
+  // Lane 0 accepts its first shrink draw (flat density); lane 1 is a spike
+  // that shrinks for dozens of rounds. The early lane must consume exactly
+  // the solo number of variates no matter how long its neighbour runs.
+  SliceOptions options;
+  options.lower = -8.0;
+  options.upper = 8.0;
+  expect_pack_matches_solo(
+      {{Shape::kFlat, 0.0, 5150}, {Shape::kSpike, 2e-4, 6007}}, options);
+}
+
+TEST(SliceLanes, BracketCollapseAndShrinkCapKeepCurrentPoint) {
+  // An extreme spike with a tiny shrink cap: lanes that exhaust the cap
+  // must return x0 (the no-op move), exactly as the scalar sampler does.
+  SliceOptions options;
+  options.max_shrink = 2;
+  expect_pack_matches_solo({{Shape::kSpike, 5e-4, 71},
+                            {Shape::kSpike, -5e-4, 72},
+                            {Shape::kWide, 0.5, 73}},
+                           options);
+}
+
+TEST(SliceLanes, ChainedTransitionsStayIdentical) {
+  // Iterating the kernel compounds any divergence; fifty chained
+  // transitions per lane must still match the solo sampler draw-for-draw.
+  SliceOptions options;
+  options.initial_width = 0.8;
+  const LaneSetup setups[] = {{Shape::kWide, 0.1, 1001},
+                              {Shape::kNarrow, -0.4, 1002},
+                              {Shape::kSpike, 3e-4, 1003},
+                              {Shape::kFlat, 0.9, 1004}};
+  SliceOptions bounded = options;
+  bounded.lower = -6.0;
+  bounded.upper = 6.0;
+
+  Rng packed_rngs[kChainLanes] = {Rng(setups[0].seed), Rng(setups[1].seed),
+                                  Rng(setups[2].seed), Rng(setups[3].seed)};
+  Rng* rng_ptrs[kChainLanes];
+  double x[kChainLanes];
+  for (std::size_t l = 0; l < kChainLanes; ++l) {
+    rng_ptrs[l] = &packed_rngs[l];
+    x[l] = setups[l].x0;
+  }
+  const auto lane_density = [&](const double* xs, unsigned /*active*/,
+                                double* out) {
+    for (std::size_t l = 0; l < kChainLanes; ++l) {
+      out[l] = eval_shape(setups[l].shape, xs[l]);
+    }
+  };
+  for (int step = 0; step < 50; ++step) {
+    srm::mcmc::slice_sample_lanes(rng_ptrs, x, kChainLanes, lane_density,
+                                  bounded);
+  }
+
+  for (std::size_t l = 0; l < kChainLanes; ++l) {
+    Rng solo(setups[l].seed);
+    double v = setups[l].x0;
+    const auto solo_density = [&](double p) {
+      return eval_shape(setups[l].shape, p);
+    };
+    for (int step = 0; step < 50; ++step) {
+      v = srm::mcmc::slice_sample(solo, v, solo_density, bounded);
+    }
+    EXPECT_EQ(x[l], v) << "lane " << l;
+    EXPECT_EQ(packed_rngs[l].next_u64(), solo.next_u64()) << "lane " << l;
+  }
+}
+
+}  // namespace

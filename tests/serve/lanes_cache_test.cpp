@@ -1,0 +1,100 @@
+// Cache-identity tests for the `chain_lanes` gibbs flag: the lane-parallel
+// executor is its own result-identity fork (the lane transcendentals differ
+// from libm at the ULP level), so packed requests must occupy DISTINCT
+// cache cells from scalar ones — and from `vectorized` ones, the other,
+// independent fork. Lanes-off requests keep the exact pre-flag wire bytes
+// (omit-if-false serialization), so every existing cache survives.
+#include "serve/service.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+namespace serve = srm::serve;
+using srm::support::Json;
+
+serve::Service make_service() {
+  serve::ServiceOptions options;
+  options.cache_capacity = 8;
+  options.meta = false;
+  return serve::Service(std::move(options));
+}
+
+/// A laptop-instant fit request; `flags` is spliced into the gibbs object
+/// (e.g. R"(,"chain_lanes":true)").
+std::string fit_line(const std::string& flags) {
+  return std::string(R"({"op":"fit","project":)"
+                     R"({"name":"svc","counts":[4,3,2,2,1,0,1,0]},)") +
+         R"("day":6,"model":"model2","gibbs":{"chains":2,"burn_in":10,)"
+         R"("iterations":40,"seed":7)" + flags + "}}";
+}
+
+TEST(LanesCache, FlagForksTheRequestHash) {
+  const auto scalar = serve::parse_request(Json::parse(fit_line("")));
+  const auto lanes =
+      serve::parse_request(Json::parse(fit_line(R"(,"chain_lanes":true)")));
+  EXPECT_FALSE(scalar.fit.gibbs.chain_lanes);
+  EXPECT_TRUE(lanes.fit.gibbs.chain_lanes);
+  EXPECT_NE(serve::request_hash(scalar), serve::request_hash(lanes));
+}
+
+TEST(LanesCache, ExplicitFalseHashesLikeAnAbsentFlag) {
+  // Omit-if-false canonicalization: requests written before the flag
+  // existed and requests spelling "chain_lanes":false share a cell.
+  const auto absent = serve::parse_request(Json::parse(fit_line("")));
+  const auto spelled = serve::parse_request(
+      Json::parse(fit_line(R"(,"chain_lanes":false)")));
+  EXPECT_EQ(serve::request_hash(absent), serve::request_hash(spelled));
+}
+
+TEST(LanesCache, IndependentOfTheVectorizedFork) {
+  // chain_lanes and vectorized are orthogonal identity axes: all four
+  // combinations hash to four distinct cells.
+  const auto h = [](const std::string& flags) {
+    return serve::request_hash(serve::parse_request(
+        Json::parse(fit_line(flags))));
+  };
+  const auto scalar = h("");
+  const auto lanes = h(R"(,"chain_lanes":true)");
+  const auto vec = h(R"(,"vectorized":true)");
+  const auto both = h(R"(,"vectorized":true,"chain_lanes":true)");
+  EXPECT_NE(lanes, scalar);
+  EXPECT_NE(lanes, vec);
+  EXPECT_NE(lanes, both);
+  EXPECT_NE(vec, both);
+}
+
+TEST(LanesCache, BothFlagsOccupyDistinctByteStableCells) {
+  auto service = make_service();
+
+  const auto scalar_cold = service.handle_line(fit_line(""));
+  ASSERT_TRUE(scalar_cold.ok) << scalar_cold.line;
+  EXPECT_EQ(scalar_cold.cache_tag, "computed");
+
+  // The packed twin must compute its own cell, not hit the scalar one.
+  const auto lanes_cold =
+      service.handle_line(fit_line(R"(,"chain_lanes":true)"));
+  ASSERT_TRUE(lanes_cold.ok) << lanes_cold.line;
+  EXPECT_EQ(lanes_cold.cache_tag, "computed");
+  EXPECT_EQ(service.computed(), 2u);
+  EXPECT_EQ(service.cache().size(), 2u);
+
+  // Warm lookups stay within their own flag, byte-identical per flag.
+  const auto scalar_warm = service.handle_line(fit_line(""));
+  const auto lanes_warm =
+      service.handle_line(fit_line(R"(,"chain_lanes":true)"));
+  ASSERT_TRUE(scalar_warm.ok);
+  ASSERT_TRUE(lanes_warm.ok);
+  EXPECT_EQ(scalar_warm.cache_tag, "hit");
+  EXPECT_EQ(lanes_warm.cache_tag, "hit");
+  EXPECT_EQ(scalar_warm.line, scalar_cold.line);
+  EXPECT_EQ(lanes_warm.line, lanes_cold.line);
+  EXPECT_NE(scalar_cold.line, lanes_cold.line);
+}
+
+}  // namespace

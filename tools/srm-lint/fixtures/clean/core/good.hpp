@@ -22,6 +22,10 @@ class Model {
 // Free function without numeric scalar params: not subject to the rule.
 double summarize(const Model& m);
 
+// Implemented in the satellite TU good_lanes.cpp, not the exact sibling:
+// the rule accepts any same-directory `good_*.cpp`.
+double packed_pdf(const Model& m, double x, int lanes);
+
 }  // namespace srm::core
 
 namespace srm::core {

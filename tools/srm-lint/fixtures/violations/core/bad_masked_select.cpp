@@ -1,0 +1,15 @@
+// raw-intrinsics: masked-select/movemask spellings outside support/simd/
+// fire even without an ISA header in sight (clang resolves them as
+// builtins), so the identifier check must catch them on its own.
+namespace srm::core {
+
+double retire_lanes(double mask, double active, double replacement) {
+  double selected =
+      _mm256_blendv_pd(active, replacement, mask);  // line 8: raw-intrinsics
+  unsigned ledger =
+      static_cast<unsigned>(_mm_movemask_pd(mask));  // line 10: raw-intrinsics
+  double neon_pick = vbslq_f64(mask, active, replacement);  // line 11
+  return selected + ledger + neon_pick;
+}
+
+}  // namespace srm::core

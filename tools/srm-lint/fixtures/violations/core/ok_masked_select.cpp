@@ -1,0 +1,17 @@
+// The clean twin of bad_masked_select.cpp: the same mask-and-retire control
+// flow expressed through the sanctioned support/simd helpers. The wrapper
+// names (movemask, vandnot, vselect, lane_mask) must never trip the
+// raw-intrinsics rule — only the underlying ISA spellings do.
+#include "support/simd/mask.hpp"
+
+namespace srm::core {
+
+simd::VecD retire_lanes(simd::VecD mask, simd::VecD active,
+                        simd::VecD replacement) {
+  const unsigned ledger = simd::movemask(mask);
+  simd::VecD survivors = simd::vandnot(active, mask);
+  if (ledger == 0) return survivors;
+  return simd::vselect(mask, replacement, survivors);
+}
+
+}  // namespace srm::core

@@ -10,4 +10,10 @@ double lane_sum(const double* data) {
                                      0);
 }
 
+int lane_ledger(__m128d mask) {
+  // Masked-select/movemask spellings are also sanctioned here — this is
+  // where the mask.hpp wrappers live.
+  return _mm_movemask_pd(_mm_blendv_pd(mask, mask, mask));
+}
+
 }  // namespace srm::simd

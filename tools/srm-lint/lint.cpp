@@ -104,10 +104,12 @@ const std::vector<RuleInfo>& registered_rules() {
        "violations",
        {"support/"}},
       {"raw-intrinsics",
-       "no <immintrin.h>/<emmintrin.h>/<arm_neon.h> includes and no "
-       "__builtin_ia32_* outside support/simd/; all ISA-specific code goes "
-       "through the lane layer so every other TU stays portable and "
-       "baseline-compiled",
+       "no <immintrin.h>/<emmintrin.h>/<arm_neon.h> includes, no "
+       "__builtin_ia32_*, and no masked-select/movemask intrinsic "
+       "spellings (_mm*_blendv_pd/_mm*_movemask_pd/_mm*_andnot_pd/"
+       "vbslq_f64) outside support/simd/; all ISA-specific code goes "
+       "through the lane layer and its mask helpers so every other TU "
+       "stays portable and baseline-compiled",
        PassKind::kToken,
        "violations",
        {"support/simd/"}},

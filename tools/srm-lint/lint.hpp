@@ -35,7 +35,9 @@
 //   expects         Every public function in src/core/ and src/stats/
 //                   headers that takes scalar numeric parameters must
 //                   execute an SRM_EXPECTS precondition in its
-//                   implementation (inline body or the sibling .cpp).
+//                   implementation (inline body, the sibling .cpp, or a
+//                   same-directory `<stem>_*.cpp` satellite TU such as
+//                   bayes_srm_lanes.cpp for bayes_srm.hpp).
 //   nested-vector-matrix No std::vector<std::vector<...>> in src/core/ or
 //                   src/report/: pointwise matrices there are hot and a
 //                   vector-of-vector pays one allocation and one pointer
@@ -75,12 +77,15 @@
 //                   breaking byte-identical output. Use support::dec /
 //                   support::fixed (support/format.hpp), which are
 //                   to_chars-backed and locale-independent.
-//   raw-intrinsics  No <immintrin.h>/<emmintrin.h>/<arm_neon.h> includes
-//                   and no __builtin_ia32_* builtins outside
+//   raw-intrinsics  No <immintrin.h>/<emmintrin.h>/<arm_neon.h> includes,
+//                   no __builtin_ia32_* builtins, and no masked-select/
+//                   movemask intrinsic spellings (_mm*_blendv_pd,
+//                   _mm*_movemask_pd, _mm*_andnot_pd, vbslq_f64) outside
 //                   src/support/simd/: all ISA-specific code goes through
-//                   the lane layer (support/simd/lanes.hpp), so every
-//                   other TU stays portable and compiles at the baseline
-//                   ISA — only the one kernel TU ever gets -mavx2.
+//                   the lane layer (support/simd/lanes.hpp) and its mask
+//                   helpers (support/simd/mask.hpp), so every other TU
+//                   stays portable and compiles at the baseline ISA —
+//                   only the kernel TUs ever get -mavx2.
 //
 // 3. Contract-drift pass (contract.hpp, `srm-lint --self-check`): every
 //    registered rule must fire on its violating fixtures and stay quiet on

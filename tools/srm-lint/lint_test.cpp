@@ -337,11 +337,30 @@ TEST(SrmLint, RuleRegistryCoversEveryEmittedRule) {
 TEST(SrmLint, DetectsRawIntrinsics) {
   const auto all = run_lint(fixture("violations"));
   const auto hits = findings_for_rule(all, "raw-intrinsics");
-  ASSERT_EQ(hits.size(), 3u)
-      << "both ISA headers and the raw builtin fire outside support/simd/";
+  ASSERT_EQ(hits.size(), 6u)
+      << "ISA headers, the raw builtin, and the masked-select spellings all "
+         "fire outside support/simd/";
   EXPECT_TRUE(has_finding(all, "core/bad_intrinsics.cpp", 2, "raw-intrinsics"));
   EXPECT_TRUE(has_finding(all, "core/bad_intrinsics.cpp", 3, "raw-intrinsics"));
   EXPECT_TRUE(has_finding(all, "core/bad_intrinsics.cpp", 9, "raw-intrinsics"));
+  // Masked-select/movemask spellings fire with no ISA header in the TU.
+  EXPECT_TRUE(
+      has_finding(all, "core/bad_masked_select.cpp", 8, "raw-intrinsics"));
+  EXPECT_TRUE(
+      has_finding(all, "core/bad_masked_select.cpp", 10, "raw-intrinsics"));
+  EXPECT_TRUE(
+      has_finding(all, "core/bad_masked_select.cpp", 11, "raw-intrinsics"));
+}
+
+TEST(SrmLint, MaskHelperWrappersDoNotTripRawIntrinsics) {
+  // The sanctioned wrapper names (simd::movemask, vandnot, vselect) used
+  // outside support/simd/ are the whole point of the mask layer — the rule
+  // bans the ISA spellings, never the wrappers.
+  const auto all = run_lint(fixture("violations"));
+  for (const auto& f : findings_for_rule(all, "raw-intrinsics")) {
+    EXPECT_NE(f.file, "core/ok_masked_select.cpp")
+        << srm::lint::format_finding(f);
+  }
 }
 
 TEST(SrmLint, RawIntrinsicsRuleExemptsSimdDirectory) {

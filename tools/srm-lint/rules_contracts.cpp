@@ -118,12 +118,33 @@ void check_raw_intrinsics(const FileText& f, std::vector<Finding>& out) {
       pos += header.size();
     }
   }
+  // Masked-select / movemask intrinsic spellings. These are callable without
+  // their ISA header in some toolchain modes (clang builtin fallbacks), so
+  // the header scan alone does not pin them; each has an exact, bit-stable
+  // wrapper in support/simd/mask.hpp (movemask, vandnot) or lanes.hpp
+  // (vselect) that the mask-and-retire machinery must route through.
+  static constexpr std::string_view kBannedMaskIntrinsics[] = {
+      "_mm_blendv_pd",    "_mm256_blendv_pd",   "_mm512_mask_blend_pd",
+      "_mm_movemask_pd",  "_mm256_movemask_pd", "_mm_andnot_pd",
+      "_mm256_andnot_pd", "vbslq_f64"};
   for_each_identifier(s, [&](std::string_view name, std::size_t i) {
-    if (name.rfind("__builtin_ia32_", 0) != 0) return;
-    report(out, f, i, "raw-intrinsics",
-           std::string(name) +
-               " outside support/simd/; raw ISA builtins bypass the lane "
-               "layer and break the portable scalar fallback");
+    if (name.rfind("__builtin_ia32_", 0) == 0) {
+      report(out, f, i, "raw-intrinsics",
+             std::string(name) +
+                 " outside support/simd/; raw ISA builtins bypass the lane "
+                 "layer and break the portable scalar fallback");
+      return;
+    }
+    for (const std::string_view banned : kBannedMaskIntrinsics) {
+      if (name != banned) continue;
+      report(out, f, i, "raw-intrinsics",
+             std::string(name) +
+                 " outside support/simd/; masked-select/movemask goes "
+                 "through the mask helpers (support/simd/mask.hpp: "
+                 "movemask / vandnot, lanes.hpp: vselect) so retire masks "
+                 "stay bit-identical on every backend");
+      return;
+    }
   });
 }
 
@@ -475,16 +496,20 @@ std::size_t definition_body(const std::string& s, std::size_t paren) {
   return std::string::npos;
 }
 
-/// Checks the declarations collected from a header against the sibling
-/// .cpp: every matching definition must contain SRM_EXPECTS.
-void check_impls(const FileText& header, const FileText* impl,
+/// Checks the declarations collected from a header against its sibling
+/// implementation files: every matching definition must contain
+/// SRM_EXPECTS. A header's implementations may be split across the exact
+/// sibling (`bayes_srm.cpp` for `bayes_srm.hpp`) and same-directory
+/// satellite TUs named `<stem>_*.cpp` (`bayes_srm_lanes.cpp`).
+void check_impls(const FileText& header,
+                 const std::vector<const FileText*>& impls,
                  const std::vector<PublicDecl>& decls,
                  std::vector<Finding>& out) {
   for (const PublicDecl& d : decls) {
     bool found_def = false;
     bool found_expects = false;
     std::vector<std::pair<int, std::string>> missing;  // line in impl
-    if (impl != nullptr) {
+    for (const FileText* impl : impls) {
       const std::string& s = impl->stripped;
       std::size_t pos = 0;
       while ((pos = s.find(d.name, pos)) != std::string::npos) {
@@ -523,7 +548,7 @@ void check_impls(const FileText& header, const FileText* impl,
       out.push_back({header.rel, d.line, "expects",
                      "public function `" + d.name +
                          "` takes numeric parameters but no implementation "
-                         "was found in the sibling .cpp to carry its "
+                         "was found in a sibling <stem>*.cpp to carry its "
                          "SRM_EXPECTS precondition"});
       continue;
     }
@@ -570,11 +595,32 @@ void run_contract_rules(const FileSet& files, std::vector<Finding>& out) {
       std::vector<PublicDecl> needs_impl;
       scan_header(f, needs_impl, out);
       if (!needs_impl.empty()) {
-        // Sibling implementation comes from the already-loaded file set —
-        // never a second disk read.
-        const std::string sibling =
-            f.rel.substr(0, f.rel.size() - 4) + ".cpp";
-        check_impls(f, files.find(sibling), needs_impl, out);
+        // Sibling implementations come from the already-loaded file set —
+        // never a second disk read. A header's definitions may be split
+        // across the exact sibling and `<stem>_*.cpp` satellite TUs in the
+        // same directory (e.g. bayes_srm.hpp -> bayes_srm.cpp +
+        // bayes_srm_lanes.cpp, where the lane path keeps its own TU so the
+        // wide-ISA kernels stay isolated).
+        const std::string stem = f.rel.substr(0, f.rel.size() - 4);
+        std::vector<const FileText*> impls;
+        if (const FileText* exact = files.find(stem + ".cpp")) {
+          impls.push_back(exact);
+        }
+        const std::string prefix = stem + "_";
+        for (const FileText& candidate : files.files()) {
+          if (candidate.rel.size() <= prefix.size() + 4) continue;
+          if (candidate.rel.rfind(prefix, 0) != 0) continue;
+          if (candidate.rel.compare(candidate.rel.size() - 4, 4, ".cpp") !=
+              0) {
+            continue;
+          }
+          // Same directory only: no '/' after the stem.
+          if (candidate.rel.find('/', prefix.size()) != std::string::npos) {
+            continue;
+          }
+          impls.push_back(&candidate);
+        }
+        check_impls(f, impls, needs_impl, out);
       }
     }
   }
