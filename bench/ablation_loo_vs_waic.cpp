@@ -30,10 +30,10 @@ int main() {
   for (const auto prior :
        {core::PriorKind::kPoisson, core::PriorKind::kNegativeBinomial}) {
     for (const auto kind : core::all_detection_model_kinds()) {
-      core::BayesianSrm model(prior, kind, observed);
-      const auto run = mcmc::run_gibbs(model, gibbs);
-      const auto waic = core::compute_waic(model, run);
-      const auto loo = core::compute_psis_loo(model, run);
+      const auto model = core::make_model(prior, kind, observed, {});
+      const auto run = mcmc::run_gibbs(*model, gibbs);
+      const auto waic = core::compute_waic(*model, run);
+      const auto loo = core::compute_psis_loo(*model, run);
       double max_k = 0.0;
       for (const auto& point : loo.pointwise) {
         if (std::isfinite(point.pareto_k)) {

@@ -37,6 +37,7 @@
 #include "core/bayes_srm.hpp"
 #include "core/detection_simd.hpp"
 #include "core/lane_kernels.hpp"
+#include "core/model_family.hpp"
 #include "data/datasets.hpp"
 #include "mcmc/gibbs.hpp"
 #include "random/rng.hpp"
@@ -63,6 +64,42 @@ struct SimdSample {
   double scalar_us = 0.0;
   double vectorized_us = 0.0;
 };
+
+/// One registry cell: a family's selection-grid detection model, timed
+/// through the make_model construction path every pipeline uses. Covers
+/// the families outside the paper grid (the size-biased sampler has no
+/// part-1 row) and cross-checks the reproduction cells against part 1.
+struct FamilySample {
+  std::string family;
+  std::string model;
+  double iters_per_sec = 0.0;
+  double us_per_scan = 0.0;
+};
+
+FamilySample time_family_kernel(const srm::core::ModelFamily& family,
+                                srm::core::DetectionModelKind kind,
+                                const srm::data::BugCountData& data,
+                                int warmup, int iters) {
+  const auto model = srm::core::make_model(family.kind, kind, data, {});
+  srm::random::Rng rng(42);
+  auto state = model->initial_state(rng);
+  const auto workspace = model->make_workspace();
+  for (int i = 0; i < warmup; ++i) {
+    model->update(state, rng, workspace.get());
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    model->update(state, rng, workspace.get());
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  const double sec = std::chrono::duration<double>(stop - start).count();
+  FamilySample s;
+  s.family = family.id;
+  s.model = srm::core::to_string(kind);
+  s.iters_per_sec = static_cast<double>(iters) / sec;
+  s.us_per_scan = 1e6 * sec / static_cast<double>(iters);
+  return s;
+}
 
 /// One prior x model cell of the lane-executor comparison: per-chain scan
 /// cost solo vs packed, and 4-chain fit wall time sequential vs packed.
@@ -187,6 +224,7 @@ double time_sweep(const srm::data::BugCountData& data,
 }
 
 std::string to_json(const std::vector<KernelSample>& kernel,
+                    const std::vector<FamilySample>& families,
                     const std::vector<SimdSample>& simd,
                     const std::vector<LaneSample>& lanes, bool smoke,
                     std::size_t sweep_threads, double sweep_wall_ms,
@@ -205,6 +243,15 @@ std::string to_json(const std::vector<KernelSample>& kernel,
         << "\", \"model\": " << k.model_id << ", \"iters_per_sec\": "
         << k.iters_per_sec << ", \"us_per_scan\": " << k.us_per_scan << "}"
         << (i + 1 < kernel.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"families\": [\n";
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    const auto& s = families[i];
+    out << "    {\"family\": \"" << s.family << "\", \"model\": \""
+        << s.model << "\", \"iters_per_sec\": " << s.iters_per_sec
+        << ", \"us_per_scan\": " << s.us_per_scan << "}"
+        << (i + 1 < families.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
       << "  \"simd\": {\n"
@@ -291,6 +338,22 @@ int main(int argc, char** argv) {
       const auto s = time_kernel(prior, model_id, data, warmup, iters);
       kernel.push_back(s);
       std::cout << "  prior=" << s.prior << " model=" << s.model_id << "  "
+                << s.iters_per_sec << " iters/sec  (" << s.us_per_scan
+                << " us/scan)\n";
+    }
+  }
+
+  // Registry cells: every family's selection grid through make_model —
+  // the construction path fit/select/sweep/serve use. The size-biased
+  // family gets its steady-state cost on record here; the reproduction
+  // rows double as a cross-check against the direct part-1 timings.
+  std::cout << "registry families (make_model path, selection grids)\n";
+  std::vector<FamilySample> families;
+  for (const auto& entry : srm::core::model_families().families()) {
+    for (const auto kind : entry.selection_models) {
+      const auto s = time_family_kernel(entry, kind, data, warmup, iters);
+      families.push_back(s);
+      std::cout << "  family=" << s.family << " model=" << s.model << "  "
                 << s.iters_per_sec << " iters/sec  (" << s.us_per_scan
                 << " us/scan)\n";
     }
@@ -399,8 +462,8 @@ int main(int argc, char** argv) {
     std::cerr << "cannot write " << output_path << "\n";
     return 1;
   }
-  out << to_json(kernel, simd, lanes, smoke, sweep_threads, sweep_wall_ms,
-                 simd_sweep_wall_ms, warnings);
+  out << to_json(kernel, families, simd, lanes, smoke, sweep_threads,
+                 sweep_wall_ms, simd_sweep_wall_ms, warnings);
   std::cout << "wrote " << output_path << "\n";
   return 0;
 }

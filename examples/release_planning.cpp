@@ -14,13 +14,14 @@ int main() {
 
   // Fit the paper's best model at the end of real testing (day 96).
   const auto data = data::sys1_grouped();
-  core::BayesianSrm model(core::PriorKind::kPoisson,
-                          core::DetectionModelKind::kPadgettSpurrier, data);
+  const auto model =
+      core::make_model(core::PriorKind::kPoisson,
+                       core::DetectionModelKind::kPadgettSpurrier, data, {});
   mcmc::GibbsOptions gibbs;
   gibbs.chain_count = 2;
   gibbs.burn_in = 400;
   gibbs.iterations = 2000;
-  const auto run = mcmc::run_gibbs(model, gibbs);
+  const auto run = mcmc::run_gibbs(*model, gibbs);
 
   // Posterior release confidence before any extra testing.
   const auto posterior = core::summarize_residual_posterior(run);
@@ -35,7 +36,7 @@ int main() {
   core::ReleaseCosts costs;
   costs.cost_per_testing_day = 30.0;
   costs.cost_per_residual_bug = 25.0;
-  const auto plan = core::plan_release(model, run, 150, costs);
+  const auto plan = core::plan_release(*model, run, 150, costs);
 
   std::printf("release schedule (day: E[residual] -> E[cost]):\n");
   for (std::size_t h = 0; h < plan.schedule.size(); h += 15) {

@@ -15,7 +15,10 @@ std::size_t size_at(const Json& json, std::string_view key) {
 core::PriorKind prior_at(const Json& json, std::string_view key) {
   const auto& name = json.at(key).as_string();
   const auto prior = core::prior_kind_from_string(name);
-  if (!prior) throw InvalidArgument("unknown prior kind: " + name);
+  if (!prior) {
+    throw InvalidArgument("unknown prior kind: " + name + " (use " +
+                          core::family_ids_joined() + ")");
+  }
   return *prior;
 }
 
@@ -87,6 +90,15 @@ Json to_json(const core::HyperPriorConfig& config) {
   json.set("alpha_max", config.alpha_max);
   json.set("theta_max", config.limits.theta_max);
   json.set("gamma_bound", config.limits.gamma_bound);
+  // Omit-if-default so every artifact written before the size-biased family
+  // existed keeps its exact bytes (spec hashes cover these bytes).
+  const core::DetectionModelLimits default_limits{};
+  if (config.limits.sb_shape_max != default_limits.sb_shape_max) {
+    json.set("sb_shape_max", config.limits.sb_shape_max);
+  }
+  if (config.limits.sb_scale_max != default_limits.sb_scale_max) {
+    json.set("sb_scale_max", config.limits.sb_scale_max);
+  }
   json.set("jeffreys_lambda0", config.jeffreys_lambda0);
   json.set("scheme", core::to_string(config.scheme));
   return json;
@@ -98,6 +110,14 @@ core::HyperPriorConfig hyper_prior_config_from_json(const Json& json) {
   config.alpha_max = json.at("alpha_max").as_double();
   config.limits.theta_max = json.at("theta_max").as_double();
   config.limits.gamma_bound = json.at("gamma_bound").as_double();
+  // Optional for backward compatibility: pre-size-biased artifacts lack
+  // the keys.
+  if (const Json* shape_max = json.find("sb_shape_max")) {
+    config.limits.sb_shape_max = shape_max->as_double();
+  }
+  if (const Json* scale_max = json.find("sb_scale_max")) {
+    config.limits.sb_scale_max = scale_max->as_double();
+  }
   config.jeffreys_lambda0 = json.at("jeffreys_lambda0").as_bool();
   const auto& scheme_name = json.at("scheme").as_string();
   const auto scheme = core::sampler_scheme_from_string(scheme_name);
@@ -134,6 +154,17 @@ Json to_json(const report::SweepOptions& options) {
   json.set("eventual_total", options.eventual_total);
   json.set("gibbs", to_json(options.gibbs));
   json.set("base_config", to_json(options.base_config));
+  // Omit-if-default so sweeps over the paper's reproduction grid — every
+  // artifact written before families became configurable — keep their
+  // exact bytes and sweep hashes.
+  if (options.families != core::reproduction_family_kinds()) {
+    Json::Array families;
+    families.reserve(options.families.size());
+    for (const auto prior : options.families) {
+      families.push_back(core::to_string(prior));
+    }
+    json.set("families", std::move(families));
+  }
   Json::Array overrides;
   for (const auto& o : options.overrides()) {
     Json entry = Json::Object{};
@@ -152,6 +183,17 @@ report::SweepOptions sweep_options_from_json(const Json& json) {
   options.eventual_total = json.at("eventual_total").as_int();
   options.gibbs = gibbs_options_from_json(json.at("gibbs"));
   options.base_config = hyper_prior_config_from_json(json.at("base_config"));
+  if (const Json* families = json.find("families")) {
+    options.families.clear();
+    for (const auto& name : families->as_array()) {
+      const auto* entry = core::find_family(name.as_string());
+      if (entry == nullptr) {
+        throw InvalidArgument("unknown model family: " + name.as_string() +
+                              " (use " + core::family_ids_joined() + ")");
+      }
+      options.families.push_back(entry->kind);
+    }
+  }
   for (const auto& entry : json.at("overrides").as_array()) {
     options.set_override(prior_at(entry, "prior"), model_at(entry, "model"),
                          hyper_prior_config_from_json(entry.at("config")));

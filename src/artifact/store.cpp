@@ -27,26 +27,24 @@ ArtifactStore::ArtifactStore(std::filesystem::path dir,
   SRM_EXPECTS(!options.observation_days.empty(),
               "an artifact store needs at least one observation day");
 
-  // Lay the grid out exactly as run_sweep does, so slot order (and with it
-  // the manifest's cell order and budget semantics) matches plan order.
-  for (const auto prior :
-       {core::PriorKind::kPoisson, core::PriorKind::kNegativeBinomial}) {
-    for (const auto model : core::all_detection_model_kinds()) {
-      core::ExperimentSpec spec;
-      spec.prior = prior;
-      spec.model = model;
-      spec.config = options.config_for(prior, model);
-      spec.gibbs = options.gibbs;
-      spec.observation_days = options.observation_days;
-      spec.eventual_total = options.eventual_total;
-      for (const auto day : options.observation_days) {
-        CellSlot slot;
-        slot.hash = cell_hash(base_, spec, day);
-        slot.prior = core::to_string(prior);
-        slot.model = core::to_string(model);
-        slot.observation_day = day;
-        slots_.push_back(std::move(slot));
-      }
+  // Lay the grid out exactly as run_sweep does (both derive it from
+  // report::sweep_grid), so slot order — and with it the manifest's cell
+  // order and budget semantics — matches plan order.
+  for (const auto& [prior, model] : report::sweep_grid(options.families)) {
+    core::ExperimentSpec spec;
+    spec.prior = prior;
+    spec.model = model;
+    spec.config = options.config_for(prior, model);
+    spec.gibbs = options.gibbs;
+    spec.observation_days = options.observation_days;
+    spec.eventual_total = options.eventual_total;
+    for (const auto day : options.observation_days) {
+      CellSlot slot;
+      slot.hash = cell_hash(base_, spec, day);
+      slot.prior = core::to_string(prior);
+      slot.model = core::to_string(model);
+      slot.observation_day = day;
+      slots_.push_back(std::move(slot));
     }
   }
 

@@ -12,6 +12,7 @@
 #include "core/experiment.hpp"
 #include "core/fit.hpp"
 #include "core/loo.hpp"
+#include "core/model_averaging.hpp"
 #include "core/streaming.hpp"
 #include "core/release_policy.hpp"
 #include "core/predictive.hpp"
@@ -57,10 +58,9 @@ data::BugCountData load_dataset(const Args& args,
 
 core::PriorKind parse_prior(const Args& args) {
   const std::string prior = args.get_string("prior", "poisson");
-  if (prior == "poisson") return core::PriorKind::kPoisson;
-  if (prior == "negbin") return core::PriorKind::kNegativeBinomial;
-  throw InvalidArgument("unknown --prior '" + prior +
-                        "' (use poisson|negbin)");
+  if (const auto* entry = core::find_family(prior)) return entry->kind;
+  throw InvalidArgument("unknown --prior '" + prior + "' (use " +
+                        core::family_ids_joined() + ")");
 }
 
 /// "model0|model1|...": the accepted --model values, straight from the
@@ -74,12 +74,32 @@ std::string model_names_joined() {
   return joined;
 }
 
-core::DetectionModelKind parse_model(const Args& args,
-                                     const std::string& fallback = "model1") {
+core::DetectionModelKind parse_model_name(const Args& args,
+                                          const std::string& fallback) {
   const std::string name = args.get_string("model", fallback);
   if (const auto kind = core::detection_model_from_string(name)) return *kind;
   throw InvalidArgument("unknown --model '" + name + "' (use " +
                         model_names_joined() + ")");
+}
+
+/// Family-aware --model: the historical CLI default is model1 where the
+/// family accepts it; otherwise the family's registry default (e.g. the
+/// size-biased family's single multinomial likelihood). The parsed kind is
+/// validated against the family's accepted set, so a mismatch produces the
+/// registry's structured error listing the family's own model names.
+core::DetectionModelKind parse_model(const Args& args,
+                                     core::PriorKind prior) {
+  const auto& entry = core::family(prior);
+  std::string fallback = "model1";
+  const auto historical = core::detection_model_from_string(fallback);
+  if (!historical ||
+      std::find(entry.accepted_models.begin(), entry.accepted_models.end(),
+                *historical) == entry.accepted_models.end()) {
+    fallback = core::to_string(entry.default_model);
+  }
+  const auto kind = parse_model_name(args, fallback);
+  core::validate_family_model(prior, kind);
+  return kind;
 }
 
 mcmc::GibbsOptions parse_gibbs(const Args& args) {
@@ -151,7 +171,7 @@ int run_fit(const Args& args, std::ostream& out) {
   const auto data = load_dataset(args);
   core::FitRequest request;
   request.prior = parse_prior(args);
-  request.model = parse_model(args);
+  request.model = parse_model(args, request.prior);
   request.config = parse_config(args);
   request.gibbs = parse_gibbs(args);
   request.observation_day = data.days();
@@ -206,68 +226,101 @@ int run_select(const Args& args, std::ostream& out) {
   struct Row {
     std::string prior;
     std::string model;
-    double waic;
+    core::WaicResult waic;
     double looic;
-    double residual_mean;
+    core::ResidualPosterior posterior;
+    double weight;
   };
   std::vector<Row> rows;
-  for (const auto prior :
-       {core::PriorKind::kPoisson, core::PriorKind::kNegativeBinomial}) {
-    for (const auto kind : core::all_detection_model_kinds()) {
-      core::BayesianSrm model(prior, kind, data, config, gibbs.vectorized);
-      Row row{core::to_string(prior), core::to_string(kind), 0.0, 0.0, 0.0};
+  // The selection grid is the registry: every family's selection_models
+  // columns, in registration order. Families lacking a requested result-
+  // identity fork are excluded from that fork's grid (they have no sampler
+  // for it), keeping the fork runs deterministic.
+  for (const auto& entry : core::model_families().families()) {
+    if ((gibbs.vectorized && !entry.supports_vectorized) ||
+        (gibbs.chain_lanes && !entry.supports_chain_lanes)) {
+      continue;
+    }
+    for (const auto kind : entry.selection_models) {
+      const auto model = core::make_model(entry.kind, kind, data, config,
+                                          gibbs);
+      Row row{entry.id, core::to_string(kind), {}, 0.0, {}, 0.0};
       if (gibbs.keep_traces) {
-        const auto run = mcmc::run_gibbs(model, gibbs);
-        row.waic = core::compute_waic(model, run).waic;
-        row.looic = core::compute_psis_loo(model, run).looic;
-        row.residual_mean =
-            core::summarize_residual_posterior(run).summary.mean;
+        const auto run = mcmc::run_gibbs(*model, gibbs);
+        row.waic = core::compute_waic(*model, run);
+        row.looic = core::compute_psis_loo(*model, run).looic;
+        row.posterior = core::summarize_residual_posterior(run);
       } else {
         // Streaming path: score each draw in-scan; PSIS-LOO still needs the
         // raw pointwise columns for its tail fits, so the scorer keeps the
         // flat matrix while the traces themselves are never stored.
-        core::StreamingScorer scorer(model, gibbs.chain_count,
+        core::StreamingScorer scorer(*model, gibbs.chain_count,
                                      gibbs.iterations, /*keep_matrix=*/true);
-        core::ResidualAccumulator residual(core::BayesianSrm::residual_index(),
+        core::ResidualAccumulator residual(model->residual_index(),
                                            gibbs.chain_count,
                                            gibbs.iterations);
         const std::array<mcmc::PosteriorAccumulator*, 2> sinks{&scorer,
                                                                &residual};
-        mcmc::run_gibbs(model, gibbs, sinks);
-        row.waic = scorer.waic().waic;
+        mcmc::run_gibbs(*model, gibbs, sinks);
+        row.waic = scorer.waic();
         row.looic =
             core::compute_psis_loo_from_matrix(scorer.log_likelihood_matrix())
                 .looic;
-        row.residual_mean = residual.finalize().summary.mean;
+        row.posterior = residual.finalize();
       }
       rows.push_back(std::move(row));
     }
   }
-  std::sort(rows.begin(), rows.end(),
-            [](const Row& a, const Row& b) { return a.waic < b.waic; });
+  // Pseudo-BMA weights over the whole grid (computed in grid order, before
+  // ranking reorders the rows) and the weighted mixture posterior.
+  std::vector<core::AveragingCandidate> candidates;
+  candidates.reserve(rows.size());
+  for (const auto& row : rows) {
+    candidates.push_back({row.prior + "/" + row.model, row.waic,
+                          row.posterior});
+  }
+  const auto averaged = core::average_models(candidates);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    rows[r].weight = averaged.weights[r].weight;
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.waic.waic < b.waic.waic;
+  });
   if (format == "json") {
     support::Json ranking = support::Json::Array{};
     for (const auto& row : rows) {
       support::Json entry = support::Json::Object{};
       entry.set("prior", row.prior);
       entry.set("model", row.model);
-      entry.set("waic", row.waic);
+      entry.set("waic", row.waic.waic);
       entry.set("looic", row.looic);
-      entry.set("residual_mean", row.residual_mean);
+      entry.set("residual_mean", row.posterior.summary.mean);
+      entry.set("pseudo_bma_weight", row.weight);
       ranking.push_back(std::move(entry));
     }
-    out << ranking.dump(2);
+    support::Json json = support::Json::Object{};
+    json.set("ranking", std::move(ranking));
+    support::Json mixture = support::Json::Object{};
+    mixture.set("residual_mean", averaged.summary.mean);
+    mixture.set("residual_sd", averaged.summary.sd);
+    json.set("pseudo_bma", std::move(mixture));
+    out << json.dump(2);
     return 0;
   }
   support::Table t("model ranking (by WAIC; smaller is better)");
-  t.set_header({"rank", "prior", "model", "WAIC", "looic", "residual mean"});
+  t.set_header({"rank", "prior", "model", "WAIC", "looic", "residual mean",
+                "pBMA weight"});
   for (std::size_t r = 0; r < rows.size(); ++r) {
     t.add_row({support::dec(r + 1), rows[r].prior, rows[r].model,
-               support::format_double(rows[r].waic, 3),
+               support::format_double(rows[r].waic.waic, 3),
                support::format_double(rows[r].looic, 3),
-               support::format_double(rows[r].residual_mean, 2)});
+               support::format_double(rows[r].posterior.summary.mean, 2),
+               support::format_double(rows[r].weight, 3)});
   }
   out << t.render();
+  out << "pseudo-BMA averaged residual: mean "
+      << support::format_double(averaged.summary.mean, 2) << ", sd "
+      << support::format_double(averaged.summary.sd, 2) << '\n';
   return 0;
 }
 
@@ -278,7 +331,7 @@ int run_predict(const Args& args, std::ostream& out) {
   SRM_EXPECTS(fit_days >= 1 && fit_days < data.days(),
               "--fit-days must be a strict prefix of the series");
   const auto prior = parse_prior(args);
-  const auto model = parse_model(args);
+  const auto model = parse_model(args, prior);
   const auto config = parse_config(args);
   auto gibbs = parse_gibbs(args);
   // The holdout scorer walks the raw chains itself.
@@ -345,7 +398,7 @@ int run_nhpp(const Args& args, std::ostream& out) {
 int run_simulate(const Args& args, std::ostream& out) {
   const auto bugs = args.get_int("bugs", 100);
   const auto days = static_cast<std::size_t>(args.get_int("days", 50));
-  const auto kind = parse_model(args, "model0");
+  const auto kind = parse_model_name(args, "model0");
   const auto detector = core::make_detection_model(kind);
 
   std::vector<double> zeta;
@@ -385,7 +438,7 @@ int run_simulate(const Args& args, std::ostream& out) {
 int run_release(const Args& args, std::ostream& out) {
   const auto data = load_dataset(args);
   const auto prior = parse_prior(args);
-  const auto kind = parse_model(args);
+  const auto kind = parse_model(args, prior);
   const auto config = parse_config(args);
   auto gibbs = parse_gibbs(args);
   // plan_release resamples from the stored run, so traces are required.
@@ -397,15 +450,15 @@ int run_release(const Args& args, std::ostream& out) {
       static_cast<std::size_t>(args.get_int("horizon", 60));
   reject_unused(args);
 
-  core::BayesianSrm model(prior, kind, data, config, gibbs.vectorized);
-  const auto run = mcmc::run_gibbs(model, gibbs);
+  const auto model = core::make_model(prior, kind, data, config, gibbs);
+  const auto run = mcmc::run_gibbs(*model, gibbs);
   const auto posterior = core::summarize_residual_posterior(run);
   const auto [lo, hi] = posterior.credible_interval(0.95);
   out << "residual bugs today (day " << data.days() << "): mean "
       << support::format_double(posterior.summary.mean, 2) << ", 95% CI ["
       << lo << ", " << hi << "]\n";
 
-  const auto plan = core::plan_release(model, run, horizon, costs);
+  const auto plan = core::plan_release(*model, run, horizon, costs);
   support::Table t("release schedule");
   t.set_header({"day", "E[residual]", "E[cost]"});
   for (const auto& decision : plan.schedule) {
@@ -506,17 +559,63 @@ int run_sweep(const Args& args, std::ostream& out) {
   return 0;
 }
 
+int run_families(const Args& args, std::ostream& out) {
+  const std::string format = args.get_string("format", "table");
+  SRM_EXPECTS(format == "table" || format == "markdown",
+              "unknown --format '" + format + "' (use table|markdown)");
+  reject_unused(args);
+  if (format == "markdown") {
+    // The exact table embedded in README.md; a docs test pins the README
+    // copy to this output so the two can never drift.
+    out << core::render_family_table_markdown();
+    return 0;
+  }
+  support::Table t("registered model families");
+  t.set_header({"id", "family", "models", "hyper-parameters", "forks"});
+  for (const auto& entry : core::model_families().families()) {
+    std::string models;
+    for (const auto kind : entry.accepted_models) {
+      if (!models.empty()) models += ' ';
+      models += core::to_string(kind);
+    }
+    std::string hyper;
+    for (const auto& name : entry.hyper_parameter_names) {
+      if (!hyper.empty()) hyper += ' ';
+      hyper += name;
+    }
+    std::string forks;
+    if (entry.supports_vectorized) forks += "vectorized ";
+    if (entry.supports_chain_lanes) forks += "chain-lanes";
+    if (forks.empty()) forks = "scalar only";
+    t.add_row({entry.id, entry.display_name, models, hyper, forks});
+  }
+  out << t.render();
+  return 0;
+}
+
 std::string usage() {
+  // The family list and per-family summaries come from the registry, so a
+  // newly registered family shows up here without touching this text.
+  std::string families_help;
+  for (const auto& entry : core::model_families().families()) {
+    families_help += "  " + entry.id;
+    families_help.append(entry.id.size() < 12 ? 12 - entry.id.size() : 1, ' ');
+    families_help += entry.summary + "\n";
+  }
   return
       "usage: srm_cli <command> [--flags]\n"
       "commands:\n"
       "  fit       fit one Bayesian SRM and print the residual-bug posterior\n"
-      "  select    rank all prior/model combinations by WAIC and PSIS-LOO\n"
+      "  select    rank every family's prior/model grid by WAIC and\n"
+      "            PSIS-LOO, with pseudo-BMA weights and the averaged\n"
+      "            residual posterior\n"
       "  predict   fit on a prefix and score the held-out future counts\n"
       "  mle       discrete profile maximum likelihood baseline (AIC/BIC)\n"
       "  nhpp      continuous-time NHPP maximum likelihood baseline\n"
       "  simulate  generate bug-count data from a detection model\n"
       "  release   cost-optimal release day from the residual posterior\n"
+      "  families  list the registered model families (--format markdown\n"
+      "            emits the README model table)\n"
       "  sweep     full prior x model x observation-day grid (paper tables);\n"
       "            --out DIR persists spec-hashed artifacts, --resume skips\n"
       "            completed cells, --format table|json|csv, --smoke for a\n"
@@ -526,7 +625,9 @@ std::string usage() {
       "            line on stdin (or --socket PATH), cached posteriors\n"
       "            (--store DIR, --cache-size N), fit/predict/release/\n"
       "            select/stats/shutdown ops (see src/serve/protocol.hpp)\n"
-      "common flags: --csv FILE|sys1|ntds, --days N, --prior poisson|negbin,\n"
+      "model families (--prior " + core::family_ids_joined() + "):\n" +
+      families_help +
+      "common flags: --csv FILE|sys1|ntds, --days N,\n"
       "  --model " + model_names_joined() +
       ", --chains, --burn-in, --iterations, --seed,\n"
       "  --thin N        keep every N-th retained scan (default 1)\n"
@@ -558,6 +659,7 @@ int dispatch(const std::string& command,
     if (command == "nhpp") return run_nhpp(args, out);
     if (command == "simulate") return run_simulate(args, out);
     if (command == "release") return run_release(args, out);
+    if (command == "families") return run_families(args, out);
     if (command == "sweep") return run_sweep(args, out);
     err << "unknown command '" << command << "'\n" << usage();
     return 1;

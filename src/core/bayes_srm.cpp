@@ -26,27 +26,6 @@ double interior_uniform(random::Rng& rng, double lo, double hi) {
 }
 }  // namespace
 
-std::string to_string(PriorKind prior) {
-  return prior == PriorKind::kPoisson ? "poisson" : "negbin";
-}
-
-std::optional<PriorKind> prior_kind_from_string(const std::string& name) {
-  if (name == "poisson") return PriorKind::kPoisson;
-  if (name == "negbin") return PriorKind::kNegativeBinomial;
-  return std::nullopt;
-}
-
-std::string to_string(SamplerScheme scheme) {
-  return scheme == SamplerScheme::kCollapsed ? "collapsed" : "vanilla";
-}
-
-std::optional<SamplerScheme> sampler_scheme_from_string(
-    const std::string& name) {
-  if (name == "collapsed") return SamplerScheme::kCollapsed;
-  if (name == "vanilla") return SamplerScheme::kVanilla;
-  return std::nullopt;
-}
-
 BayesianSrm::BayesianSrm(PriorKind prior, DetectionModelKind model_kind,
                          data::BugCountData data, HyperPriorConfig config,
                          bool vectorized)
@@ -451,6 +430,20 @@ void BayesianSrm::pointwise_into(std::span<const double> state, Workspace& ws,
   model_->probabilities_into(data_.days(), state.subspan(zeta_offset()),
                              ws.probabilities);
   fill_pointwise(initial_bugs_of(state), ws, out);
+}
+
+bool BayesianSrm::is_scan_workspace(
+    const mcmc::GibbsWorkspace& workspace) const {
+  return dynamic_cast<const Workspace*>(&workspace) != nullptr;
+}
+
+void BayesianSrm::pointwise_row(std::span<const double> state,
+                                mcmc::GibbsWorkspace& workspace,
+                                std::span<double> out) const {
+  auto* ws = dynamic_cast<Workspace*>(&workspace);
+  SRM_EXPECTS(ws != nullptr,
+              "pointwise_row requires a workspace from make_workspace()");
+  pointwise_into(state, *ws, out);
 }
 
 void BayesianSrm::fill_pointwise(std::int64_t initial_bugs, Workspace& ws,

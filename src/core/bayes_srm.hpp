@@ -21,68 +21,18 @@
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/detection_models.hpp"
+#include "core/model_family.hpp"
 #include "data/bug_count_data.hpp"
 #include "mcmc/gibbs.hpp"
 
 namespace srm::core {
 
-enum class PriorKind {
-  kPoisson,           ///< NHPP-based SRM (Rallis-Lansdowne)
-  kNegativeBinomial,  ///< NHMPP-based SRM (heterogeneous Chun)
-};
-
-/// Gibbs blocking scheme.
-///
-/// kVanilla follows the paper's Eqs (14)-(22) literally: R, the
-/// hyperparameters, and zeta each conditioned on everything else. R and the
-/// prior scale (lambda0 / beta0) are strongly coupled, so the vanilla chain
-/// mixes slowly when the survival product prod q_i is not small.
-///
-/// kCollapsed marginalizes R out of every other conditional (the sums over
-/// R have closed forms; see DESIGN.md) and draws R last from its exact
-/// conditional — the same invariant posterior with near-iid mixing. Both
-/// schemes are verified to agree in tests/integration/.
-enum class SamplerScheme {
-  kCollapsed,  ///< default
-  kVanilla,
-};
-
-/// "poisson" / "negbin".
-std::string to_string(PriorKind prior);
-
-/// Inverse of to_string(PriorKind); nullopt for unknown names.
-std::optional<PriorKind> prior_kind_from_string(const std::string& name);
-
-/// "collapsed" / "vanilla".
-std::string to_string(SamplerScheme scheme);
-
-/// Inverse of to_string(SamplerScheme); nullopt for unknown names.
-std::optional<SamplerScheme> sampler_scheme_from_string(
-    const std::string& name);
-
-/// Upper limits of the uniform hyperpriors — the quantities the paper tunes
-/// by WAIC minimization (Section 5.1) — plus the optional Jeffreys variant
-/// for lambda0 flagged as future work in Section 6.
-struct HyperPriorConfig {
-  double lambda_max = 2000.0;  ///< support of lambda0 (Poisson prior)
-  double alpha_max = 100.0;    ///< support of alpha0 (NB prior)
-  DetectionModelLimits limits{};
-  /// Replace the Uniform(0, lambda_max) hyperprior on lambda0 with the
-  /// Jeffreys prior for a Poisson rate, pi(lambda) ∝ lambda^{-1/2}
-  /// (truncated to the same support). Ablation for the paper's Section 6.
-  bool jeffreys_lambda0 = false;
-  /// Gibbs blocking scheme; see SamplerScheme.
-  SamplerScheme scheme = SamplerScheme::kCollapsed;
-};
-
-class BayesianSrm final : public mcmc::GibbsModel,
-                          public mcmc::LaneGibbsModel {
+class BayesianSrm final : public SrmModel, public mcmc::LaneGibbsModel {
  public:
   /// `vectorized` routes the detection batch channels and the pointwise
   /// log-likelihood fill through the support/simd kernels (models that
@@ -151,24 +101,32 @@ class BayesianSrm final : public mcmc::GibbsModel,
                     random::Rng* const* rngs,
                     mcmc::GibbsWorkspace& workspace) const override;
 
-  // --- state-vector layout ----------------------------------------------
-  /// Index of the residual bug count R in the state vector (always 0).
-  [[nodiscard]] static constexpr std::size_t residual_index() { return 0; }
+  // --- core::SrmModel ----------------------------------------------------
+  [[nodiscard]] PriorKind family() const override { return prior_; }
   /// Index of the first detection-model parameter.
-  [[nodiscard]] std::size_t zeta_offset() const {
+  [[nodiscard]] std::size_t zeta_offset() const override {
     return prior_ == PriorKind::kPoisson ? 2 : 3;
   }
-  [[nodiscard]] std::size_t state_size() const {
+  [[nodiscard]] std::size_t state_size() const override {
     return zeta_offset() + model_->parameter_count();
   }
+  [[nodiscard]] const DetectionModel& detection_model() const override {
+    return *model_;
+  }
+  [[nodiscard]] const data::BugCountData& data() const override {
+    return data_;
+  }
+  [[nodiscard]] const HyperPriorConfig& config() const override {
+    return config_;
+  }
+  [[nodiscard]] bool is_scan_workspace(
+      const mcmc::GibbsWorkspace& workspace) const override;
+  void pointwise_row(std::span<const double> state,
+                     mcmc::GibbsWorkspace& workspace,
+                     std::span<double> out) const override;
 
   // --- accessors ----------------------------------------------------------
   [[nodiscard]] PriorKind prior() const { return prior_; }
-  [[nodiscard]] const DetectionModel& detection_model() const {
-    return *model_;
-  }
-  [[nodiscard]] const data::BugCountData& data() const { return data_; }
-  [[nodiscard]] const HyperPriorConfig& config() const { return config_; }
 
   // --- derived quantities -------------------------------------------------
   /// p_1..p_k for the given detection parameters.

@@ -6,6 +6,7 @@
 
 #include "core/detection_simd.hpp"
 #include "core/detection_tables.hpp"
+#include "core/size_biased.hpp"
 #include "support/error.hpp"
 #include "support/format.hpp"
 
@@ -552,6 +553,11 @@ std::span<const DetectionModelKind> extended_detection_model_kinds() {
 }
 
 std::string to_string(DetectionModelKind kind) {
+  // The size-biased multinomial is not part of the "modelN" hazard
+  // catalogue; it carries its own stable name in artifacts and flags.
+  if (kind == DetectionModelKind::kSizeBiasedMultinomial) {
+    return "multinomial";
+  }
   return "model" + support::dec(static_cast<int>(kind));
 }
 
@@ -562,6 +568,9 @@ std::optional<DetectionModelKind> detection_model_from_string(
   }
   for (const auto kind : extended_detection_model_kinds()) {
     if (to_string(kind) == name) return kind;
+  }
+  if (name == to_string(DetectionModelKind::kSizeBiasedMultinomial)) {
+    return DetectionModelKind::kSizeBiasedMultinomial;
   }
   return std::nullopt;
 }
@@ -655,6 +664,8 @@ std::unique_ptr<DetectionModel> make_detection_model(DetectionModelKind kind,
       return std::make_unique<RayleighModel>();
     case DetectionModelKind::kLearningCurve:
       return std::make_unique<LearningCurveModel>();
+    case DetectionModelKind::kSizeBiasedMultinomial:
+      return make_size_biased_detection();  // core/size_biased.cpp
   }
   throw InvalidArgument("unknown DetectionModelKind");
 }

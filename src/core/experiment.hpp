@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "core/bayes_srm.hpp"
+#include "core/model_family.hpp"
 #include "core/posterior.hpp"
 #include "core/waic.hpp"
 #include "data/bug_count_data.hpp"

@@ -40,8 +40,9 @@ ObservationResult fit_cell(const data::BugCountData& base,
   SRM_EXPECTS(request.observation_day >= 1, "observation day must be >= 1");
   const auto observed = dataset_at_observation(base, request.observation_day);
 
-  BayesianSrm model(request.prior, request.model, observed, request.config,
-                    request.gibbs.vectorized);
+  const auto model_ptr = make_model(request.prior, request.model, observed,
+                                    request.config, request.gibbs);
+  const SrmModel& model = *model_ptr;
 
   // Every per-parameter statistic and the residual summary come from these
   // accumulators in both modes; with keep_traces the draws are stored and
@@ -50,7 +51,7 @@ ObservationResult fit_cell(const data::BugCountData& base,
   diagnostics::ParameterStatsAccumulator stats(model.state_size(),
                                                request.gibbs.chain_count,
                                                request.gibbs.iterations);
-  ResidualAccumulator residual(BayesianSrm::residual_index(),
+  ResidualAccumulator residual(model.residual_index(),
                                request.gibbs.chain_count,
                                request.gibbs.iterations);
 

@@ -55,8 +55,7 @@ double pareto_smooth_log_weights(std::vector<double>& log_weights) {
   return gpd.k();
 }
 
-LooResult compute_psis_loo(const BayesianSrm& model,
-                           const mcmc::McmcRun& run) {
+LooResult compute_psis_loo(const SrmModel& model, const mcmc::McmcRun& run) {
   SRM_EXPECTS(run.parameter_names().size() == model.state_size(),
               "McmcRun does not match the model's state layout");
   // Collect log p(x_i | omega_s) for all (i, s), in parallel over draws.

@@ -14,7 +14,7 @@
 
 #include <vector>
 
-#include "core/bayes_srm.hpp"
+#include "core/model_family.hpp"
 #include "mcmc/trace.hpp"
 #include "support/matrix.hpp"
 
@@ -36,8 +36,7 @@ struct LooResult {
 inline constexpr double kParetoKThreshold = 0.7;
 
 /// Computes PSIS-LOO for `model` from the retained samples in `run`.
-LooResult compute_psis_loo(const BayesianSrm& model,
-                           const mcmc::McmcRun& run);
+LooResult compute_psis_loo(const SrmModel& model, const mcmc::McmcRun& run);
 
 /// PSIS-LOO from a pre-built pointwise log-likelihood matrix (rows = data
 /// points, columns = draws) — the entry point the streaming pipeline uses

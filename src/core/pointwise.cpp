@@ -5,7 +5,7 @@
 
 namespace srm::core {
 
-support::Matrix pointwise_log_likelihood_matrix(const BayesianSrm& model,
+support::Matrix pointwise_log_likelihood_matrix(const SrmModel& model,
                                                 const mcmc::McmcRun& run) {
   const std::size_t k = model.data().days();
   const std::size_t total_samples = run.total_samples();
@@ -29,7 +29,7 @@ support::Matrix pointwise_log_likelihood_matrix(const BayesianSrm& model,
         // One state buffer, workspace and output row per chunk: the inner
         // per-draw evaluation is allocation-free.
         std::vector<double> state(model.state_size());
-        BayesianSrm::Workspace workspace(model);
+        const auto workspace = model.make_workspace();
         std::vector<double> pointwise(k);
         std::size_t chain_index = 0;
         for (std::size_t s = lo; s < hi; ++s) {
@@ -39,7 +39,7 @@ support::Matrix pointwise_log_likelihood_matrix(const BayesianSrm& model,
           for (std::size_t p = 0; p < state.size(); ++p) {
             state[p] = chain.parameter(p)[within];
           }
-          model.pointwise_log_likelihood_into(state, workspace, pointwise);
+          model.pointwise_row(state, *workspace, pointwise);
           for (std::size_t i = 0; i < k; ++i) {
             log_terms(i, s) = pointwise[i];
           }

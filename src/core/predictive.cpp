@@ -13,7 +13,7 @@ namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 }
 
-PredictiveSummary score_holdout(const BayesianSrm& model,
+PredictiveSummary score_holdout(const SrmModel& model,
                                 const mcmc::McmcRun& run,
                                 const data::BugCountData& full) {
   const std::size_t m = model.data().days();
@@ -43,7 +43,7 @@ PredictiveSummary score_holdout(const BayesianSrm& model,
         state[p] = chain.parameter(p)[s];
       }
       const auto residual = static_cast<std::int64_t>(
-          std::llround(state[BayesianSrm::residual_index()]));
+          std::llround(state[model.residual_index()]));
       const std::int64_t n = s_m + residual;
       const auto zeta =
           std::span<const double>(state).subspan(model.zeta_offset());
@@ -113,10 +113,10 @@ PredictiveSummary fit_and_score_holdout(const data::BugCountData& full,
                                         const mcmc::GibbsOptions& gibbs) {
   SRM_EXPECTS(fit_days >= 1 && fit_days < full.days(),
               "fit window must be a strict prefix");
-  BayesianSrm model(prior, model_kind, full.truncated(fit_days), config,
-                    gibbs.vectorized);
-  const auto run = mcmc::run_gibbs(model, gibbs);
-  return score_holdout(model, run, full);
+  const auto model =
+      make_model(prior, model_kind, full.truncated(fit_days), config, gibbs);
+  const auto run = mcmc::run_gibbs(*model, gibbs);
+  return score_holdout(*model, run, full);
 }
 
 }  // namespace srm::core

@@ -7,7 +7,7 @@
 
 namespace srm::core {
 
-ReleasePlan plan_release(const BayesianSrm& model, const mcmc::McmcRun& run,
+ReleasePlan plan_release(const SrmModel& model, const mcmc::McmcRun& run,
                          std::size_t horizon, const ReleaseCosts& costs) {
   SRM_EXPECTS(horizon >= 1, "plan_release requires horizon >= 1");
   SRM_EXPECTS(costs.cost_per_testing_day > 0.0,
@@ -30,7 +30,7 @@ ReleasePlan plan_release(const BayesianSrm& model, const mcmc::McmcRun& run,
       for (std::size_t p = 0; p < state.size(); ++p) {
         state[p] = chain.parameter(p)[s];
       }
-      const double residual = state[BayesianSrm::residual_index()];
+      const double residual = state[model.residual_index()];
       const auto zeta =
           std::span<const double>(state).subspan(model.zeta_offset());
       double survive = 1.0;

@@ -14,7 +14,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "core/bayes_srm.hpp"
+#include "core/model_family.hpp"
 #include "mcmc/trace.hpp"
 
 namespace srm::core {
@@ -38,7 +38,7 @@ struct ReleasePlan {
 /// Evaluates releasing at each day in [today, today + horizon], where
 /// `today` = model.data().days() and `run` is the posterior fitted on that
 /// data. Horizon must be >= 1.
-ReleasePlan plan_release(const BayesianSrm& model, const mcmc::McmcRun& run,
+ReleasePlan plan_release(const SrmModel& model, const mcmc::McmcRun& run,
                          std::size_t horizon, const ReleaseCosts& costs);
 
 }  // namespace srm::core

@@ -1,0 +1,148 @@
+// The size-biased Bayesian SRM family (Dey-Chakraborty, arXiv:2202.08107;
+// multinomial detection extension arXiv:2406.04360), registered as the
+// first model family outside the paper's reproduction grid — it lands
+// through the ModelFamilyRegistry seam alone (this TU plus one
+// registration line in core/model_family.cpp).
+//
+// Generative structure: each of the N initial bugs carries a latent
+// detectability z ~ Gamma(shape, scale) (density ∝ z^{shape-1} e^{-scale z})
+// and survives any single testing day with probability e^{-z} — big bugs
+// are found first. Bugs still latent at the start of day i are size-biased
+// toward small z: their detectability is Gamma(shape, scale + i - 1), so
+// the marginal day-i hazard among survivors is
+//
+//   p_i = 1 - ((scale + i - 1) / (scale + i))^shape,          (decreasing)
+//   log q_i = shape * (log(scale + i - 1) - log(scale + i)),
+//   Q_k = prod q_i = (scale / (scale + k))^shape              (Lomax tail).
+//
+// The day counts given N are multinomial over detection days, which
+// factorizes into exactly the sequential-binomial likelihood of the
+// paper's Eq (2) with this hazard — so the family reuses the Eq (2)
+// helpers (core/likelihood.hpp) and the streaming/WAIC machinery intact.
+//
+// Bug-content layer: N ~ Poisson(lambda0), lambda0 uniform (or Jeffreys)
+// on (0, lambda_max). Gibbs conditionals therefore mirror the Poisson
+// family's (collapsed and vanilla schemes both supported):
+//
+//   collapsed: (shape, scale) | x   — slice sampling on the collapsed
+//              marginal (lambda0 and R integrated out in closed form),
+//              plus an independence-Metropolis mode jump across the
+//              shape*log(1 + 1/scale) ridge;
+//              lambda0 | zeta, x ~ TruncGamma(s_k + 1, 1 - Q_k);
+//              R | lambda0, zeta ~ Poisson(lambda0 * Q_k)      [exact]
+//   vanilla:   R, lambda0 | N, and (shape, scale) | N, x in turn.
+//
+// State vector: [residual, lambda0, shape, scale].
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/detection_models.hpp"
+#include "core/model_family.hpp"
+#include "data/bug_count_data.hpp"
+#include "mcmc/gibbs.hpp"
+
+namespace srm::core {
+
+/// The size-biased multinomial detection model ("multinomial"):
+/// parameters (shape, scale), hazard p_i = 1 - ((scale+i-1)/(scale+i))^shape.
+/// Only valid under the sizebiased family.
+std::unique_ptr<DetectionModel> make_size_biased_detection();
+
+class SizeBiasedSrm final : public SrmModel {
+ public:
+  /// `model_kind` must be DetectionModelKind::kSizeBiasedMultinomial (the
+  /// registry enforces it before construction; the constructor re-checks).
+  SizeBiasedSrm(DetectionModelKind model_kind, data::BugCountData data,
+                HyperPriorConfig config = {});
+
+  /// Per-chain scratch buffers for a full Gibbs scan; same contract as
+  /// BayesianSrm::Workspace (no sampler state, bit-identical draws with or
+  /// without one).
+  class Workspace final : public mcmc::GibbsWorkspace {
+   public:
+    explicit Workspace(const SizeBiasedSrm& model);
+
+   private:
+    friend class SizeBiasedSrm;
+    std::vector<double> zeta;           ///< (shape, scale) under update
+    std::vector<double> probe;          ///< zeta with one coordinate probed
+    std::vector<double> proposal;       ///< mode-jump candidate
+    std::vector<double> probabilities;  ///< p_1..p_k channel
+    std::vector<double> log_survivals;  ///< log q_1..log q_k channel
+  };
+
+  // --- mcmc::GibbsModel -------------------------------------------------
+  [[nodiscard]] std::vector<std::string> parameter_names() const override;
+  [[nodiscard]] std::vector<double> initial_state(
+      random::Rng& rng) const override;
+  [[nodiscard]] std::unique_ptr<mcmc::GibbsWorkspace> make_workspace()
+      const override;
+  void update(std::vector<double>& state, random::Rng& rng,
+              mcmc::GibbsWorkspace* workspace) const override;
+  using mcmc::GibbsModel::update;
+
+  // --- core::SrmModel ----------------------------------------------------
+  [[nodiscard]] PriorKind family() const override {
+    return PriorKind::kSizeBiased;
+  }
+  [[nodiscard]] std::size_t zeta_offset() const override { return 2; }
+  [[nodiscard]] std::size_t state_size() const override {
+    return zeta_offset() + model_->parameter_count();
+  }
+  [[nodiscard]] const DetectionModel& detection_model() const override {
+    return *model_;
+  }
+  [[nodiscard]] const data::BugCountData& data() const override {
+    return data_;
+  }
+  [[nodiscard]] const HyperPriorConfig& config() const override {
+    return config_;
+  }
+  [[nodiscard]] bool is_scan_workspace(
+      const mcmc::GibbsWorkspace& workspace) const override;
+  void pointwise_row(std::span<const double> state,
+                     mcmc::GibbsWorkspace& workspace,
+                     std::span<double> out) const override;
+
+  // --- derived quantities ------------------------------------------------
+  /// log P(X_i = x_i | state) per observed day (allocating convenience).
+  [[nodiscard]] std::vector<double> pointwise_log_likelihood(
+      std::span<const double> state) const;
+
+  /// Unnormalized log joint density of (state, data) — prior * likelihood.
+  /// Exposed for testing the Gibbs conditionals against brute force.
+  [[nodiscard]] double log_joint(std::span<const double> state) const;
+
+ private:
+  void update_with(std::vector<double>& state, random::Rng& rng,
+                   Workspace& ws) const;
+  void update_residual(std::vector<double>& state, random::Rng& rng,
+                       double survival) const;
+  [[nodiscard]] double stable_survival(std::span<const double> zeta,
+                                       Workspace& ws) const;
+  void update_lambda0(std::vector<double>& state, random::Rng& rng) const;
+  void update_zeta(std::vector<double>& state, random::Rng& rng,
+                   Workspace& ws) const;
+  void update_lambda0_collapsed(std::vector<double>& state, random::Rng& rng,
+                                Workspace& ws) const;
+  void update_zeta_collapsed(std::vector<double>& state, random::Rng& rng,
+                             Workspace& ws) const;
+  [[nodiscard]] std::int64_t initial_bugs_of(
+      std::span<const double> state) const;
+
+  std::unique_ptr<DetectionModel> model_;
+  data::BugCountData data_;
+  HyperPriorConfig config_;
+  std::vector<ParameterSupport> zeta_supports_;
+};
+
+/// Registers the sizebiased family record (id "sizebiased", detection grid
+/// {"multinomial"}, scalar-only capability flags) — the single line the
+/// registry bootstrap calls.
+void register_size_biased_family(ModelFamilyRegistry& registry);
+
+}  // namespace srm::core

@@ -72,7 +72,7 @@ WaicResult WaicAccumulator::finalize() const {
   return result;
 }
 
-StreamingScorer::StreamingScorer(const BayesianSrm& model,
+StreamingScorer::StreamingScorer(const SrmModel& model,
                                  std::size_t chain_count,
                                  std::size_t draws_per_chain,
                                  bool keep_matrix)
@@ -99,17 +99,17 @@ void StreamingScorer::accumulate(std::size_t chain,
   ChainSlot& slot = chains_[chain];
   SRM_EXPECTS(slot.draws < draws_per_chain_,
               "chain delivered more draws than declared");
-  auto* typed = dynamic_cast<BayesianSrm::Workspace*>(workspace);
-  if (typed == nullptr) {
-    // Stored-trace replay (or a foreign workspace type): score with a
-    // chain-local fallback workspace. Lazily built — the in-scan path
-    // never pays for it.
+  mcmc::GibbsWorkspace* scan = workspace;
+  if (scan == nullptr || !model_.is_scan_workspace(*scan)) {
+    // Stored-trace replay (or a foreign workspace type, e.g. a lane pack):
+    // score with a chain-local fallback workspace from the model itself.
+    // Lazily built — the in-scan path never pays for it.
     if (slot.fallback == nullptr) {
-      slot.fallback = std::make_unique<BayesianSrm::Workspace>(model_);
+      slot.fallback = model_.make_workspace();
     }
-    typed = slot.fallback.get();
+    scan = slot.fallback.get();
   }
-  model_.pointwise_into(state, *typed, slot.row);
+  model_.pointwise_row(state, *scan, slot.row);
   waic_.add_draw(chain, slot.row);
   if (keep_matrix_) {
     // Columns are disjoint per chain, so concurrent chains never share a

@@ -19,7 +19,7 @@
 #include <span>
 #include <vector>
 
-#include "core/bayes_srm.hpp"
+#include "core/model_family.hpp"
 #include "core/posterior.hpp"
 #include "core/waic.hpp"
 #include "mcmc/accumulator.hpp"
@@ -52,15 +52,15 @@ class WaicAccumulator {
 };
 
 /// PosteriorAccumulator that scores every retained draw in-scan: evaluates
-/// the pointwise log-likelihood row from the chain's workspace buffers
-/// (falling back to a full evaluation when the buffers are not fresh, e.g.
-/// vanilla scheme or stored-trace replay) and streams it into a
-/// WaicAccumulator. With `keep_matrix` it additionally retains the flat
-/// k x S matrix PSIS-LOO's tail fits need, laid out exactly like
-/// pointwise_log_likelihood_matrix.
+/// the pointwise log-likelihood row through the model's type-erased
+/// pointwise_row channel (falling back to a model-made workspace when the
+/// sampler's workspace is not the model's own scan type, e.g. stored-trace
+/// replay or a lane pack) and streams it into a WaicAccumulator. With
+/// `keep_matrix` it additionally retains the flat k x S matrix PSIS-LOO's
+/// tail fits need, laid out exactly like pointwise_log_likelihood_matrix.
 class StreamingScorer final : public mcmc::PosteriorAccumulator {
  public:
-  StreamingScorer(const BayesianSrm& model, std::size_t chain_count,
+  StreamingScorer(const SrmModel& model, std::size_t chain_count,
                   std::size_t draws_per_chain, bool keep_matrix = false);
 
   void accumulate(std::size_t chain, std::span<const double> state,
@@ -72,7 +72,7 @@ class StreamingScorer final : public mcmc::PosteriorAccumulator {
   [[nodiscard]] const support::Matrix& log_likelihood_matrix() const;
 
  private:
-  const BayesianSrm& model_;
+  const SrmModel& model_;
   std::size_t chain_count_;
   std::size_t draws_per_chain_;
   bool keep_matrix_;
@@ -80,7 +80,7 @@ class StreamingScorer final : public mcmc::PosteriorAccumulator {
   support::Matrix matrix_;  ///< k x (chains * draws) when keep_matrix
   struct ChainSlot {
     std::vector<double> row;  ///< pointwise scratch, one slot per data point
-    std::unique_ptr<BayesianSrm::Workspace> fallback;  ///< lazy, replay only
+    std::unique_ptr<mcmc::GibbsWorkspace> fallback;  ///< lazy, replay only
     std::size_t draws = 0;
   };
   std::vector<ChainSlot> chains_;

@@ -27,9 +27,13 @@ TuningResult tune_hyperparameters(const data::BugCountData& observed,
                   !grid.theta_max_candidates.empty(),
               "tuning grid must be non-empty in every dimension");
 
+  // Which hyperprior limit the grid searches is family metadata, not a
+  // per-prior special case: the registry record says whether the family's
+  // scale is lambda0-like or alpha0-like.
+  const TunedScale scale = family(prior).tuned_scale;
   const std::vector<double> prior_candidates =
-      prior == PriorKind::kPoisson ? grid.lambda_max_candidates
-                                   : grid.alpha_max_candidates;
+      scale == TunedScale::kLambdaMax ? grid.lambda_max_candidates
+                                      : grid.alpha_max_candidates;
   const std::vector<double> theta_candidates =
       uses_theta(model) ? grid.theta_max_candidates
                         : std::vector<double>{base_config.limits.theta_max};
@@ -39,16 +43,16 @@ TuningResult tune_hyperparameters(const data::BugCountData& observed,
   for (const double prior_limit : prior_candidates) {
     for (const double theta_max : theta_candidates) {
       HyperPriorConfig config = base_config;
-      if (prior == PriorKind::kPoisson) {
+      if (scale == TunedScale::kLambdaMax) {
         config.lambda_max = prior_limit;
       } else {
         config.alpha_max = prior_limit;
       }
       config.limits.theta_max = theta_max;
 
-      BayesianSrm srm(prior, model, observed, config);
-      const auto run = mcmc::run_gibbs(srm, gibbs);
-      const auto waic = compute_waic(srm, run);
+      const auto srm = make_model(prior, model, observed, config, gibbs);
+      const auto run = mcmc::run_gibbs(*srm, gibbs);
+      const auto waic = compute_waic(*srm, run);
       result.evaluated.push_back({config, waic});
       if (waic.waic < best) {
         best = waic.waic;

@@ -51,25 +51,22 @@ SweepResult run_sweep(const data::BugCountData& base,
   // pre-sized slot and the cell order is fixed before anything runs, so the
   // result is bit-identical to the serial sweep for any worker count.
   std::vector<core::ExperimentSpec> specs;
-  for (const auto prior :
-       {core::PriorKind::kPoisson, core::PriorKind::kNegativeBinomial}) {
-    for (const auto model : core::all_detection_model_kinds()) {
-      SweepCell cell;
-      cell.prior = prior;
-      cell.model = model;
-      cell.config = options.config_for(prior, model);
-      cell.results.resize(options.observation_days.size());
-      sweep.cells.push_back(std::move(cell));
+  for (const auto& [prior, model] : sweep_grid(options.families)) {
+    SweepCell cell;
+    cell.prior = prior;
+    cell.model = model;
+    cell.config = options.config_for(prior, model);
+    cell.results.resize(options.observation_days.size());
+    sweep.cells.push_back(std::move(cell));
 
-      core::ExperimentSpec spec;
-      spec.prior = prior;
-      spec.model = model;
-      spec.config = sweep.cells.back().config;
-      spec.gibbs = options.gibbs;
-      spec.observation_days = options.observation_days;
-      spec.eventual_total = options.eventual_total;
-      specs.push_back(std::move(spec));
-    }
+    core::ExperimentSpec spec;
+    spec.prior = prior;
+    spec.model = model;
+    spec.config = sweep.cells.back().config;
+    spec.gibbs = options.gibbs;
+    spec.observation_days = options.observation_days;
+    spec.eventual_total = options.eventual_total;
+    specs.push_back(std::move(spec));
   }
 
   SweepExecution exec;
@@ -126,6 +123,17 @@ SweepResult run_sweep(const data::BugCountData& base,
   group.wait();
   if (execution != nullptr) *execution = exec;
   return sweep;
+}
+
+std::vector<std::pair<core::PriorKind, core::DetectionModelKind>> sweep_grid(
+    const std::vector<core::PriorKind>& families) {
+  std::vector<std::pair<core::PriorKind, core::DetectionModelKind>> grid;
+  for (const auto prior : families) {
+    for (const auto model : core::family(prior).selection_models) {
+      grid.emplace_back(prior, model);
+    }
+  }
+  return grid;
 }
 
 SweepOptions paper_sweep_options() {

@@ -1,9 +1,13 @@
 // The full evaluation sweep of the paper's Section 5: 2 priors x 5
 // detection models x 9 observation points, run once and projected into all
-// five tables and both box-plot figures by src/report/tables.hpp.
+// five tables and both box-plot figures by src/report/tables.hpp. The grid
+// itself comes from the model-family registry: each swept family
+// contributes its selection_models columns, so registering a new family is
+// all it takes to make it sweepable.
 #pragma once
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -18,6 +22,11 @@ struct SweepOptions {
   /// Baseline hyperprior configuration (upper limits); per-cell overrides
   /// can be installed with `set_override`.
   core::HyperPriorConfig base_config{};
+  /// Families in the sweep grid, in the order their cells are laid out.
+  /// Defaults to the registry's reproduction families (the paper's grid);
+  /// serialized omit-if-default so every pre-existing sweep identity keeps
+  /// its exact bytes.
+  std::vector<core::PriorKind> families = core::reproduction_family_kinds();
 
   /// One per-cell hyperprior override.
   struct Override {
@@ -84,6 +93,13 @@ SweepResult run_sweep(const data::BugCountData& base,
                       const SweepOptions& options,
                       core::ObservationStore* store = nullptr,
                       SweepExecution* execution = nullptr);
+
+/// The (prior, detection model) cell layout of a sweep over `families`:
+/// each family's selection grid, families in the given order. run_sweep and
+/// the artifact store's directory layout both derive from this single
+/// function, so the two can never disagree on cell order.
+std::vector<std::pair<core::PriorKind, core::DetectionModelKind>> sweep_grid(
+    const std::vector<core::PriorKind>& families);
 
 /// The paper's SYS1 experimental setup with laptop-scale MCMC defaults:
 /// observation days {48,67,86,96,106,116,126,136,146}, eventual total 136,

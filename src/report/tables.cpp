@@ -1,5 +1,6 @@
 #include "report/tables.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -18,18 +19,24 @@ std::string day_label(std::size_t day) {
   return support::dec(day) + "days";
 }
 
-std::vector<std::string> model_header() {
+std::vector<std::string> model_header(const core::ModelFamily& family) {
   std::vector<std::string> header{""};
-  for (const auto kind : core::all_detection_model_kinds()) {
+  for (const auto kind : family.selection_models) {
     header.push_back(core::to_string(kind));
   }
   return header;
 }
 
-std::string prior_title(core::PriorKind prior) {
-  return prior == core::PriorKind::kPoisson
-             ? "(i) Poisson prior."
-             : "(ii) Negative binomial prior.";
+/// Distinct priors of the sweep, in cell layout order — the sub-table
+/// order of every rendered table.
+std::vector<core::PriorKind> sweep_priors(const SweepResult& sweep) {
+  std::vector<core::PriorKind> priors;
+  for (const auto& cell : sweep.cells) {
+    if (std::find(priors.begin(), priors.end(), cell.prior) == priors.end()) {
+      priors.push_back(cell.prior);
+    }
+  }
+  return priors;
 }
 
 double statistic_value(const core::ObservationResult& result,
@@ -101,13 +108,13 @@ std::string render_dataset_figure(const data::BugCountData& data) {
 std::string render_waic_table(const SweepResult& sweep) {
   std::ostringstream out;
   out << "TABLE I: Comparison of WAIC.\n\n";
-  for (const auto prior :
-       {core::PriorKind::kPoisson, core::PriorKind::kNegativeBinomial}) {
-    Table t(prior_title(prior));
-    t.set_header(model_header());
+  for (const auto prior : sweep_priors(sweep)) {
+    const auto& family = core::family(prior);
+    Table t(family.table_title);
+    t.set_header(model_header(family));
     for (std::size_t d = 0; d < sweep.observation_days.size(); ++d) {
       std::vector<std::string> row{day_label(sweep.observation_days[d])};
-      for (const auto kind : core::all_detection_model_kinds()) {
+      for (const auto kind : family.selection_models) {
         const auto& cell = sweep.cell(prior, kind);
         row.push_back(support::format_double(cell.results[d].waic.waic, 3));
       }
@@ -124,13 +131,13 @@ std::string render_posterior_table(const SweepResult& sweep,
   const int digits = statistic_digits(statistic);
   std::ostringstream out;
   out << statistic_title(statistic) << "\n\n";
-  for (const auto prior :
-       {core::PriorKind::kPoisson, core::PriorKind::kNegativeBinomial}) {
-    Table t(prior_title(prior));
-    t.set_header(model_header());
+  for (const auto prior : sweep_priors(sweep)) {
+    const auto& family = core::family(prior);
+    Table t(family.table_title);
+    t.set_header(model_header(family));
     for (std::size_t d = 0; d < sweep.observation_days.size(); ++d) {
       std::vector<std::string> row{day_label(sweep.observation_days[d])};
-      for (const auto kind : core::all_detection_model_kinds()) {
+      for (const auto kind : family.selection_models) {
         const auto& result = sweep.cell(prior, kind).results[d];
         const double value = statistic_value(result, statistic);
         std::string cell = support::format_double(value, digits);
@@ -160,7 +167,7 @@ std::string render_boxplot_figure(const SweepResult& sweep,
     out << "-- observation point: " << sweep.observation_days[d]
         << " days --\n";
     std::vector<support::BoxStats> boxes;
-    for (const auto kind : core::all_detection_model_kinds()) {
+    for (const auto kind : core::family(prior).selection_models) {
       const auto& result = sweep.cell(prior, kind).results[d];
       support::BoxStats box;
       box.label = core::to_string(kind);

@@ -5,7 +5,7 @@
 
 #include "artifact/serialize.hpp"
 #include "artifact/spec_hash.hpp"
-#include "core/bayes_srm.hpp"
+#include "core/model_family.hpp"
 #include "data/datasets.hpp"
 #include "support/error.hpp"
 #include "support/format.hpp"
@@ -135,23 +135,28 @@ core::HyperPriorConfig parse_config(const Json* value) {
 
 core::PriorKind parse_prior(const Json& request) {
   const Json* value = request.find("prior");
-  if (value == nullptr) return core::PriorKind::kPoisson;
-  const auto parsed = core::prior_kind_from_string(value->as_string());
-  if (!parsed) {
+  // Absent prior: the first reproduction family (the paper's Poisson).
+  if (value == nullptr) return core::reproduction_family_kinds().front();
+  const auto* entry = core::find_family(value->as_string());
+  if (entry == nullptr) {
     throw InvalidArgument("unknown prior \"" + value->as_string() +
-                          "\" (use poisson|negbin)");
+                          "\" (use " + core::family_ids_joined() + ")");
   }
-  return *parsed;
+  return entry->kind;
 }
 
-core::DetectionModelKind parse_model(const Json& request) {
+core::DetectionModelKind parse_model(const Json& request,
+                                     core::PriorKind prior) {
   const Json* value = request.find("model");
-  if (value == nullptr) return core::DetectionModelKind::kConstant;
+  if (value == nullptr) return core::family(prior).default_model;
   const auto parsed = core::detection_model_from_string(value->as_string());
   if (!parsed) {
     throw InvalidArgument("unknown model \"" + value->as_string() +
-                          "\" (use model0..model4)");
+                          "\" (use model0..model4 or a registered "
+                          "family-specific name)");
   }
+  // Structured rejection listing the family's accepted models.
+  core::validate_family_model(prior, *parsed);
   return *parsed;
 }
 
@@ -262,9 +267,15 @@ Request parse_request(const Json& json) {
 
   request.project = parse_project(json.at("project"));
   request.fit.prior = parse_prior(json);
-  request.fit.model = parse_model(json);
+  request.fit.model = parse_model(json, request.fit.prior);
   request.fit.config = parse_config(json.find("config"));
   request.fit.gibbs = parse_gibbs(json.find("gibbs"));
+  if (request.op == Op::kFit || request.op == Op::kPredict ||
+      request.op == Op::kRelease) {
+    // Reject result-identity forks the family does not implement up front
+    // (select silently narrows its grid to the supporting families).
+    core::validate_family_gibbs(request.fit.prior, request.fit.gibbs);
+  }
   request.fit.observation_day =
       member_size(json, "day", request.project.days());
   SRM_EXPECTS(request.fit.observation_day >= 1, "day must be >= 1");

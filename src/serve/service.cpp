@@ -9,7 +9,6 @@
 #include "artifact/cell_store.hpp"
 #include "artifact/serialize.hpp"
 #include "artifact/spec_hash.hpp"
-#include "core/bayes_srm.hpp"
 #include "core/experiment.hpp"
 #include "mcmc/gibbs.hpp"
 #include "runtime/task_group.hpp"
@@ -55,11 +54,11 @@ Json release_envelope(const Request& request, const std::string& hash) {
   gibbs.keep_traces = true;  // plan_release resamples from the stored run
   const auto observed = core::dataset_at_observation(
       request.project, request.fit.observation_day);
-  const core::BayesianSrm model(request.fit.prior, request.fit.model,
-                                observed, request.fit.config,
-                                gibbs.vectorized);
-  const auto run = mcmc::run_gibbs(model, gibbs);
-  const auto plan = core::plan_release(model, run, request.horizon,
+  const auto model =
+      core::make_model(request.fit.prior, request.fit.model, observed,
+                       request.fit.config, gibbs);
+  const auto run = mcmc::run_gibbs(*model, gibbs);
+  const auto plan = core::plan_release(*model, run, request.horizon,
                                        request.costs);
   Json cell = Json::Object{};
   cell.set("schema_version", artifact::kSchemaVersion);
@@ -72,14 +71,20 @@ Json release_envelope(const Request& request, const std::string& hash) {
   return cell;
 }
 
-/// The 2x5 grid a select request expands to, in deterministic grid order.
+/// The grid a select request expands to, in deterministic registry order:
+/// every registered family's selection models. Families that lack a
+/// requested result-identity fork (vectorized / chain lanes) are skipped,
+/// mirroring the CLI's select command.
 std::vector<core::FitRequest> select_grid(const Request& request) {
   std::vector<core::FitRequest> grid;
-  for (const auto prior :
-       {core::PriorKind::kPoisson, core::PriorKind::kNegativeBinomial}) {
-    for (const auto model : core::all_detection_model_kinds()) {
+  for (const auto& entry : core::model_families().families()) {
+    if (request.fit.gibbs.vectorized && !entry.supports_vectorized) continue;
+    if (request.fit.gibbs.chain_lanes && !entry.supports_chain_lanes) {
+      continue;
+    }
+    for (const auto model : entry.selection_models) {
       core::FitRequest fit = request.fit;
-      fit.prior = prior;
+      fit.prior = entry.kind;
       fit.model = model;
       grid.push_back(fit);
     }

@@ -1,0 +1,124 @@
+// Serialization identity per model family: every registered family's spec
+// round-trips losslessly through the canonical JSON form, the omit-if-
+// default rules keep pre-registry artifact bytes unchanged, and unknown
+// family ids fail loudly with the accepted list.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "artifact/serialize.hpp"
+#include "artifact/spec_hash.hpp"
+#include "core/model_family.hpp"
+#include "data/bug_count_data.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+namespace artifact = srm::artifact;
+namespace core = srm::core;
+using srm::support::Json;
+
+srm::data::BugCountData toy() {
+  return srm::data::BugCountData("toy", {1, 0, 2, 1, 3, 0, 1, 2, 0, 1});
+}
+
+core::ExperimentSpec spec_for(const core::ModelFamily& family) {
+  core::ExperimentSpec spec;
+  spec.prior = family.kind;
+  spec.model = family.default_model;
+  spec.gibbs.chain_count = 2;
+  spec.gibbs.burn_in = 100;
+  spec.gibbs.iterations = 400;
+  spec.gibbs.seed = 20240624;
+  spec.observation_days = {5, 8};
+  spec.eventual_total = 12;
+  return spec;
+}
+
+TEST(FamilyRoundTrip, EveryRegisteredFamilySpecSurvivesSerialization) {
+  for (const auto& family : core::model_families().families()) {
+    const auto spec = spec_for(family);
+    const auto json = artifact::to_json(spec);
+    // The family's stable id is the serialized byte form.
+    EXPECT_EQ(json.at("prior").as_string(), family.id);
+
+    const auto parsed =
+        artifact::experiment_spec_from_json(Json::parse(json.dump()));
+    EXPECT_EQ(parsed.prior, spec.prior) << family.id;
+    EXPECT_EQ(parsed.model, spec.model) << family.id;
+    EXPECT_EQ(parsed.gibbs.seed, spec.gibbs.seed) << family.id;
+    // Identity follows: the cell hash is a pure function of the canonical
+    // form, so a round-tripped spec addresses the same artifact.
+    EXPECT_EQ(artifact::cell_hash(toy(), parsed, 5),
+              artifact::cell_hash(toy(), spec, 5))
+        << family.id;
+  }
+}
+
+TEST(FamilyRoundTrip, UnknownFamilyIdIsAStructuredParseError) {
+  auto json = artifact::to_json(spec_for(core::family(core::PriorKind::kPoisson)));
+  json.set("prior", Json("klingon"));
+  try {
+    artifact::experiment_spec_from_json(json);
+    FAIL() << "unknown family id must not parse";
+  } catch (const srm::InvalidArgument& error) {
+    // The message names the accepted ids so callers can self-correct.
+    const std::string what = error.what();
+    EXPECT_NE(what.find("klingon"), std::string::npos) << what;
+    EXPECT_NE(what.find(core::family_ids_joined()), std::string::npos)
+        << what;
+  }
+}
+
+TEST(FamilyRoundTrip, SizeBiasedLimitsAreOmittedAtDefaults) {
+  // Omit-if-default: a config at the stock limits serializes to the exact
+  // pre-registry byte form (no sb_* members), so every existing cell hash
+  // and artifact directory stays reachable.
+  core::HyperPriorConfig config;
+  const auto stock = artifact::to_json(config).dump();
+  EXPECT_EQ(stock.find("sb_shape_max"), std::string::npos) << stock;
+  EXPECT_EQ(stock.find("sb_scale_max"), std::string::npos) << stock;
+
+  config.limits.sb_shape_max = 35.0;
+  const auto widened = artifact::to_json(config);
+  EXPECT_NE(widened.dump().find("sb_shape_max"), std::string::npos);
+  const auto parsed =
+      artifact::hyper_prior_config_from_json(Json::parse(widened.dump()));
+  EXPECT_EQ(parsed.limits.sb_shape_max, 35.0);
+  // And the round trip of the stock form restores the defaults.
+  const auto restocked =
+      artifact::hyper_prior_config_from_json(Json::parse(stock));
+  EXPECT_EQ(restocked.limits.sb_shape_max,
+            core::DetectionModelLimits{}.sb_shape_max);
+}
+
+TEST(FamilyRoundTrip, SweepFamiliesAreOmittedAtTheReproductionDefault) {
+  // The default sweep grid (reproduction families) serializes without a
+  // "families" member — byte-identical to pre-registry sweep options.
+  srm::report::SweepOptions options;
+  options.observation_days = {5};
+  options.eventual_total = 11;
+  const auto stock = artifact::to_json(options).dump();
+  EXPECT_EQ(stock.find("families"), std::string::npos) << stock;
+  const auto restocked =
+      artifact::sweep_options_from_json(Json::parse(stock));
+  EXPECT_EQ(restocked.families, core::reproduction_family_kinds());
+
+  // A non-default grid round-trips through the id strings.
+  options.families = {core::PriorKind::kSizeBiased};
+  const auto widened = artifact::to_json(options).dump();
+  EXPECT_NE(widened.find("families"), std::string::npos);
+  EXPECT_NE(widened.find("sizebiased"), std::string::npos);
+  const auto parsed =
+      artifact::sweep_options_from_json(Json::parse(widened));
+  ASSERT_EQ(parsed.families.size(), 1u);
+  EXPECT_EQ(parsed.families.front(), core::PriorKind::kSizeBiased);
+
+  // Unknown names in the families array are loud.
+  auto json = Json::parse(widened);
+  json.set("families", Json(Json::Array{Json("klingon")}));
+  EXPECT_THROW(artifact::sweep_options_from_json(json),
+               srm::InvalidArgument);
+}
+
+}  // namespace

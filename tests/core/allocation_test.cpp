@@ -161,7 +161,7 @@ TEST(ZeroAllocationKernel, StreamingAccumulatorPathIsAllocationFree) {
   srm::core::StreamingScorer scorer(model, 1, kWarmup + kMeasured);
   srm::diagnostics::ParameterStatsAccumulator stats(model.state_size(), 1,
                                                     kWarmup + kMeasured);
-  srm::core::ResidualAccumulator residual(BayesianSrm::residual_index(), 1,
+  srm::core::ResidualAccumulator residual(model.residual_index(), 1,
                                           kWarmup + kMeasured);
   srm::random::Rng rng(20240624);
   auto state = model.initial_state(rng);

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/bayes_srm.hpp"
 #include "core/waic.hpp"
 #include "data/bug_count_data.hpp"
 #include "mcmc/gibbs.hpp"

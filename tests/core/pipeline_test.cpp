@@ -174,7 +174,7 @@ TEST(StreamingPipeline, AccumulatorReproducesLegacyTraceDiagnostics) {
 
   srm::diagnostics::ParameterStatsAccumulator stats(
       model.state_size(), gibbs.chain_count, gibbs.iterations);
-  srm::core::ResidualAccumulator residual(BayesianSrm::residual_index(),
+  srm::core::ResidualAccumulator residual(model.residual_index(),
                                           gibbs.chain_count,
                                           gibbs.iterations);
   std::array<srm::mcmc::PosteriorAccumulator*, 2> sinks{&stats, &residual};

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/bayes_srm.hpp"
 #include "data/generator.hpp"
 #include "mcmc/gibbs.hpp"
 #include "support/error.hpp"

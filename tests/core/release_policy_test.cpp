@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/bayes_srm.hpp"
 #include "data/bug_count_data.hpp"
 #include "mcmc/gibbs.hpp"
 #include "support/error.hpp"

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/bayes_srm.hpp"
 #include "data/bug_count_data.hpp"
 #include "support/error.hpp"
 #include "support/math.hpp"

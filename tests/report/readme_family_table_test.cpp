@@ -1,0 +1,42 @@
+// Docs-sync: the model-family table embedded in README.md between the
+// `<!-- family-table:begin -->` / `<!-- family-table:end -->` markers must
+// be exactly what the registry renders (`srm_cli families --format
+// markdown`), so registering a family and refreshing the README is the
+// whole docs story — the two can never drift.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/model_family.hpp"
+
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ReadmeFamilyTable, MatchesTheRegistryRendererExactly) {
+  const auto readme =
+      read_file(std::filesystem::path(SRM_SOURCE_ROOT) / "README.md");
+  const std::string begin = "<!-- family-table:begin -->\n";
+  const std::string end = "<!-- family-table:end -->";
+  const auto from = readme.find(begin);
+  ASSERT_NE(from, std::string::npos)
+      << "README.md lost its family-table markers";
+  const auto to = readme.find(end, from);
+  ASSERT_NE(to, std::string::npos)
+      << "README.md lost its family-table end marker";
+  const auto embedded = readme.substr(from + begin.size(),
+                                      to - from - begin.size());
+  EXPECT_EQ(embedded, srm::core::render_family_table_markdown())
+      << "regenerate with: srm_cli families --format markdown";
+}
+
+}  // namespace

@@ -196,14 +196,15 @@ TEST(ServeService, SelectRanksTheModelGridByWaic) {
 
   const Json parsed = Json::parse(response.line);
   const auto& ranking = parsed.at("result").at("ranking").as_array();
-  ASSERT_EQ(ranking.size(), 10u);  // 2 priors x 5 detection models
+  // 2 reproduction priors x 5 detection models + the size-biased family.
+  ASSERT_EQ(ranking.size(), 11u);
   for (std::size_t i = 1; i < ranking.size(); ++i) {
     EXPECT_LE(ranking[i - 1].at("waic").as_double(),
               ranking[i].at("waic").as_double());
   }
   EXPECT_EQ(parsed.at("result").at("best").dump(), ranking.front().dump());
 
-  // All ten cells are now resident: a repeat is a pure memory hit.
+  // All eleven cells are now resident: a repeat is a pure memory hit.
   const auto warm = service.handle_line(
       R"({"op":"select","project":)"
       R"({"name":"svc","counts":[4,3,2,2,1,0,1,0]},"day":6,)"

@@ -1,0 +1,13 @@
+// Clean for family-dispatch: src/core/ owns the registry and the family
+// implementations, so enumerator dispatch is legal here — this is where
+// the per-family behavior actually lives. The same expressions one
+// directory over (see serve/bad_family_dispatch.cpp) must fire.
+namespace fx::core {
+
+enum class PriorKind { kPoisson, kNegativeBinomial };
+
+int hyper_parameter_count(PriorKind prior) {
+  return prior == PriorKind::kPoisson ? 1 : 2;
+}
+
+}  // namespace fx::core

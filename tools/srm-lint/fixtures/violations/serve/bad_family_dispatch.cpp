@@ -1,0 +1,26 @@
+// family-dispatch: kind-enumerator dispatch outside src/core/. Every
+// switch/if-chain over PriorKind / DetectionModelKind enumerators belongs
+// to the model-family registry (core/model_family.hpp); outer layers read
+// the registry record instead, so registering a new family never touches
+// them.
+namespace fx::core {
+enum class PriorKind { kPoisson, kNegativeBinomial };
+enum class DetectionModelKind { kConstant, kPadgettSpurrier };
+}  // namespace fx::core
+
+namespace fx::serve {
+
+int hyper_parameter_count(fx::core::PriorKind prior) {
+  return prior == fx::core::PriorKind::kPoisson ? 1 : 2;
+}
+
+const char* table_title(fx::core::DetectionModelKind model) {
+  switch (model) {
+    case fx::core::DetectionModelKind::kConstant:
+      return "model0";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace fx::serve

@@ -44,6 +44,13 @@ const std::vector<RuleInfo>& registered_rules() {
        PassKind::kToken,
        "violations",
        {"cli/", "report/", "serve/"}},
+      {"family-dispatch",
+       "no PriorKind/DetectionModelKind enumerator dispatch outside core/; "
+       "per-family behavior lives in the model-family registry "
+       "(core/model_family.hpp)",
+       PassKind::kToken,
+       "violations",
+       {"core/"}},
       {"float-compare",
        "no floating ==/!= against literals outside support/fp.hpp",
        PassKind::kToken,

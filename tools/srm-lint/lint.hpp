@@ -23,6 +23,16 @@
 //                   binary and stream transport own stdout/stderr.)
 //   float-compare   No floating-point ==/!= against floating literals
 //                   outside the approved helpers in support/fp.hpp.
+//   family-dispatch No PriorKind:: or DetectionModelKind:: enumerator
+//                   mention outside src/core/: switch/if-chains over the
+//                   kind enums are how per-family behavior used to leak
+//                   into every layer. Per-family construction, metadata,
+//                   serialization ids, CLI names and table labels all live
+//                   in the model-family registry (core/model_family.hpp) —
+//                   read the registry record instead, so a new family
+//                   lands without touching this layer. Naming the enum
+//                   *type* (parameters, generic loops) stays legal; only
+//                   `Kind::kSomething` enumerator dispatch is flagged.
 //   raw-thread      No std::thread / std::jthread / std::async outside
 //                   src/runtime/: all parallelism goes through the shared
 //                   runtime pool (task_group / parallel_for), which is what

@@ -169,6 +169,28 @@ TEST(SrmLint, DetectsFloatLiteralComparisons) {
   EXPECT_TRUE(has_finding(all, "stats/bad_eq.cpp", 8, "float-compare"));
 }
 
+TEST(SrmLint, DetectsFamilyDispatchOutsideCore) {
+  const auto all = run_lint(fixture("violations"));
+  const auto hits = findings_for_rule(all, "family-dispatch");
+  ASSERT_EQ(hits.size(), 2u)
+      << "if-chain and switch-case enumerator mentions both fire; naming "
+         "the enum type (parameters, declarations) stays clean";
+  EXPECT_TRUE(has_finding(all, "serve/bad_family_dispatch.cpp", 14,
+                          "family-dispatch"));
+  EXPECT_TRUE(has_finding(all, "serve/bad_family_dispatch.cpp", 19,
+                          "family-dispatch"));
+}
+
+TEST(SrmLint, FamilyDispatchRuleExemptsCoreDirectory) {
+  // core/ok_family_dispatch.cpp dispatches on PriorKind enumerators inside
+  // the directory that owns the registry and the family implementations —
+  // the one place such dispatch is legal.
+  const auto all = run_lint(fixture("violations"));
+  for (const auto& f : findings_for_rule(all, "family-dispatch")) {
+    EXPECT_NE(f.file.rfind("core/", 0), 0u) << srm::lint::format_finding(f);
+  }
+}
+
 TEST(SrmLint, DetectsMissingExpectsInSiblingImpl) {
   const auto all = run_lint(fixture("violations"));
   // Weibull::cdf and log_halfnormal definitions lack SRM_EXPECTS; the
@@ -331,7 +353,7 @@ TEST(SrmLint, RuleRegistryCoversEveryEmittedRule) {
     EXPECT_NE(std::find(names.begin(), names.end(), f.rule), names.end())
         << "unregistered rule: " << f.rule;
   }
-  EXPECT_EQ(names.size(), 16u);
+  EXPECT_EQ(names.size(), 17u);
 }
 
 TEST(SrmLint, DetectsRawIntrinsics) {

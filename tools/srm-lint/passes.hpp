@@ -11,8 +11,8 @@
 namespace srm::lint {
 
 /// Numerical/style contract rules: banned-random, log-domain, iostream,
-/// float-compare, raw-thread, hot-std-function, nested-vector-matrix,
-/// adhoc-serialization, expects.
+/// float-compare, family-dispatch, raw-thread, hot-std-function,
+/// nested-vector-matrix, adhoc-serialization, expects.
 void run_contract_rules(const FileSet& files, std::vector<Finding>& out);
 
 /// Determinism rules guarding the bit-identity contract: unordered-output,

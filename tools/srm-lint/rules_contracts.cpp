@@ -231,6 +231,39 @@ void check_adhoc_serialization(const FileText& f, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: family-dispatch
+// ---------------------------------------------------------------------------
+// The model-family registry (core/model_family.hpp) is the one place that
+// knows what families exist and how they differ. Outside src/core/, a
+// PriorKind / DetectionModelKind *enumerator* token is a switch/if-chain
+// in the making — per-family behavior hard-coded where registering a new
+// family cannot reach it. Outer layers must read the registry record
+// (ids, titles, selection grids, fork capabilities, the make factory)
+// instead. Type-name-only uses (declarations, signatures, registry keys)
+// stay legal: only `Kind::kEnumerator` access is flagged.
+
+void check_family_dispatch(const FileText& f, std::vector<Finding>& out) {
+  const std::string& s = f.stripped;
+  for_each_identifier(s, [&](std::string_view name, std::size_t i) {
+    if (name != "PriorKind" && name != "DetectionModelKind") return;
+    std::size_t j = skip_ws(s, i + name.size());
+    if (j + 1 >= s.size() || s[j] != ':' || s[j + 1] != ':') return;
+    j = skip_ws(s, j + 2);
+    // Enumerators are k-prefixed CamelCase constants; anything else after
+    // `::` (nested names, casts) is not a dispatch site.
+    if (j + 1 >= s.size() || s[j] != 'k') return;
+    const char next = s[j + 1];
+    if (next < 'A' || next > 'Z') return;
+    report(out, f, i, "family-dispatch",
+           std::string(name) +
+               " enumerator dispatch outside src/core/; per-family behavior "
+               "belongs in the model-family registry "
+               "(core/model_family.hpp) — read the registry record instead "
+               "so a new family lands without touching this layer");
+  });
+}
+
+// ---------------------------------------------------------------------------
 // Rule: iostream
 // ---------------------------------------------------------------------------
 
@@ -576,6 +609,7 @@ void run_contract_rules(const FileSet& files, std::vector<Finding>& out) {
 
     check_banned_random(f, out);
     if (is_core_or_stats) check_log_domain(f, out);
+    if (!f.in_dir("core/")) check_family_dispatch(f, out);
     if (!is_frontend_or_report) check_iostream(f, out);
     if (!f.in_dir("report/") && !f.in_dir("artifact/")) {
       check_adhoc_serialization(f, out);
